@@ -1,0 +1,72 @@
+// Ablations of the design decisions DESIGN.md §4 calls out: candidate-space
+// caps (predicate subsets, evaluation budget), relevance-score smoothing,
+// and the EM iteration limit.
+
+#include "bench_common.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace {
+
+void Report(const char* label, const corpus::CorpusRunResult& result) {
+  std::printf("%-28s top-1=%5.1f%% top-5=%5.1f%% F1=%5.1f%% time=%4.1fs "
+              "queries=%zu\n",
+              label, result.coverage.TopK(1), result.coverage.TopK(5),
+              result.detection.F1() * 100, result.total_seconds,
+              result.queries_evaluated);
+}
+
+}  // namespace
+}  // namespace aggchecker
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Design ablations (DESIGN.md section 4)",
+                "each cap trades coverage for time; defaults sit at the "
+                "knee of the curves");
+
+  std::printf("--- predicate-subset cap (candidate space breadth) ---\n");
+  for (size_t cap : {25u, 50u, 100u, 200u, 400u}) {
+    core::CheckOptions options;
+    options.model.max_pred_subsets = cap;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    Report(strings::Format("max_pred_subsets=%zu%s", cap,
+                           cap == 200 ? " (default)" : "")
+               .c_str(),
+           result);
+  }
+
+  std::printf("--- evaluation budget per claim (PickScope) ---\n");
+  for (size_t budget : {20u, 40u, 80u, 160u, 320u}) {
+    core::CheckOptions options;
+    options.model.max_eval_per_claim = budget;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    Report(strings::Format("max_eval_per_claim=%zu%s", budget,
+                           budget == 160 ? " (default)" : "")
+               .c_str(),
+           result);
+  }
+
+  std::printf("--- relevance-score smoothing ---\n");
+  for (double smoothing : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    core::CheckOptions options;
+    options.model.score_smoothing = smoothing;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    Report(strings::Format("score_smoothing=%.2f%s", smoothing,
+                           smoothing == 0.10 ? " (default)" : "")
+               .c_str(),
+           result);
+  }
+
+  std::printf("--- EM iteration cap ---\n");
+  for (int iters : {1, 2, 3, 5, 10}) {
+    core::CheckOptions options;
+    options.model.max_em_iterations = iters;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    Report(strings::Format("max_em_iterations=%d%s", iters,
+                           iters == 5 ? " (default)" : "")
+               .c_str(),
+           result);
+  }
+  return 0;
+}

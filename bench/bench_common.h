@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared helpers for the experiment-reproduction binaries. Every bench
+// prints the rows/series of one paper table or figure, with a `paper=`
+// reference column for side-by-side comparison (absolute numbers differ —
+// different corpus and machine; the shape is the reproduction target).
+
+#include <cstdio>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "corpus/harness.h"
+
+namespace aggchecker {
+namespace bench {
+
+inline void Header(const char* experiment, const char* paper_caption) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_caption);
+  std::printf("==========================================================\n");
+}
+
+inline void Row(const std::string& label, double recall, double precision,
+                double f1, const char* paper_ref) {
+  std::printf("%-34s recall=%5.1f%%  precision=%5.1f%%  F1=%5.1f%%  %s\n",
+              label.c_str(), recall * 100, precision * 100, f1 * 100,
+              paper_ref);
+}
+
+/// The corpus is expensive to regenerate; share one instance per process.
+inline const std::vector<corpus::CorpusCase>& SharedCorpus() {
+  static const std::vector<corpus::CorpusCase>* kCorpus =
+      new std::vector<corpus::CorpusCase>(corpus::FullCorpus());
+  return *kCorpus;
+}
+
+}  // namespace bench
+}  // namespace aggchecker

@@ -1,0 +1,27 @@
+// Reproduces Figure 10: top-k coverage of fully automated verification —
+// the percentage of claims whose ground-truth query is within the top-k
+// candidates, overall and split into correct vs incorrect claims.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 10: top-k coverage (total / correct / incorrect)",
+                "top-1 58.4%, top-5 68.4%; correct > incorrect claims");
+
+  auto result = corpus::RunOnCorpus(bench::SharedCorpus(),
+                                    core::CheckOptions{});
+  std::printf("%5s %10s %10s %12s\n", "k", "total", "correct", "incorrect");
+  for (size_t k : {1, 2, 3, 5, 10, 15, 20}) {
+    std::printf("%5zu %9.1f%% %9.1f%% %11.1f%%\n", k,
+                result.coverage.TopK(k), result.coverage.TopKCorrect(k),
+                result.coverage.TopKIncorrect(k));
+  }
+  std::printf(
+      "\nclaims=%zu (correct=%zu, incorrect=%zu)  paper: 392 claims\n",
+      result.coverage.total, result.coverage.total_correct,
+      result.coverage.total_incorrect);
+  std::printf("total run time: %.1fs, queries evaluated: %zu\n",
+              result.total_seconds, result.queries_evaluated);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Figure 12: the precision/recall tradeoff as the assumed
+// claim-truth prior pT varies. Lower pT makes the system more suspicious
+// (higher recall, lower precision); the paper settles on pT = 0.999.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 12: parameter pT vs recall and precision",
+                "recall falls and precision rises as pT -> 1; "
+                "pT=0.999 is the chosen tradeoff");
+
+  std::printf("%10s %10s %12s %10s\n", "pT", "recall", "precision", "F1");
+  for (double pt : {0.5, 0.7, 0.9, 0.99, 0.999, 0.9999, 0.99999}) {
+    core::CheckOptions options;
+    options.model.pT = pt;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    std::printf("%10g %9.1f%% %11.1f%% %9.1f%%%s\n", pt,
+                result.detection.Recall() * 100,
+                result.detection.Precision() * 100,
+                result.detection.F1() * 100,
+                pt == 0.999 ? "   <- current version" : "");
+  }
+  return 0;
+}

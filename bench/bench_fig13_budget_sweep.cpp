@@ -1,0 +1,40 @@
+// Reproduces Figure 13: top-k coverage versus processing overhead, sweeping
+// (left) the number of retrieval hits per claim and (right) the number of
+// aggregation columns considered during evaluation. More budget buys
+// coverage with diminishing returns.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 13: top-k coverage vs processing budget",
+                "coverage grows with time budget, with diminishing returns");
+
+  std::printf("--- left: retrieval hits per claim ---\n");
+  std::printf("%8s %10s %8s %8s %12s\n", "#hits", "time", "top-1", "top-10",
+              "queries");
+  for (size_t hits : {1u, 5u, 10u, 20u, 30u}) {
+    core::CheckOptions options;
+    options.model.lucene_hits = hits;
+    // The retrieval depth IS the time budget: the evaluation scope scales
+    // with it (at the default 20 hits this is the default budget of 160).
+    options.model.max_eval_per_claim = 8 * hits;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    std::printf("%8zu %9.2fs %7.1f%% %7.1f%% %12zu\n", hits,
+                result.total_seconds, result.coverage.TopK(1),
+                result.coverage.TopK(10), result.queries_evaluated);
+  }
+
+  std::printf("--- right: aggregation columns considered ---\n");
+  std::printf("%8s %10s %8s %8s %12s\n", "#aggs", "time", "top-1", "top-10",
+              "queries");
+  for (size_t aggs : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    core::CheckOptions options;
+    options.model.max_agg_columns = aggs;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    std::printf("%8zu %9.2fs %7.1f%% %7.1f%% %12zu\n", aggs,
+                result.total_seconds, result.coverage.TopK(1),
+                result.coverage.TopK(10), result.queries_evaluated);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figure 6: the number of correctly verified claims as a
+// function of time, per study article, averaged over the simulated users
+// of each tool.
+
+#include "study_common.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 6: correctly verified claims over time",
+                "AggChecker curves dominate SQL curves on every article");
+
+  const auto& study = bench::SharedStudy();
+  for (size_t a = 0; a < study.articles.size(); ++a) {
+    const auto* article = study.articles[a].article;
+    double limit = article->ground_truth.size() > 15 ? 1200.0 : 300.0;
+    double step = limit / 10.0;
+    auto ac = study.VerifiedOverTime(a, sim::Tool::kAggChecker, step);
+    auto sql = study.VerifiedOverTime(a, sim::Tool::kSql, step);
+    std::printf("--- article %zu: %s (%zu claims, limit %.0fs) ---\n", a + 1,
+                article->name.c_str(), article->ground_truth.size(), limit);
+    std::printf("%10s %14s %10s\n", "time(s)", "AggChecker", "SQL");
+    for (size_t i = 0; i < ac.size() && i < sql.size(); ++i) {
+      std::printf("%10.0f %14.2f %10.2f\n", step * (i + 1), ac[i], sql[i]);
+    }
+  }
+  return 0;
+}

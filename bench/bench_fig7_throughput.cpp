@@ -1,0 +1,41 @@
+// Reproduces Figure 7: fact-checking throughput (correctly verified claims
+// per minute), grouped by user and by article, plus the headline average
+// speedup factor.
+
+#include "study_common.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 7: claims verified per minute",
+                "users are on average ~6x faster with the AggChecker");
+
+  const auto& study = bench::SharedStudy();
+  size_t num_users = 0;
+  for (const auto& s : study.sessions) {
+    num_users = std::max(num_users, s.user + 1);
+  }
+
+  std::printf("--- by user ---\n");
+  std::printf("%8s %14s %10s %10s\n", "user", "AggChecker", "SQL",
+              "speedup");
+  double speedup_sum = 0;
+  for (size_t u = 0; u < num_users; ++u) {
+    double ac = study.ThroughputByUser(u, sim::Tool::kAggChecker);
+    double sql = study.ThroughputByUser(u, sim::Tool::kSql);
+    double speedup = sql > 0 ? ac / sql : 0;
+    speedup_sum += speedup;
+    std::printf("%8zu %14.2f %10.2f %9.1fx\n", u + 1, ac, sql, speedup);
+  }
+  std::printf("average speedup: %.1fx (paper: ~6x)\n",
+              speedup_sum / static_cast<double>(num_users));
+
+  std::printf("--- by article ---\n");
+  std::printf("%-22s %14s %10s\n", "article", "AggChecker", "SQL");
+  for (size_t a = 0; a < study.articles.size(); ++a) {
+    std::printf("%-22s %14.2f %10.2f\n",
+                study.articles[a].article->name.c_str(),
+                study.ThroughputByArticle(a, sim::Tool::kAggChecker),
+                study.ThroughputByArticle(a, sim::Tool::kSql));
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Figure 8: the number of possible Simple Aggregate Queries per
+// data set — the search space the claim-to-query translation faces.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "fragments/catalog.h"
+
+int main() {
+  using namespace aggchecker;
+  bench::Header("Figure 8: possible query candidates per data set",
+                "10^4 .. 10^12+ queries; largest sets exceed a trillion");
+
+  std::vector<double> counts;
+  for (const corpus::CorpusCase& c : bench::SharedCorpus()) {
+    counts.push_back(fragments::FragmentCatalog::CountPossibleQueries(
+        c.database));
+  }
+  std::sort(counts.begin(), counts.end());
+  std::printf("%8s %16s\n", "case#", "#queries");
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::printf("%8zu %16.3g\n", i + 1, counts[i]);
+  }
+  std::printf("\nmin=%.3g  median=%.3g  max=%.3g  (log10 range %.1f..%.1f)\n",
+              counts.front(), counts[counts.size() / 2], counts.back(),
+              std::log10(counts.front()), std::log10(counts.back()));
+  return 0;
+}

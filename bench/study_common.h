@@ -1,0 +1,30 @@
+#pragma once
+
+// Shared user-study runner for the Table 3/4/8 and Figure 6/7 benches:
+// six study articles (two long, four short), eight simulated users,
+// tools alternating — §7.2's protocol.
+
+#include "bench_common.h"
+#include "sim/user_study.h"
+
+namespace aggchecker {
+namespace bench {
+
+inline const sim::StudyResult& SharedStudy() {
+  static const sim::StudyResult* kStudy = [] {
+    const auto& corpus = SharedCorpus();
+    auto picks = corpus::StudyArticleIndices(corpus);
+    sim::UserStudy study(&corpus, picks);
+    auto result = study.Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "study failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    return new sim::StudyResult(std::move(*result));
+  }();
+  return *kStudy;
+}
+
+}  // namespace bench
+}  // namespace aggchecker

@@ -1,0 +1,126 @@
+// Data-journalism workflow: fact-check a text file against a CSV data set.
+//
+//   $ ./build/examples/check_files article.html data.csv [data2.csv ...]
+//   $ ./build/examples/check_files --demo     # embedded demo inputs
+//
+// The article may use <h1>/<h2>/<h3>/<p> markup or markdown-ish headings;
+// each CSV file becomes one table (named after the file).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/aggchecker.h"
+#include "core/markup.h"
+#include "util/csv.h"
+
+using namespace aggchecker;
+
+namespace {
+
+constexpr const char* kDemoArticle = R"(
+# Retail season summary
+
+## Online sales
+In total, our data lists 8 transactions. Exactly 5 transactions were
+handled through the online channel. The average revenue across all
+transactions was 100 dollars.
+
+## Regions
+Exactly 3 transactions came from the north region.
+)";
+
+constexpr const char* kDemoCsv =
+    "Region,Channel,Revenue\n"
+    "north,online,50\n"
+    "north,online,150\n"
+    "north,retail,100\n"
+    "south,online,75\n"
+    "south,retail,125\n"
+    "east,online,80\n"
+    "east,online,120\n"
+    "west,retail,100\n";
+
+std::string ReadFileOrDie(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string TableNameFromPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path
+                                                : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name.empty() ? "data" : name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string article_text;
+  db::Database database("input");
+
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+    article_text = kDemoArticle;
+    auto data = csv::Parse(kDemoCsv);
+    (void)database.AddTable(*db::Table::FromCsv("transactions", *data));
+  } else if (argc >= 3) {
+    article_text = ReadFileOrDie(argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      auto data = csv::ReadFile(argv[i]);
+      if (!data.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i],
+                     data.status().ToString().c_str());
+        return 1;
+      }
+      auto table = db::Table::FromCsv(TableNameFromPath(argv[i]), *data);
+      if (!table.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i],
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      auto status = database.AddTable(std::move(*table));
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s <article.txt|html> <data.csv> [more.csv ...]\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  auto doc = text::ParseDocument(article_text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "article: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  auto checker = core::AggChecker::Create(&database);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "%s\n", checker.status().ToString().c_str());
+    return 1;
+  }
+  auto report = checker->Check(*doc);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::RenderMarkup(*doc, *report,
+                                         core::MarkupStyle::kAnsi).c_str());
+  std::printf("%zu claims checked, %zu flagged as likely erroneous "
+              "(%.2fs, %zu queries)\n",
+              report->verdicts.size(), report->NumFlagged(),
+              report->total_seconds, report->queries_evaluated);
+  return report->NumFlagged() > 0 ? 3 : 0;
+}

@@ -1,0 +1,75 @@
+// Corpus explorer: generate a synthetic article/data-set pair, print the
+// article with ground truth, run the checker, and compare verdict against
+// truth claim by claim. Useful for inspecting what the generator produces
+// and where the pipeline succeeds or fails.
+//
+//   $ ./build/examples/corpus_explorer [case_index] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/aggchecker.h"
+#include "corpus/generator.h"
+#include "corpus/metrics.h"
+
+using namespace aggchecker;
+
+int main(int argc, char** argv) {
+  size_t case_index = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 7;
+  corpus::GeneratorOptions options;
+  if (argc > 2) options.seed = std::strtoull(argv[2], nullptr, 10);
+
+  corpus::CorpusCase c = corpus::GenerateCase(case_index, options);
+  std::printf("case: %s (source style: %s)\n", c.name.c_str(),
+              c.source.c_str());
+  const db::Table& table = c.database.table(0);
+  std::printf("data set: table '%s' with %zu rows, %zu columns\n\n",
+              table.name().c_str(), table.num_rows(), table.num_columns());
+
+  std::printf("=== article ===\n# %s\n", c.document.title().c_str());
+  int last_section = -2;
+  for (const auto& para : c.document.paragraphs()) {
+    if (para.section != last_section && para.section >= 0) {
+      std::printf("\n## %s\n",
+                  c.document.section(para.section).headline.c_str());
+    }
+    last_section = para.section;
+    for (int s : para.sentence_indices) {
+      std::printf("%s ", c.document.sentence(s).text.c_str());
+    }
+    std::printf("\n");
+  }
+
+  core::CheckOptions check_options;
+  check_options.report_top_k = 20;
+  auto checker = core::AggChecker::Create(&c.database, check_options);
+  auto report = checker->Check(c.document);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== claim-by-claim ===\n");
+  for (size_t i = 0; i < report->verdicts.size(); ++i) {
+    const auto& v = report->verdicts[i];
+    const auto& g = c.ground_truth[i];
+    size_t rank = corpus::GroundTruthRank(g, v);
+    std::printf("%2zu. claimed=%-10g truth=%-10g %s\n", i + 1,
+                g.claimed_value, g.true_value,
+                g.is_erroneous ? "(erroneous claim)" : "");
+    std::printf("    ground truth: %s\n", g.query.ToSql().c_str());
+    std::printf("    system rank of ground truth: %s, verdict: %s %s\n",
+                rank == 0 ? "not in top-20" : std::to_string(rank).c_str(),
+                v.likely_erroneous ? "flagged" : "verified",
+                v.likely_erroneous == g.is_erroneous ? "[agrees]"
+                                                     : "[disagrees]");
+  }
+
+  auto detection = corpus::ScoreErrorDetection(c, *report);
+  auto coverage = corpus::ScoreCoverage(c, *report);
+  std::printf("\ntop-1 coverage %.0f%%, top-5 %.0f%%; error detection "
+              "recall %.0f%% precision %.0f%%\n",
+              coverage.TopK(1), coverage.TopK(5), detection.Recall() * 100,
+              detection.Precision() * 100);
+  return 0;
+}

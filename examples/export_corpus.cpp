@@ -1,0 +1,34 @@
+// Publishes the full 53-case corpus to disk (article.html + CSV data +
+// ground truth per case) — the paper's "all test cases will be made
+// available online", as a directory you can point check_files at.
+//
+//   $ ./build/examples/export_corpus [output_dir] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/corpus.h"
+#include "corpus/export.h"
+
+using namespace aggchecker;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "corpus_export";
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  auto corpus = corpus::FullCorpus(seed);
+  Status s = corpus::ExportCorpus(corpus, dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t claims = 0;
+  for (const auto& c : corpus) claims += c.ground_truth.size();
+  std::printf("exported %zu cases (%zu claims) to %s/\n", corpus.size(),
+              claims, dir.c_str());
+  std::printf("try: ./build/examples/check_files %s/%s/article.html "
+              "%s/%s/*.csv\n",
+              dir.c_str(), corpus[0].name.c_str(), dir.c_str(),
+              corpus[0].name.c_str());
+  return 0;
+}

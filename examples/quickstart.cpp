@@ -1,0 +1,76 @@
+// Quickstart: build a small database and an article in a few lines, run the
+// AggChecker, and print the spell-checker-style markup.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/aggchecker.h"
+#include "core/markup.h"
+#include "core/query_describer.h"
+#include "db/table.h"
+#include "text/document.h"
+
+using namespace aggchecker;
+
+int main() {
+  // 1. A relational data set (normally loaded from CSV via Table::FromCsv).
+  auto data = csv::Parse(
+      "Name,Team,Games,Category\n"
+      "A,OAK,indef,substance abuse repeated offense\n"
+      "B,MIA,indef,substance abuse repeated offense\n"
+      "C,DET,indef,substance abuse repeated offense\n"
+      "D,BUF,indef,gambling\n"
+      "E,CAR,16,substance abuse\n"
+      "F,CHI,8,personal conduct\n");
+  db::Database database("nfl");
+  (void)database.AddTable(*db::Table::FromCsv("nflsuspensions", *data));
+
+  // 2. The text summarizing it — note the wrong claim ("two").
+  auto doc = text::ParseDocument(R"(
+<h1>Punishments in the league</h1>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database. Two were
+for repeated substance abuse, one was for gambling.</p>
+)");
+  if (!doc.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Check the document.
+  auto checker = core::AggChecker::Create(&database);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "%s\n", checker.status().ToString().c_str());
+    return 1;
+  }
+  auto report = checker->Check(*doc);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Markup plus per-claim detail.
+  std::printf("%s\n", core::RenderMarkup(*doc, *report,
+                                         core::MarkupStyle::kPlain).c_str());
+  for (const auto& v : report->verdicts) {
+    const auto* best = v.best();
+    std::printf("claim %-6s value=%-6g %s\n", v.claim.id.c_str(),
+                v.claim.claimed_value(),
+                v.likely_erroneous ? "FLAGGED" : "verified");
+    if (best != nullptr) {
+      std::printf("  best query : %s\n", best->query.ToSql().c_str());
+      std::printf("  description: %s\n",
+                  core::DescribeQuery(best->query).c_str());
+      if (best->result.has_value()) {
+        std::printf("  evaluates to %g (probability %.2f)\n", *best->result,
+                    best->probability);
+      }
+    }
+  }
+  std::printf("\n%zu claims, %zu flagged, %d EM iterations, %zu candidate "
+              "queries evaluated\n",
+              report->verdicts.size(), report->NumFlagged(),
+              report->em_iterations, report->queries_evaluated);
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Interactive review REPL — the closest text-mode equivalent of the
+// AggChecker UI (Figure 3). Loads the NFL demo case (or an article + CSVs
+// from the command line), then accepts commands:
+//
+//   list                 claims with verdicts
+//   show <claim>         top candidates for one claim
+//   pick <claim> <rank>  confirm a candidate (Figure 3(c))
+//   custom <claim> <sql> pin a hand-written query (Figure 3(d))
+//   dismiss <claim>      prune a spurious detection
+//   auto <claim>         clear a correction / dismissal
+//   refresh              re-translate, propagating corrections
+//   markup               print the marked-up article
+//   html <path>          write the full HTML report
+//   quit
+//
+//   $ ./build/examples/review_repl
+//   $ ./build/examples/review_repl article.html data.csv
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/interactive_session.h"
+#include "core/markup.h"
+#include "core/query_describer.h"
+#include "core/report_writer.h"
+#include "corpus/embedded_articles.h"
+#include "db/sql_parser.h"
+#include "util/strings.h"
+
+using namespace aggchecker;
+
+namespace {
+
+void PrintList(const core::InteractiveSession& session) {
+  for (size_t i = 0; i < session.report().verdicts.size(); ++i) {
+    const auto& v = session.report().verdicts[i];
+    if (v.dismissed) {
+      std::printf("%2zu. \"%s\"  [dismissed]\n", i,
+                  v.claim.number.raw.c_str());
+      continue;
+    }
+    std::printf("%2zu. \"%s\"  %s%s  p(correct)=%.2f\n", i,
+                v.claim.number.raw.c_str(),
+                v.likely_erroneous ? "FLAGGED " : "verified",
+                session.IsPinned(i) ? " [pinned]" : "",
+                v.correctness_probability);
+  }
+}
+
+void PrintClaim(const core::InteractiveSession& session, size_t idx) {
+  if (idx >= session.report().verdicts.size()) {
+    std::printf("no such claim\n");
+    return;
+  }
+  const auto& v = session.report().verdicts[idx];
+  std::printf("claim %zu: \"%s\" — %s\n", idx, v.claim.number.raw.c_str(),
+              v.likely_erroneous ? "LIKELY ERRONEOUS" : "verified");
+  for (size_t r = 0; r < v.top_queries.size() && r < 5; ++r) {
+    const auto& cand = v.top_queries[r];
+    std::printf("  %zu. p=%.3f %s %s\n", r + 1, cand.probability,
+                cand.matches ? "[match]" : "[ no  ]",
+                core::DescribeQuery(cand.query).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  corpus::CorpusCase demo = corpus::MakeNflCase();
+  db::Database* database = &demo.database;
+  text::TextDocument* doc = &demo.document;
+
+  db::Database loaded("input");
+  text::TextDocument loaded_doc;
+  if (argc >= 3) {
+    std::ifstream article(argv[1]);
+    std::ostringstream buf;
+    buf << article.rdbuf();
+    auto parsed = text::ParseDocument(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    loaded_doc = std::move(*parsed);
+    for (int i = 2; i < argc; ++i) {
+      auto data = csv::ReadFile(argv[i]);
+      if (!data.ok()) {
+        std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+        return 1;
+      }
+      std::string name = argv[i];
+      size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      size_t dot = name.find_last_of('.');
+      if (dot != std::string::npos) name = name.substr(0, dot);
+      (void)loaded.AddTable(*db::Table::FromCsv(name, *data));
+    }
+    database = &loaded;
+    doc = &loaded_doc;
+  }
+
+  auto checker = core::AggChecker::Create(database);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "%s\n", checker.status().ToString().c_str());
+    return 1;
+  }
+  auto session = core::InteractiveSession::Start(&*checker, doc);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AggChecker review session: %zu claims. Type 'help'.\n",
+              session->num_claims());
+  PrintList(*session);
+
+  std::string line;
+  while (std::printf("> ") && std::getline(std::cin, line)) {
+    auto parts = strings::SplitWhitespace(line);
+    if (parts.empty()) continue;
+    const std::string& cmd = parts[0];
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf("commands: list | show <i> | pick <i> <rank> | custom <i> <sql> | dismiss <i> | auto <i> "
+                  "| refresh | markup | html <path> | quit\n");
+    } else if (cmd == "list") {
+      PrintList(*session);
+    } else if (cmd == "show" && parts.size() >= 2) {
+      PrintClaim(*session, std::strtoul(parts[1].c_str(), nullptr, 10));
+    } else if (cmd == "pick" && parts.size() >= 3) {
+      Status s = session->SelectCandidate(
+          std::strtoul(parts[1].c_str(), nullptr, 10),
+          std::strtoul(parts[2].c_str(), nullptr, 10));
+      std::printf("%s\n", s.ok() ? "pinned (run 'refresh')"
+                                 : s.ToString().c_str());
+    } else if (cmd == "custom" && parts.size() >= 3) {
+      size_t idx = std::strtoul(parts[1].c_str(), nullptr, 10);
+      std::string sql = line.substr(line.find(parts[2]));
+      auto query = db::ParseSql(sql, *database);
+      if (!query.ok()) {
+        std::printf("%s\n", query.status().ToString().c_str());
+        continue;
+      }
+      Status s = session->SetCustomQuery(idx, std::move(*query));
+      std::printf("%s\n", s.ok() ? "pinned (run 'refresh')"
+                                 : s.ToString().c_str());
+    } else if (cmd == "dismiss" && parts.size() >= 2) {
+      Status s = session->DismissClaim(
+          std::strtoul(parts[1].c_str(), nullptr, 10));
+      std::printf("%s\n", s.ok() ? "dismissed (run 'refresh')"
+                                 : s.ToString().c_str());
+    } else if (cmd == "auto" && parts.size() >= 2) {
+      Status s = session->ClearCorrection(
+          std::strtoul(parts[1].c_str(), nullptr, 10));
+      std::printf("%s\n", s.ok() ? "cleared" : s.ToString().c_str());
+    } else if (cmd == "refresh") {
+      Status s = session->Refresh();
+      std::printf("%s\n", s.ok() ? "re-translated" : s.ToString().c_str());
+      PrintList(*session);
+    } else if (cmd == "markup") {
+      std::printf("%s\n",
+                  core::RenderMarkup(*doc, session->report(),
+                                     core::MarkupStyle::kAnsi)
+                      .c_str());
+    } else if (cmd == "html" && parts.size() >= 2) {
+      std::ofstream out(parts[1]);
+      out << core::WriteHtmlReport(*doc, session->report());
+      std::printf("wrote %s\n", parts[1].c_str());
+    } else {
+      std::printf("unknown command; type 'help'\n");
+    }
+  }
+  return 0;
+}

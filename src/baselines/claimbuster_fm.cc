@@ -1,0 +1,117 @@
+#include "baselines/claimbuster_fm.h"
+
+#include "ir/tokenizer.h"
+
+namespace aggchecker {
+namespace baselines {
+
+namespace {
+
+struct RepoStatement {
+  const char* text;
+  bool is_true;
+};
+
+/// A repository in the style of fact-check archives: popular claims about
+/// politics, economy, sports, and health. Deliberately disjoint from the
+/// corpus's data-set-specific claims.
+const std::vector<RepoStatement>& Repository() {
+  static const std::vector<RepoStatement>* kRepo = new std::vector<
+      RepoStatement>{
+      {"the unemployment rate fell to its lowest level in decades", true},
+      {"the president signed the largest tax cut in history", false},
+      {"crime rates have doubled in major cities over the past year", false},
+      {"the average family pays thousands more in premiums", false},
+      {"the national debt increased under the last administration", true},
+      {"millions of immigrants voted illegally in the election", false},
+      {"the state added jobs for sixty straight months", true},
+      {"wages have been flat for american workers since the recession",
+       true},
+      {"the trade deficit with china hit a record high", true},
+      {"the murder rate is the highest it has been in decades", false},
+      {"the governor cut education funding by a billion dollars", false},
+      {"the team won more championships than any other franchise", true},
+      {"the quarterback threw the most touchdowns in league history",
+       false},
+      {"the olympic games generated a profit for the host city", false},
+      {"the league expanded its playoff format to more teams", true},
+      {"the star player signed the richest contract in sports", true},
+      {"vaccines cause more harm than the diseases they prevent", false},
+      {"the flu kills tens of thousands of americans each year", true},
+      {"the new drug reduces the risk of heart attack by half", false},
+      {"smoking rates among teenagers have fallen to record lows", true},
+      {"the hospital charged ten times the fair price for care", false},
+      {"the senator voted against the military funding bill", true},
+      {"the mayor doubled spending on homelessness programs", true},
+      {"the city has the worst traffic congestion in the nation", false},
+      {"electric car sales surpassed diesel sales last quarter", true},
+      {"the company paid no federal taxes on billions in profit", true},
+      {"the minimum wage increase destroyed thousands of jobs", false},
+      {"the stock market hit an all time high this month", true},
+      {"inflation is rising at the fastest pace in a generation", true},
+      {"the country imports most of its oil from the middle east", false},
+      {"renewable energy is now cheaper than coal power", true},
+      {"the airline canceled more flights than any competitor", false},
+      {"the average commute time increased by ten minutes", false},
+      {"college tuition has tripled over the past two decades", true},
+      {"student debt exceeds credit card debt nationwide", true},
+      {"the census shows the population of the state declined", false},
+      {"the wildfire season was the most destructive on record", true},
+      {"the hurricane caused billions of dollars in damages", true},
+      {"the drought is the worst the region has seen in a century", false},
+      {"sea levels are rising faster than previously predicted", true},
+  };
+  return *kRepo;
+}
+
+}  // namespace
+
+ClaimBusterFm::ClaimBusterFm(Aggregation aggregation)
+    : aggregation_(aggregation) {
+  for (const RepoStatement& s : Repository()) {
+    std::vector<ir::InvertedIndex::TermWeight> terms;
+    for (const std::string& token : ir::Tokenize(s.text)) {
+      if (!ir::IsStopWord(token)) terms.push_back({token, 1.0});
+    }
+    index_.AddDocument(terms);
+    labels_.push_back(s.is_true);
+  }
+}
+
+bool ClaimBusterFm::CheckClaim(const text::TextDocument& doc,
+                               const claims::Claim& claim) const {
+  std::vector<ir::InvertedIndex::TermWeight> query;
+  for (const ir::Token& token : doc.sentence(claim.sentence).tokens) {
+    if (!ir::IsStopWord(token.text)) query.push_back({token.text, 1.0});
+  }
+  auto hits = index_.Search(query, 5);
+  if (hits.empty()) {
+    // No match at all: ClaimBuster-FM reports the claim as unverifiable;
+    // for the precision/recall protocol that counts as "not erroneous".
+    return false;
+  }
+  if (aggregation_ == Aggregation::kMax) {
+    return !labels_[static_cast<size_t>(hits[0].doc_id)];
+  }
+  double true_mass = 0, false_mass = 0;
+  for (const auto& hit : hits) {
+    if (labels_[static_cast<size_t>(hit.doc_id)]) {
+      true_mass += hit.score;
+    } else {
+      false_mass += hit.score;
+    }
+  }
+  return false_mass > true_mass;
+}
+
+std::vector<bool> ClaimBusterFm::CheckDocument(
+    const text::TextDocument& doc,
+    const std::vector<claims::Claim>& claims) const {
+  std::vector<bool> out;
+  out.reserve(claims.size());
+  for (const auto& claim : claims) out.push_back(CheckClaim(doc, claim));
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace aggchecker

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "claims/claim.h"
+#include "ir/inverted_index.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace baselines {
+
+/// \brief Fact-matching baseline modeled on ClaimBuster-FM (§7.3).
+///
+/// Matches each claim sentence against a repository of previously verified
+/// statements (popular political/health/sports facts with truth labels) via
+/// TF-IDF similarity, then aggregates the matched labels. Because the
+/// repository covers popular claims but not the "long tail" of claims about
+/// arbitrary data sets, matches on our corpus are spurious — exactly the
+/// failure mode the paper reports for this baseline.
+class ClaimBusterFm {
+ public:
+  enum class Aggregation {
+    kMax,           ///< truth label of the single most similar statement
+    kMajorityVote,  ///< similarity-weighted vote over the top matches
+  };
+
+  explicit ClaimBusterFm(Aggregation aggregation);
+
+  /// True = the baseline marks this claim as erroneous.
+  bool CheckClaim(const text::TextDocument& doc,
+                  const claims::Claim& claim) const;
+
+  /// Flags for every claim of a document.
+  std::vector<bool> CheckDocument(const text::TextDocument& doc,
+                                  const std::vector<claims::Claim>& claims)
+      const;
+
+  size_t repository_size() const { return labels_.size(); }
+
+ private:
+  Aggregation aggregation_;
+  ir::InvertedIndex index_;
+  std::vector<bool> labels_;  ///< true = repository statement is TRUE
+};
+
+}  // namespace baselines
+}  // namespace aggchecker

@@ -1,0 +1,28 @@
+#include "baselines/margot.h"
+
+#include <unordered_set>
+
+namespace aggchecker {
+namespace baselines {
+
+size_t CountArgumentativeClaims(const text::TextDocument& doc) {
+  static const std::unordered_set<std::string> kCues = {
+      "because", "therefore", "however",  "although", "clearly", "shows",
+      "suggests", "indicates", "argues",  "believe",  "likely",  "should",
+      "must",     "more",      "less",    "most",     "only",    "even",
+      "despite",  "evidence",  "finding", "overall",  "exactly", "tolerant",
+  };
+  size_t count = 0;
+  for (const text::Sentence& s : doc.sentences()) {
+    for (const ir::Token& t : s.tokens) {
+      if (kCues.count(t.text) > 0) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace baselines
+}  // namespace aggchecker

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+
+#include "text/document.h"
+
+namespace aggchecker {
+namespace baselines {
+
+/// \brief Argument-mining claim counter in the style of MARGOT (§B).
+///
+/// The paper uses MARGOT only to show that argumentative claims are about
+/// as frequent as AggChecker's numerical-aggregate claims. This detector
+/// counts sentences containing argumentative cues (stance verbs, causal
+/// connectives, comparatives with evidence markers).
+size_t CountArgumentativeClaims(const text::TextDocument& doc);
+
+}  // namespace baselines
+}  // namespace aggchecker

@@ -1,0 +1,143 @@
+#include "baselines/nalir.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/dependency_proxy.h"
+#include "text/number_parser.h"
+#include "util/rounding.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace baselines {
+
+namespace {
+
+/// Explicit aggregation cue words NaLIR-style command-token matching needs.
+std::optional<db::AggFn> ExplicitFunction(
+    const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) {
+    if (t == "average" || t == "mean") return db::AggFn::kAvg;
+    if (t == "percent" || t == "percentage") return db::AggFn::kPercentage;
+    if (t == "total" || t == "sum" || t == "combined") return db::AggFn::kSum;
+    if (t == "highest" || t == "maximum" || t == "most") {
+      return db::AggFn::kMax;
+    }
+    if (t == "lowest" || t == "minimum" || t == "fewest") {
+      return db::AggFn::kMin;
+    }
+    if (t == "different" || t == "distinct" || t == "unique") {
+      return db::AggFn::kCountDistinct;
+    }
+    if (t == "counted" || t == "count" || t == "number" || t == "numbered") {
+      return db::AggFn::kCount;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+NalirOutcome NalirBaseline::CheckClaim(const text::TextDocument& doc,
+                                       const claims::Claim& claim) {
+  NalirOutcome outcome;
+  ++stats_.attempts;
+  const text::Sentence& sentence = doc.sentence(claim.sentence);
+
+  // --- Question generation: fails on long or multi-claim sentences (the
+  // paper: less than half of sentences yield usable questions). ---
+  if (sentence.tokens.size() > 24) return outcome;
+  auto numbers = text::FindNumbers(sentence.text, sentence.tokens);
+  size_t claim_like = 0;
+  for (const auto& n : numbers) {
+    if (!n.is_ordinal && !n.looks_like_year) ++claim_like;
+  }
+  if (claim_like > 1) return outcome;  // multiple claims confuse the QG
+  outcome.question_generated = true;
+  ++stats_.questions;
+
+  // --- Translation: the generated question covers only the claim's own
+  // clause (question generation clips trailing modifiers), with exact token
+  // matching against the schema and an explicit aggregation cue required —
+  // no document context, no synonyms, no probabilistic ranking. ---
+  text::DependencyProxy proxy(sentence.text);
+  const int claim_clause = proxy.clause_of(
+      std::min(claim.number.token_begin, proxy.tokens().size() - 1));
+  std::vector<std::string> clause_tokens;
+  for (size_t t = 0; t < sentence.tokens.size(); ++t) {
+    // The claimed value itself is the answer, not a query token.
+    if (t >= claim.number.token_begin && t < claim.number.token_end) {
+      continue;
+    }
+    // Keep the claim clause and its immediate neighbor (QG keeps the verb
+    // phrase but drops further subordinate clauses).
+    if (std::abs(proxy.clause_of(t) - claim_clause) > 1) continue;
+    clause_tokens.push_back(sentence.tokens[t].text);
+  }
+
+  auto fn = ExplicitFunction(clause_tokens);
+  if (!fn.has_value()) return outcome;
+
+  // Exact-match predicate: a clause token equal to a database literal.
+  // NaLIR maps parse-tree nodes one-to-one; if the sentence's tokens match
+  // literals on several different columns, the node mapping is ambiguous
+  // and the translation fails (a frequent failure mode the paper reports).
+  std::optional<db::Predicate> predicate;
+  std::set<std::string> matched_columns;
+  const auto& pred_frags =
+      catalog_->fragments(fragments::FragmentType::kPredicate);
+  for (const std::string& token : clause_tokens) {
+    for (const auto& frag : pred_frags) {
+      if (strings::ToLower(frag.value.ToString()) == token) {
+        matched_columns.insert(strings::ToLower(frag.column.ToString()));
+        if (!predicate.has_value()) {
+          predicate = db::Predicate{frag.column, frag.value};
+        }
+      }
+    }
+  }
+  if (matched_columns.size() > 1) return outcome;  // ambiguous mapping
+
+  // Exact-match aggregation column: a clause token equal to a column name.
+  std::optional<db::ColumnRef> agg_column;
+  const auto& col_frags =
+      catalog_->fragments(fragments::FragmentType::kAggColumn);
+  for (const std::string& token : clause_tokens) {
+    for (const auto& frag : col_frags) {
+      if (!frag.is_star_column() &&
+          strings::ToLower(frag.column.column) == token) {
+        agg_column = frag.column;
+        break;
+      }
+    }
+    if (agg_column.has_value()) break;
+  }
+
+  db::SimpleAggregateQuery query;
+  query.fn = *fn;
+  if (db::RequiresColumn(*fn)) {
+    if (!agg_column.has_value()) return outcome;  // no column mentioned
+    query.agg_column = *agg_column;
+  } else if (*fn == db::AggFn::kPercentage) {
+    if (!predicate.has_value()) return outcome;
+    query.agg_column = predicate->column;
+  } else {
+    query.agg_column = db::ColumnRef{db_->table(0).name(), ""};
+  }
+  if (predicate.has_value()) query.predicates.push_back(*predicate);
+
+  outcome.translated = true;
+  ++stats_.translations;
+
+  auto result = engine_.Evaluate(query);
+  if (!result.has_value()) return outcome;
+  outcome.single_value = true;
+  ++stats_.single_values;
+  outcome.result = result;
+  outcome.flagged_erroneous =
+      !rounding::RoundsTo(*result, claim.claimed_value());
+  return outcome;
+}
+
+}  // namespace baselines
+}  // namespace aggchecker

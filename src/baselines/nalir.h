@@ -1,0 +1,59 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "claims/claim.h"
+#include "db/eval_engine.h"
+#include "fragments/catalog.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace baselines {
+
+/// \brief Outcome of one ClaimBuster-KB + NaLIR verification attempt.
+struct NalirOutcome {
+  bool question_generated = false;  ///< question generation succeeded
+  bool translated = false;          ///< an SQL query was produced
+  bool single_value = false;        ///< the query returned a single number
+  std::optional<double> result;
+  bool flagged_erroneous = false;
+};
+
+/// \brief NL-query-interface baseline in the style of ClaimBuster-KB +
+/// NaLIR (§7.3).
+///
+/// Mirrors the structural constraints the paper reports as bottlenecks:
+/// question generation fails on long multi-claim sentences; translation
+/// requires explicit aggregation cue words and exact column/value token
+/// matches in the claim clause itself (no document context, no synonym
+/// expansion, no probabilistic ranking); a claim verifies only when the one
+/// translated query returns a single numerical value matching the text.
+class NalirBaseline {
+ public:
+  NalirBaseline(const db::Database* db,
+                const fragments::FragmentCatalog* catalog)
+      : db_(db), catalog_(catalog), engine_(db, db::EvalStrategy::kNaive) {}
+
+  NalirOutcome CheckClaim(const text::TextDocument& doc,
+                          const claims::Claim& claim);
+
+  /// Aggregate translation statistics over all CheckClaim calls.
+  struct Stats {
+    size_t attempts = 0;
+    size_t questions = 0;
+    size_t translations = 0;
+    size_t single_values = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const db::Database* db_;
+  const fragments::FragmentCatalog* catalog_;
+  db::EvalEngine engine_;
+  Stats stats_;
+};
+
+}  // namespace baselines
+}  // namespace aggchecker

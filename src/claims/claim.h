@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "text/number_parser.h"
+
+namespace aggchecker {
+namespace claims {
+
+/// \brief A detected claim: a numeric mention assumed to be the rounded
+/// result of a Simple Aggregate Query (Definition 1).
+struct Claim {
+  int sentence = -1;          ///< sentence index in the TextDocument
+  text::ParsedNumber number;  ///< value + token span + flags
+
+  double claimed_value() const { return number.value; }
+  bool is_percent() const { return number.is_percent; }
+
+  /// Display id such as "s3#1" (sentence 3, second claim in it).
+  std::string id;
+};
+
+/// \brief Options for claim detection (§3: "simple heuristics", with user
+/// feedback pruning spurious matches — the flags model that pruning).
+struct ClaimDetectorOptions {
+  bool skip_years = true;     ///< four-digit 1900..2099 literals
+  bool skip_ordinals = true;  ///< "3rd", "third"
+  /// Values this large are section numbers / ids more often than aggregates
+  /// in our corpus; 0 disables the cap.
+  double max_value = 0;
+};
+
+}  // namespace claims
+}  // namespace aggchecker

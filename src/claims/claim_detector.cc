@@ -1,0 +1,32 @@
+#include "claims/claim_detector.h"
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace claims {
+
+std::vector<Claim> ClaimDetector::Detect(const text::TextDocument& doc) const {
+  std::vector<Claim> claims;
+  for (size_t s = 0; s < doc.sentences().size(); ++s) {
+    const text::Sentence& sentence = doc.sentences()[s];
+    int in_sentence = 0;
+    for (text::ParsedNumber& number :
+         text::FindNumbers(sentence.text, sentence.tokens)) {
+      if (options_.skip_ordinals && number.is_ordinal) continue;
+      if (options_.skip_years && number.looks_like_year) continue;
+      if (options_.max_value > 0 && number.value > options_.max_value &&
+          !number.is_percent) {
+        continue;
+      }
+      Claim claim;
+      claim.sentence = static_cast<int>(s);
+      claim.number = std::move(number);
+      claim.id = strings::Format("s%zu#%d", s, in_sentence++);
+      claims.push_back(std::move(claim));
+    }
+  }
+  return claims;
+}
+
+}  // namespace claims
+}  // namespace aggchecker

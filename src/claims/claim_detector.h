@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "claims/claim.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace claims {
+
+/// \brief Finds potentially check-worthy numeric claims in a document.
+///
+/// Every numeric mention in body sentences becomes a claim, except those
+/// heuristically unlikely to be claimed query results: ordinals, year
+/// literals, and values inside headlines. In the paper this stage is
+/// deliberately high-recall, with users pruning spurious matches.
+class ClaimDetector {
+ public:
+  explicit ClaimDetector(ClaimDetectorOptions options = {})
+      : options_(options) {}
+
+  std::vector<Claim> Detect(const text::TextDocument& doc) const;
+
+ private:
+  ClaimDetectorOptions options_;
+};
+
+}  // namespace claims
+}  // namespace aggchecker

@@ -1,0 +1,105 @@
+#include "claims/keyword_extractor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/dependency_proxy.h"
+
+namespace aggchecker {
+namespace claims {
+
+namespace {
+
+/// Keeps the maximum weight per word.
+void AddKeyword(const std::string& word, double weight,
+                std::map<std::string, double>* keywords) {
+  if (word.empty() || weight <= 0) return;
+  if (ir::IsStopWord(word)) return;
+  auto [it, inserted] = keywords->emplace(word, weight);
+  if (!inserted && weight > it->second) it->second = weight;
+}
+
+/// Adds all non-stop-word tokens of a sentence/headline at a flat weight.
+void AddSentenceKeywords(const std::vector<ir::Token>& tokens, double weight,
+                         std::map<std::string, double>* keywords) {
+  for (const ir::Token& t : tokens) AddKeyword(t.text, weight, keywords);
+}
+
+}  // namespace
+
+std::vector<ir::InvertedIndex::TermWeight> KeywordExtractor::Extract(
+    const text::TextDocument& doc, const Claim& claim) const {
+  std::map<std::string, double> keywords;
+  const text::Sentence& sentence = doc.sentence(claim.sentence);
+
+  // --- Claim sentence: weight 1/TreeDistance(word, claim). ---
+  text::DependencyProxy proxy(sentence.text);
+  const auto& tokens = proxy.tokens();
+  // The claim anchor is the first token of the numeric mention.
+  const size_t anchor =
+      std::min(claim.number.token_begin,
+               tokens.empty() ? size_t{0} : tokens.size() - 1);
+  double min_weight = 1.0;
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    if (t >= claim.number.token_begin && t < claim.number.token_end) {
+      continue;  // the claimed value itself is not a keyword
+    }
+    double weight = 1.0 / static_cast<double>(std::max(
+                              1, proxy.TreeDistance(t, anchor)));
+    min_weight = std::min(min_weight, weight);
+    AddKeyword(tokens[t].text, weight, &keywords);
+  }
+
+  // --- Previous sentence and paragraph start: weight 0.4 * m. ---
+  if (options_.previous_sentence) {
+    int prev = doc.PreviousSentenceInParagraph(claim.sentence);
+    if (prev >= 0) {
+      AddSentenceKeywords(doc.sentence(prev).tokens, 0.4 * min_weight,
+                          &keywords);
+    }
+  }
+  if (options_.paragraph_start) {
+    int first = doc.ParagraphFirstSentence(claim.sentence);
+    if (first != claim.sentence) {
+      AddSentenceKeywords(doc.sentence(first).tokens, 0.4 * min_weight,
+                          &keywords);
+    }
+  }
+
+  // --- Enclosing headlines (and the document title): weight 0.7 * m. ---
+  if (options_.headlines) {
+    for (int sec : doc.EnclosingSections(claim.sentence)) {
+      AddSentenceKeywords(ir::TokenizeWithOffsets(doc.section(sec).headline),
+                          0.7 * min_weight, &keywords);
+    }
+    if (!doc.title().empty()) {
+      AddSentenceKeywords(ir::TokenizeWithOffsets(doc.title()),
+                          0.7 * min_weight, &keywords);
+    }
+  }
+
+  // --- Synonym expansion at a discount, without overriding originals. ---
+  std::vector<ir::InvertedIndex::TermWeight> out;
+  out.reserve(keywords.size());
+  if (options_.synonyms && synonyms_ != nullptr) {
+    std::map<std::string, double> expanded;
+    for (const auto& [word, weight] : keywords) {
+      for (const std::string& syn : synonyms_->Lookup(word)) {
+        if (keywords.count(syn) > 0) continue;
+        auto [it, inserted] = expanded.emplace(syn, 0.6 * weight);
+        if (!inserted && 0.6 * weight > it->second) it->second = 0.6 * weight;
+      }
+    }
+    for (const auto& [word, weight] : expanded) {
+      keywords.emplace(word, weight);
+    }
+  }
+
+  for (const auto& [word, weight] : keywords) {
+    out.push_back({word, weight});
+  }
+  return out;
+}
+
+}  // namespace claims
+}  // namespace aggchecker

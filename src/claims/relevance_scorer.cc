@@ -1,0 +1,30 @@
+#include "claims/relevance_scorer.h"
+
+namespace aggchecker {
+namespace claims {
+
+ClaimRelevance RelevanceScorer::Score(const text::TextDocument& doc,
+                                      const Claim& claim) const {
+  auto keywords = extractor_.Extract(doc, claim);
+  ClaimRelevance rel;
+  // All aggregation functions are few; retrieve them all so the model can
+  // always score the full function marginal.
+  rel.functions = catalog_->Retrieve(fragments::FragmentType::kAggFunction,
+                                     keywords, 16);
+  rel.columns = catalog_->Retrieve(fragments::FragmentType::kAggColumn,
+                                   keywords, hits_);
+  rel.predicates = catalog_->Retrieve(fragments::FragmentType::kPredicate,
+                                      keywords, hits_);
+  return rel;
+}
+
+std::vector<ClaimRelevance> RelevanceScorer::ScoreAll(
+    const text::TextDocument& doc, const std::vector<Claim>& claims) const {
+  std::vector<ClaimRelevance> out;
+  out.reserve(claims.size());
+  for (const Claim& claim : claims) out.push_back(Score(doc, claim));
+  return out;
+}
+
+}  // namespace claims
+}  // namespace aggchecker

@@ -1,0 +1,77 @@
+#include "core/aggchecker.h"
+
+#include "util/timer.h"
+
+namespace aggchecker {
+namespace core {
+
+std::vector<ClaimVerdict> AssembleVerdicts(
+    const std::vector<claims::Claim>& detected,
+    const model::TranslationResult& translation, size_t top_k) {
+  std::vector<ClaimVerdict> verdicts;
+  verdicts.reserve(detected.size());
+  for (size_t i = 0; i < detected.size(); ++i) {
+    ClaimVerdict verdict;
+    verdict.claim = detected[i];
+    const model::ClaimDistribution& dist = translation.distributions[i];
+    verdict.total_candidates = dist.total_candidates;
+    for (const auto& cand : dist.ranked) {
+      if (cand.matches) verdict.correctness_probability += cand.probability;
+    }
+    verdict.likely_erroneous = dist.ranked.empty() || !dist.ranked[0].matches;
+    size_t keep = std::min(top_k, dist.ranked.size());
+    verdict.top_queries.assign(dist.ranked.begin(),
+                               dist.ranked.begin() + keep);
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+Result<AggChecker> AggChecker::Create(const db::Database* db,
+                                      CheckOptions options) {
+  if (db == nullptr || db->num_tables() == 0) {
+    return Status::InvalidArgument("AggChecker needs a non-empty database");
+  }
+  AggChecker checker(db, std::move(options));
+  auto catalog = fragments::FragmentCatalog::Build(*db,
+                                                   checker.options_.catalog);
+  if (!catalog.ok()) return catalog.status();
+  checker.catalog_ = std::make_shared<fragments::FragmentCatalog>(
+      std::move(*catalog));
+  checker.engine_ =
+      std::make_shared<db::EvalEngine>(db, checker.options_.strategy);
+  return checker;
+}
+
+Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
+  Timer timer;
+  CheckReport report;
+
+  // Claim detection (§3) and keyword matching (Algorithm 1).
+  claims::ClaimDetector detector(options_.detector);
+  std::vector<claims::Claim> detected = detector.Detect(doc);
+
+  claims::KeywordExtractor extractor(options_.context);
+  claims::RelevanceScorer scorer(catalog_.get(), extractor,
+                                 options_.model.lucene_hits);
+  std::vector<claims::ClaimRelevance> relevance =
+      scorer.ScoreAll(doc, detected);
+
+  // EM translation with candidate evaluations (Algorithms 3 and 4).
+  model::Translator translator(db_, catalog_.get(), options_.model);
+  model::TranslationResult translation =
+      translator.Translate(detected, relevance, engine_.get());
+
+  report.verdicts =
+      AssembleVerdicts(detected, translation, options_.report_top_k);
+
+  report.eval_stats = engine_->stats();
+  report.em_iterations = translation.em_iterations;
+  report.total_candidates = translation.total_candidates;
+  report.queries_evaluated = translation.queries_evaluated;
+  report.total_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace core
+}  // namespace aggchecker

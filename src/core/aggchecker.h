@@ -1,0 +1,111 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "claims/claim_detector.h"
+#include "claims/keyword_extractor.h"
+#include "claims/relevance_scorer.h"
+#include "db/eval_engine.h"
+#include "fragments/catalog.h"
+#include "model/translator.h"
+#include "text/document.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace core {
+
+/// \brief All configuration of a checking run.
+struct CheckOptions {
+  claims::ClaimDetectorOptions detector;
+  claims::KeywordContextOptions context;
+  model::ModelOptions model;
+  db::EvalStrategy strategy = db::EvalStrategy::kMergedCached;
+  fragments::CatalogOptions catalog;
+  /// Candidates kept per claim in the report (the UI shows top-5/top-10).
+  size_t report_top_k = 10;
+};
+
+/// \brief The verdict for one claim: its ranked query candidates and the
+/// erroneous-claim markup decision.
+struct ClaimVerdict {
+  claims::Claim claim;
+  /// Top candidates (query + probability + evaluation result), best first.
+  std::vector<model::RankedCandidate> top_queries;
+  /// Size of the full candidate space this claim was translated against.
+  size_t total_candidates = 0;
+  /// Probability mass of candidates whose result matches the claim.
+  double correctness_probability = 0.0;
+  /// The claim is marked up when its most likely query does not evaluate
+  /// (after rounding) to the claimed value.
+  bool likely_erroneous = false;
+  /// The user dismissed this detection as not-a-claim (spurious match);
+  /// it carries no translation and is never marked up.
+  bool dismissed = false;
+
+  const model::RankedCandidate* best() const {
+    return top_queries.empty() ? nullptr : &top_queries[0];
+  }
+};
+
+/// \brief Summary of one checking run.
+struct CheckReport {
+  std::vector<ClaimVerdict> verdicts;
+  db::EvalStats eval_stats;   ///< backend counters (cube queries, cache)
+  double total_seconds = 0;   ///< end-to-end wall time
+  int em_iterations = 0;
+  size_t total_candidates = 0;
+  size_t queries_evaluated = 0;
+
+  size_t NumFlagged() const {
+    size_t n = 0;
+    for (const auto& v : verdicts) n += v.likely_erroneous ? 1 : 0;
+    return n;
+  }
+};
+
+/// Assembles per-claim verdicts from a translation result (shared by
+/// AggChecker::Check and InteractiveSession).
+std::vector<ClaimVerdict> AssembleVerdicts(
+    const std::vector<claims::Claim>& detected,
+    const model::TranslationResult& translation, size_t top_k);
+
+/// \brief The AggChecker: verifies text summaries of relational data sets.
+///
+/// Usage:
+/// \code
+///   auto checker = core::AggChecker::Create(&database, options);
+///   auto report = checker->Check(document);
+///   for (const auto& v : report->verdicts) { ... }
+/// \endcode
+///
+/// One AggChecker instance per database; the fragment catalog is built once
+/// at Create time and the evaluation cache persists across Check calls on
+/// the same instance (mirroring the per-data-set setup of §3).
+class AggChecker {
+ public:
+  static Result<AggChecker> Create(const db::Database* db,
+                                   CheckOptions options = {});
+
+  /// Runs the full pipeline on a document: claim detection, keyword
+  /// matching, EM translation, verdict assembly.
+  Result<CheckReport> Check(const text::TextDocument& doc);
+
+  const fragments::FragmentCatalog& catalog() const { return *catalog_; }
+  const CheckOptions& options() const { return options_; }
+  db::EvalEngine& engine() { return *engine_; }
+  const db::Database& database() const { return *db_; }
+
+ private:
+  AggChecker(const db::Database* db, CheckOptions options)
+      : db_(db), options_(std::move(options)) {}
+
+  const db::Database* db_;
+  CheckOptions options_;
+  std::shared_ptr<fragments::FragmentCatalog> catalog_;
+  std::shared_ptr<db::EvalEngine> engine_;
+};
+
+}  // namespace core
+}  // namespace aggchecker

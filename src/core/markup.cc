@@ -1,0 +1,106 @@
+#include "core/markup.h"
+
+#include <map>
+
+#include "core/query_describer.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace core {
+
+namespace {
+
+struct Wrap {
+  std::string ok_open, ok_close, bad_open, bad_close;
+};
+
+Wrap WrapFor(MarkupStyle style) {
+  switch (style) {
+    case MarkupStyle::kAnsi:
+      return {"\x1b[32m", "\x1b[0m", "\x1b[31m", "\x1b[0m"};
+    case MarkupStyle::kPlain:
+      return {"[OK ", "]", "[?? ", "]"};
+    case MarkupStyle::kHtml:
+      return {"<span class=\"verified\">", "</span>",
+              "<span class=\"flagged\">", "</span>"};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string RenderMarkup(const text::TextDocument& doc,
+                         const CheckReport& report, MarkupStyle style) {
+  Wrap wrap = WrapFor(style);
+
+  // Verdicts per sentence, ordered by token position.
+  std::map<int, std::vector<const ClaimVerdict*>> by_sentence;
+  for (const auto& v : report.verdicts) {
+    by_sentence[v.claim.sentence].push_back(&v);
+  }
+
+  std::string out;
+  if (!doc.title().empty()) {
+    out += "# " + doc.title() + "\n\n";
+  }
+  int last_section = -2;
+  for (size_t p = 0; p < doc.paragraphs().size(); ++p) {
+    const text::Paragraph& para = doc.paragraphs()[p];
+    if (para.section != last_section && para.section >= 0) {
+      out += "## " + doc.section(para.section).headline + "\n\n";
+    }
+    last_section = para.section;
+    for (int sentence_idx : para.sentence_indices) {
+      const text::Sentence& sentence = doc.sentence(sentence_idx);
+      auto it = by_sentence.find(sentence_idx);
+      if (it == by_sentence.end()) {
+        out += sentence.text;
+        out += ' ';
+        continue;
+      }
+      // Wrap each claim's raw character span, right to left so offsets stay
+      // valid.
+      std::string marked = sentence.text;
+      std::vector<const ClaimVerdict*> verdicts = it->second;
+      std::sort(verdicts.begin(), verdicts.end(),
+                [](const ClaimVerdict* a, const ClaimVerdict* b) {
+                  return a->claim.number.token_begin >
+                         b->claim.number.token_begin;
+                });
+      for (const ClaimVerdict* v : verdicts) {
+        if (v->dismissed) continue;  // pruned by the user, no markup
+        size_t tok = v->claim.number.token_begin;
+        if (tok >= sentence.tokens.size()) continue;
+        size_t begin = sentence.tokens[tok].offset;
+        size_t last_tok = v->claim.number.token_end - 1;
+        size_t end = sentence.tokens[last_tok].offset +
+                     sentence.tokens[last_tok].text.size();
+        const std::string& open =
+            v->likely_erroneous ? wrap.bad_open : wrap.ok_open;
+        const std::string& close =
+            v->likely_erroneous ? wrap.bad_close : wrap.ok_close;
+        marked.insert(end, close);
+        marked.insert(begin, open);
+      }
+      out += marked;
+      out += ' ';
+    }
+    out += "\n\n";
+  }
+
+  // Appendix: flagged claims with their best translation.
+  for (const auto& v : report.verdicts) {
+    if (!v.likely_erroneous || v.best() == nullptr) continue;
+    const auto& best = *v.best();
+    out += strings::Format(
+        "!! claim %s (\"%s\") - best query: %s = %s\n", v.claim.id.c_str(),
+        v.claim.number.raw.c_str(), DescribeQuery(best.query).c_str(),
+        best.result.has_value()
+            ? strings::Format("%g", *best.result).c_str()
+            : "undefined");
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace aggchecker

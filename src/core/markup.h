@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/aggchecker.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace core {
+
+/// Output styles for claim markup.
+enum class MarkupStyle {
+  kAnsi,   ///< terminal colors (green = verified, red = flagged)
+  kPlain,  ///< [OK]/[??] textual markers
+  kHtml,   ///< <span class="verified|flagged"> wrappers
+};
+
+/// \brief Renders the document with claims colored by their verdict —
+/// the "spell checker" view of Figure 3(a).
+///
+/// Each claim's numeric mention is wrapped according to `style`; flagged
+/// claims additionally show the best query's description and result.
+std::string RenderMarkup(const text::TextDocument& doc,
+                         const CheckReport& report,
+                         MarkupStyle style = MarkupStyle::kAnsi);
+
+}  // namespace core
+}  // namespace aggchecker

@@ -1,0 +1,70 @@
+#include "core/query_describer.h"
+
+namespace aggchecker {
+namespace core {
+
+namespace {
+std::string AggPhrase(const db::SimpleAggregateQuery& query) {
+  const std::string target =
+      query.is_star() ? "rows" : "'" + query.agg_column.column + "'";
+  switch (query.fn) {
+    case db::AggFn::kCount:
+      return query.is_star() ? "the number of rows"
+                             : "the number of entries in " + target;
+    case db::AggFn::kCountDistinct:
+      return "the number of distinct values of " + target;
+    case db::AggFn::kSum:
+      return "the sum of " + target;
+    case db::AggFn::kAvg:
+      return "the average of " + target;
+    case db::AggFn::kMin:
+      return "the minimum of " + target;
+    case db::AggFn::kMax:
+      return "the maximum of " + target;
+    case db::AggFn::kPercentage:
+      return "the percentage of " + (query.is_star()
+                                         ? std::string("rows")
+                                         : target + " entries");
+    case db::AggFn::kConditionalProbability:
+      return "the probability (in percent)";
+  }
+  return "the value";
+}
+}  // namespace
+
+std::string DescribeQuery(const db::SimpleAggregateQuery& query) {
+  std::string out = AggPhrase(query);
+  auto tables = query.ReferencedTables();
+  if (!tables.empty()) {
+    out += " in ";
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (i > 0) out += " joined with ";
+      out += tables[i];
+    }
+  }
+  if (query.fn == db::AggFn::kConditionalProbability &&
+      !query.predicates.empty()) {
+    out += " that ";
+    for (size_t i = 1; i < query.predicates.size(); ++i) {
+      if (i > 1) out += " and ";
+      out += query.predicates[i].column.column + " is '" +
+             query.predicates[i].value.ToString() + "'";
+    }
+    if (query.predicates.size() == 1) out += "any row is selected";
+    out += ", given that " + query.predicates[0].column.column + " is '" +
+           query.predicates[0].value.ToString() + "'";
+    return out;
+  }
+  if (!query.predicates.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < query.predicates.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += query.predicates[i].column.column + " is '" +
+             query.predicates[i].value.ToString() + "'";
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace aggchecker

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "db/query.h"
+
+namespace aggchecker {
+namespace core {
+
+/// \brief Renders a candidate query as a natural-language description, as
+/// shown in the AggChecker UI when hovering over a claim (Figure 3(b)).
+///
+/// Example: Count(*) over nflsuspensions with Games='indef' becomes
+/// "the number of rows in nflsuspensions where Games is 'indef'".
+std::string DescribeQuery(const db::SimpleAggregateQuery& query);
+
+}  // namespace core
+}  // namespace aggchecker

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "core/aggchecker.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace core {
+
+/// \brief Renders a complete standalone HTML page for a checking run: the
+/// marked-up article (green = verified, red = flagged, as in Figure 3(a))
+/// followed by a per-claim detail section with the top candidate queries,
+/// their natural-language descriptions, probabilities, and evaluation
+/// results (Figure 3(b)-(c)'s hover/selection content, in static form).
+///
+/// The page is self-contained (inline CSS, no scripts) so it can be opened
+/// directly or attached to a review.
+std::string WriteHtmlReport(const text::TextDocument& doc,
+                            const CheckReport& report,
+                            const std::string& title_note = "");
+
+}  // namespace core
+}  // namespace aggchecker

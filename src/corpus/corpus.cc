@@ -1,0 +1,154 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "claims/claim_detector.h"
+#include "corpus/embedded_articles.h"
+#include "db/aggregate.h"
+#include "ir/porter_stemmer.h"
+
+namespace aggchecker {
+namespace corpus {
+
+std::vector<CorpusCase> FullCorpus(uint64_t seed) {
+  std::vector<CorpusCase> corpus = EmbeddedArticles();
+  GeneratorOptions options;
+  options.seed = seed;
+  options.num_cases = 50;
+  for (auto& c : GenerateCorpus(options)) corpus.push_back(std::move(c));
+  return corpus;
+}
+
+std::vector<size_t> StudyArticleIndices(
+    const std::vector<CorpusCase>& corpus) {
+  // Two long articles (>15 claims) and four short ones (5-10 claims),
+  // mirroring §7.2's selection. Deterministic: first matching cases win.
+  std::vector<size_t> longs, shorts;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    size_t n = corpus[i].ground_truth.size();
+    if (n > 15 && longs.size() < 2) longs.push_back(i);
+    if (n >= 5 && n <= 10 && shorts.size() < 4) shorts.push_back(i);
+  }
+  std::vector<size_t> picks = longs;
+  picks.insert(picks.end(), shorts.begin(), shorts.end());
+  return picks;
+}
+
+CorpusStatistics ComputeStatistics(const std::vector<CorpusCase>& corpus,
+                                   size_t max_n) {
+  CorpusStatistics stats;
+  stats.num_cases = corpus.size();
+  size_t zero = 0, one = 0, two = 0;
+  stats.topn_function_coverage.assign(max_n, 0);
+  stats.topn_column_coverage.assign(max_n, 0);
+  stats.topn_predicate_coverage.assign(max_n, 0);
+
+  for (const CorpusCase& c : corpus) {
+    stats.claims_per_case.push_back(c.ground_truth.size());
+    stats.errors_per_case.push_back(c.NumErroneous());
+    stats.num_claims += c.ground_truth.size();
+    stats.num_erroneous += c.NumErroneous();
+    if (c.NumErroneous() > 0) ++stats.cases_with_errors;
+
+    // Predicate-count mix and per-document characteristic frequencies.
+    std::map<std::string, size_t> fn_freq, col_freq, predset_freq;
+    for (const auto& g : c.ground_truth) {
+      switch (g.query.predicates.size()) {
+        case 0:
+          ++zero;
+          break;
+        case 1:
+          ++one;
+          break;
+        default:
+          ++two;
+          break;
+      }
+      ++fn_freq[db::AggFnName(g.query.fn)];
+      ++col_freq[g.query.agg_column.ToString()];
+      std::set<std::string> cols;
+      for (const auto& p : g.query.predicates) {
+        cols.insert(p.column.ToString());
+      }
+      std::string key;
+      for (const auto& col : cols) key += col + ";";
+      ++predset_freq[key];
+    }
+
+    // Coverage when keeping the N most frequent instances per document.
+    auto coverage = [&](const std::map<std::string, size_t>& freq,
+                        std::vector<double>* out) {
+      std::vector<size_t> counts;
+      for (const auto& [key, count] : freq) counts.push_back(count);
+      std::sort(counts.rbegin(), counts.rend());
+      size_t total = 0;
+      for (size_t count : counts) total += count;
+      if (total == 0) return;
+      size_t covered = 0;
+      for (size_t n = 0; n < max_n; ++n) {
+        if (n < counts.size()) covered += counts[n];
+        (*out)[n] += 100.0 * static_cast<double>(covered) / total;
+      }
+    };
+    coverage(fn_freq, &stats.topn_function_coverage);
+    coverage(col_freq, &stats.topn_column_coverage);
+    coverage(predset_freq, &stats.topn_predicate_coverage);
+  }
+
+  // §7.3 statistics over the detected claims' sentences.
+  size_t multi_claim = 0, implicit_fn = 0, detected_total = 0;
+  // Strict cue list: words that *explicitly* name an aggregation function
+  // (the retrieval keywords include softer hints like "there were", which
+  // do not count as explicit for this statistic).
+  std::set<std::string> fn_cues;
+  for (const char* cue :
+       {"count", "counted", "number", "total", "totaled", "sum",
+        "combined", "average", "mean", "percent", "percentage", "share",
+        "fraction", "proportion", "highest", "maximum", "lowest",
+        "minimum", "distinct", "different", "probability", "chance"}) {
+    fn_cues.insert(ir::PorterStem(cue));
+  }
+  claims::ClaimDetector detector;
+  for (const CorpusCase& c : corpus) {
+    auto detected = detector.Detect(c.document);
+    std::map<int, size_t> per_sentence;
+    for (const auto& claim : detected) ++per_sentence[claim.sentence];
+    for (const auto& claim : detected) {
+      ++detected_total;
+      if (per_sentence[claim.sentence] > 1) ++multi_claim;
+      bool has_cue = false;
+      for (const ir::Token& token :
+           c.document.sentence(claim.sentence).tokens) {
+        if (fn_cues.count(ir::PorterStem(token.text)) > 0) {
+          has_cue = true;
+          break;
+        }
+      }
+      if (!has_cue) ++implicit_fn;
+    }
+  }
+  if (detected_total > 0) {
+    stats.multi_claim_sentence_share = 100.0 * multi_claim / detected_total;
+    stats.implicit_function_share = 100.0 * implicit_fn / detected_total;
+  }
+
+  size_t total_preds = zero + one + two;
+  if (total_preds > 0) {
+    stats.zero_pred_share = 100.0 * zero / total_preds;
+    stats.one_pred_share = 100.0 * one / total_preds;
+    stats.two_pred_share = 100.0 * two / total_preds;
+  }
+  if (!corpus.empty()) {
+    for (size_t n = 0; n < max_n; ++n) {
+      stats.topn_function_coverage[n] /= corpus.size();
+      stats.topn_column_coverage[n] /= corpus.size();
+      stats.topn_predicate_coverage[n] /= corpus.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "corpus/corpus_case.h"
+#include "corpus/generator.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief The full 53-case corpus: 3 embedded articles plus 50 generated
+/// cases (deterministic in the seed). Mirrors §B's test-case collection.
+std::vector<CorpusCase> FullCorpus(uint64_t seed = 42);
+
+/// Indices (into FullCorpus) of the six user-study articles (§7.2): two
+/// long articles with more than 15 claims and four shorter ones.
+std::vector<size_t> StudyArticleIndices(const std::vector<CorpusCase>& corpus);
+
+/// \brief Aggregate corpus statistics backing Figure 9 and §B.
+struct CorpusStatistics {
+  size_t num_cases = 0;
+  size_t num_claims = 0;
+  size_t num_erroneous = 0;
+  size_t cases_with_errors = 0;
+  /// Claims per case, in corpus order (Figure 9(a)).
+  std::vector<size_t> claims_per_case;
+  std::vector<size_t> errors_per_case;
+  /// Fraction of claim queries with 0/1/2 predicates (Figure 9(c)).
+  double zero_pred_share = 0, one_pred_share = 0, two_pred_share = 0;
+  /// Average per-document coverage when keeping only the N most frequent
+  /// instances of each query characteristic (Figure 9(b)), N = 1..max_n.
+  std::vector<double> topn_function_coverage;
+  std::vector<double> topn_column_coverage;
+  std::vector<double> topn_predicate_coverage;
+
+  /// §7.3's prose-difficulty statistics: share of claims that share a
+  /// sentence with another claim (paper: 29%) and share of claim sentences
+  /// with no explicit aggregation-function cue word (paper: 30%).
+  double multi_claim_sentence_share = 0;
+  double implicit_function_share = 0;
+};
+
+CorpusStatistics ComputeStatistics(const std::vector<CorpusCase>& corpus,
+                                   size_t max_n = 20);
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief Hand-constructed ground truth for one claim (§B: "we constructed
+/// corresponding SQL queries by hand").
+struct GroundTruthClaim {
+  /// The value as written in the text (possibly wrong).
+  double claimed_value = 0;
+  /// The matching (ground-truth) query.
+  db::SimpleAggregateQuery query;
+  /// The query's actual result on the data set.
+  double true_value = 0;
+  /// True when the claimed value does not round from the true value — an
+  /// erroneous claim the checker should flag.
+  bool is_erroneous = false;
+};
+
+/// \brief One test case: an article, its data set, and per-claim ground
+/// truth, ordered exactly as the ClaimDetector reports claims.
+struct CorpusCase {
+  std::string name;
+  std::string source;  ///< "538", "NYT", "StackOverflow", "Wikipedia", "Vox"
+  db::Database database;
+  text::TextDocument document;
+  std::vector<GroundTruthClaim> ground_truth;
+
+  size_t NumErroneous() const {
+    size_t n = 0;
+    for (const auto& g : ground_truth) n += g.is_erroneous ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "corpus/corpus_case.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief Three hand-written test cases closely following the paper's
+/// running examples and Table 9:
+///
+///  1. "nfl-suspensions"  — the 538 NFL-suspension article (Example 1),
+///     with two injected erroneous claims;
+///  2. "airplane-etiquette" — the 538 recline-survey article of the user
+///     study, one erroneous claim;
+///  3. "developer-survey" — the Stack Overflow 2016 summary, reproducing
+///     Table 9's self-taught rounding error (true 13.6%, claimed 13%).
+///
+/// Data sets are built in code so every claimed statistic is exact.
+std::vector<CorpusCase> EmbeddedArticles();
+
+/// The individual cases (also used directly by examples).
+CorpusCase MakeNflCase();
+CorpusCase MakeEtiquetteCase();
+CorpusCase MakeDeveloperSurveyCase();
+
+/// \brief A multi-table case (not part of the 53-case corpus): campaign
+/// donations referencing a candidates table through a PK-FK edge, in the
+/// style of the NYT 'Waxman primary' article [6]. Claims require equi-joins
+/// along the foreign key (e.g. "donations to democratic candidates"), so
+/// the full pipeline — fragment catalog, candidate generation, cube
+/// execution — runs across two tables.
+CorpusCase MakeDonationsJoinCase();
+
+}  // namespace corpus
+}  // namespace aggchecker

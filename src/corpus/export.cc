@@ -1,0 +1,186 @@
+#include "corpus/export.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace corpus {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path.string());
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path.string());
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+}  // namespace
+
+std::string DocumentToHtml(const text::TextDocument& doc) {
+  std::string out;
+  if (!doc.title().empty()) {
+    out += "<h1>" + doc.title() + "</h1>\n";
+  }
+  int last_section = -2;
+  for (const text::Paragraph& para : doc.paragraphs()) {
+    if (para.section != last_section && para.section >= 0) {
+      // Emit the chain of headlines leading to this paragraph's section
+      // that have not been emitted yet (nested sections).
+      const text::Section& section = doc.section(para.section);
+      if (section.parent >= 0 && section.parent != last_section) {
+        out += "<h2>" + doc.section(section.parent).headline + "</h2>\n";
+      }
+      out += (section.level >= 2 ? "<h3>" : "<h2>") + section.headline +
+             (section.level >= 2 ? "</h3>\n" : "</h2>\n");
+    }
+    last_section = para.section;
+    out += "<p>";
+    for (size_t i = 0; i < para.sentence_indices.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += doc.sentence(para.sentence_indices[i]).text;
+    }
+    out += "</p>\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders a cell so the column re-infers to the same type at full
+/// precision: doubles use %.17g and always carry a decimal point (so an
+/// integral double column does not collapse to LONG on re-import).
+std::string RenderCell(const db::Value& v) {
+  if (v.is_null()) return "";
+  if (v.type() != db::ValueType::kDouble) return v.ToString();
+  std::string s = strings::Format("%.17g", v.AsDoubleExact());
+  if (s.find('.') == std::string::npos &&
+      s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos &&
+      s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string TableToCsv(const db::Table& table) {
+  csv::CsvData data;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    data.header.push_back(table.column(c).name());
+  }
+  data.rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row.push_back(RenderCell(table.column(c).at(r)));
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return csv::Write(data);
+}
+
+Status ExportCase(const CorpusCase& test_case, const std::string& dir) {
+  fs::path case_dir = fs::path(dir) / test_case.name;
+  std::error_code ec;
+  fs::create_directories(case_dir, ec);
+  if (ec) return Status::Internal("mkdir failed: " + case_dir.string());
+
+  Status s = WriteFile(case_dir / "article.html",
+                       DocumentToHtml(test_case.document));
+  if (!s.ok()) return s;
+
+  for (size_t t = 0; t < test_case.database.num_tables(); ++t) {
+    const db::Table& table = test_case.database.table(t);
+    s = WriteFile(case_dir / (table.name() + ".csv"), TableToCsv(table));
+    if (!s.ok()) return s;
+  }
+
+  csv::CsvData truth;
+  truth.header = {"claimed_value", "true_value", "is_erroneous",
+                  "canonical_query"};
+  for (const GroundTruthClaim& g : test_case.ground_truth) {
+    truth.rows.push_back({strings::Format("%.17g", g.claimed_value),
+                          strings::Format("%.17g", g.true_value),
+                          g.is_erroneous ? "1" : "0",
+                          g.query.CanonicalKey()});
+  }
+  return WriteFile(case_dir / "ground_truth.csv", csv::Write(truth));
+}
+
+Status ExportCorpus(const std::vector<CorpusCase>& corpus,
+                    const std::string& dir) {
+  for (const CorpusCase& c : corpus) {
+    Status s = ExportCase(c, dir);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<CorpusCase> ImportCase(const std::string& case_dir) {
+  fs::path dir(case_dir);
+  CorpusCase c;
+  c.name = dir.filename().string();
+  c.source = "imported";
+
+  auto article = ReadFile(dir / "article.html");
+  if (!article.ok()) return article.status();
+  auto doc = text::ParseDocument(*article);
+  if (!doc.ok()) return doc.status();
+  c.document = std::move(*doc);
+
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".csv") continue;
+    std::string stem = entry.path().stem().string();
+    if (stem == "ground_truth") continue;
+    auto content = ReadFile(entry.path());
+    if (!content.ok()) return content.status();
+    auto data = csv::Parse(*content);
+    if (!data.ok()) return data.status();
+    auto table = db::Table::FromCsv(stem, *data);
+    if (!table.ok()) return table.status();
+    Status s = c.database.AddTable(std::move(*table));
+    if (!s.ok()) return s;
+  }
+  if (ec) return Status::Internal("cannot list " + case_dir);
+  if (c.database.num_tables() == 0) {
+    return Status::NotFound("no data tables in " + case_dir);
+  }
+
+  auto truth_text = ReadFile(dir / "ground_truth.csv");
+  if (!truth_text.ok()) return truth_text.status();
+  auto truth = csv::Parse(*truth_text);
+  if (!truth.ok()) return truth.status();
+  for (const auto& row : truth->rows) {
+    if (row.size() < 4) return Status::ParseError("bad ground-truth row");
+    GroundTruthClaim g;
+    g.claimed_value = std::strtod(row[0].c_str(), nullptr);
+    g.true_value = std::strtod(row[1].c_str(), nullptr);
+    g.is_erroneous = row[2] == "1";
+    auto query = db::SimpleAggregateQuery::FromCanonicalKey(row[3]);
+    if (!query.ok()) return query.status();
+    g.query = std::move(*query);
+    c.ground_truth.push_back(std::move(g));
+  }
+  return c;
+}
+
+}  // namespace corpus
+}  // namespace aggchecker

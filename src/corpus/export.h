@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_case.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief On-disk publication of test cases (the paper: "All test cases
+/// will be made available online").
+///
+/// Each case becomes a directory:
+///   <dir>/<case-name>/article.html       — HTML-lite document
+///   <dir>/<case-name>/<table>.csv        — one CSV per table
+///   <dir>/<case-name>/ground_truth.csv   — claimed/true values + queries
+///                                          (canonical-key serialization)
+Status ExportCase(const CorpusCase& test_case, const std::string& dir);
+
+/// Exports every case; returns the first error.
+Status ExportCorpus(const std::vector<CorpusCase>& corpus,
+                    const std::string& dir);
+
+/// Serializes a document back to the HTML-lite format ParseDocument reads.
+std::string DocumentToHtml(const text::TextDocument& doc);
+
+/// Serializes a table to CSV text (inverse of Table::FromCsv).
+std::string TableToCsv(const db::Table& table);
+
+/// \brief Loads an exported case directory back into a CorpusCase.
+///
+/// The loaded case checks identically to the original: documents, tables,
+/// and ground truth all round-trip (foreign keys are not exported; the
+/// corpus cases are single- or star-schema and the paper's published data
+/// sets were flat CSV files too).
+Result<CorpusCase> ImportCase(const std::string& case_dir);
+
+}  // namespace corpus
+}  // namespace aggchecker

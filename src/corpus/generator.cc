@@ -1,0 +1,651 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "db/executor.h"
+#include "text/number_parser.h"
+#include "util/rng.h"
+#include "util/rounding.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace corpus {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Domain vocabulary
+// ---------------------------------------------------------------------------
+
+struct CategorySpec {
+  const char* column;
+  const char* mention;         ///< singular display word used in prose
+  const char* mention_plural;  ///< for CountDistinct phrasing
+  std::vector<const char*> values;
+};
+
+struct NumericSpec {
+  const char* column;
+  const char* mention;
+  double lo, hi;
+};
+
+struct DomainSpec {
+  const char* table;
+  const char* noun;  ///< "suspensions", "donations", ...
+  const char* title;
+  std::vector<CategorySpec> categories;
+  std::vector<NumericSpec> numerics;
+};
+
+const std::vector<DomainSpec>& Domains() {
+  static const std::vector<DomainSpec>* kDomains = new std::vector<
+      DomainSpec>{
+      {"suspensions",
+       "suspensions",
+       "A League's Uneven History Of Punishing Its Players",
+       {{"Conference", "conference", "conferences",
+         {"eastern", "western", "northern", "southern"}},
+        {"Infraction", "infraction", "infractions",
+         {"doping", "fighting", "betting", "tampering", "taunting"}},
+        {"Severity", "severity", "severity levels",
+         {"minor", "major", "severe"}}},
+       {{"FineAmount", "fine", 1000, 90000},
+        {"GamesMissed", "games missed", 1, 30}}},
+      {"donations",
+       "donations",
+       "Race In The Primary Involves Donating Dollars",
+       {{"Party", "party", "parties",
+         {"democratic", "republican", "independent", "green"}},
+        {"DonorState", "state", "states",
+         {"ohio", "texas", "vermont", "oregon", "nevada", "utah"}},
+        {"Sector", "sector", "sectors",
+         {"finance", "energy", "healthcare", "technology", "education"}}},
+       {{"Amount", "amount", 50, 9500},
+        {"DonorAge", "donor age", 21, 90}}},
+      {"devsurvey",
+       "responses",
+       "Developer Survey Insights On Tools And Pay",
+       {{"Language", "language", "languages",
+         {"python", "javascript", "rust", "java", "ruby"}},
+        {"Role", "role", "roles",
+         {"frontend", "backend", "fullstack", "devops", "mobile"}},
+        {"RemoteStatus", "work mode", "work modes",
+         {"remote", "office", "hybrid"}}},
+       {{"Salary", "salary", 30000, 140000},
+        {"Experience", "experience", 1, 35}}},
+      {"transactions",
+       "transactions",
+       "What A Season Of Retail Sales Looks Like",
+       {{"Region", "region", "regions",
+         {"north", "south", "east", "west"}},
+        {"ProductLine", "product line", "product lines",
+         {"furniture", "appliances", "clothing", "groceries",
+          "electronics"}},
+        {"Channel", "channel", "channels", {"online", "retail"}}},
+       {{"Revenue", "revenue", 20, 4500},
+        {"Units", "units", 1, 60}}},
+      {"tracks",
+       "tracks",
+       "How A Music Catalog Breaks Down By Genre",
+       {{"Genre", "genre", "genres",
+         {"rock", "jazz", "hiphop", "country", "electronic", "classical"}},
+        {"Label", "label", "labels",
+         {"indigo", "horizon", "crescent", "summit"}},
+        {"Mood", "mood", "moods", {"upbeat", "mellow", "angry", "sombre"}}},
+       {{"Plays", "play count", 100, 900000},
+        {"DurationSeconds", "duration", 90, 600}}},
+  };
+  return *kDomains;
+}
+
+const char* kSources[] = {"538", "NYT", "Vox", "StackOverflow", "Wikipedia"};
+
+// ---------------------------------------------------------------------------
+// Number rendering
+// ---------------------------------------------------------------------------
+
+const char* kSmallWords[] = {"zero", "one", "two",   "three", "four",
+                             "five", "six", "seven", "eight", "nine",
+                             "ten",  "eleven", "twelve"};
+
+struct Rendered {
+  std::string text;      ///< surface form used in the sentence
+  double claimed_value;  ///< the value the surface form parses to
+};
+
+/// Renders a value the way a journalist would (rounded, occasionally
+/// spelled out) and reports the exact value the rendering parses back to.
+Rendered RenderValue(double v, Rng* rng) {
+  Rendered r;
+  if (v >= 1e6) {
+    double millions = rounding::RoundToSignificant(v / 1e6, 3);
+    r.text = strings::Format("%g million", millions);
+    r.claimed_value = millions * 1e6;
+    return r;
+  }
+  if (v >= 10000) {
+    double rounded = rounding::RoundToSignificant(v, 3);
+    r.text = strings::Format("%.0f", rounded);
+    r.claimed_value = rounded;
+    return r;
+  }
+  bool integral = std::fabs(v - std::round(v)) < 1e-9;
+  if (integral) {
+    auto iv = static_cast<long long>(std::llround(v));
+    if (iv >= 1 && iv <= 12 && rng->NextBool(0.35)) {
+      r.text = kSmallWords[iv];
+    } else {
+      r.text = std::to_string(iv);
+    }
+    r.claimed_value = static_cast<double>(iv);
+    return r;
+  }
+  double rounded = rounding::RoundToSignificant(v, 3);
+  r.text = strings::Format("%g", rounded);
+  r.claimed_value = std::strtod(r.text.c_str(), nullptr);
+  return r;
+}
+
+/// True if rendering `v` yields a year-like four-digit literal the claim
+/// detector would skip.
+bool RendersAsYear(double v) {
+  return v >= 1900 && v <= 2099 &&
+         std::fabs(v - std::round(v)) < 1e-9;
+}
+
+/// Produces a corrupted value that does not round from `truth`.
+double Corrupt(double truth, Rng* rng) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    double wrong;
+    if (std::fabs(truth - std::round(truth)) < 1e-9 && truth < 1000) {
+      int64_t delta = rng->NextInt(1, std::max<int64_t>(
+                                          2, static_cast<int64_t>(truth / 3)));
+      wrong = truth + (rng->NextBool(0.5) ? delta : -delta);
+      if (wrong < 1) wrong = truth + delta;
+    } else {
+      double factor = rng->NextBool(0.5) ? rng->NextDouble() * 0.22 + 0.7
+                                         : rng->NextDouble() * 0.3 + 1.12;
+      wrong = truth * factor;
+    }
+    if (!rounding::RoundsTo(truth, wrong) && !RendersAsYear(wrong)) {
+      return wrong;
+    }
+  }
+  return truth * 2 + 7;
+}
+
+// ---------------------------------------------------------------------------
+// Sentence templates
+// ---------------------------------------------------------------------------
+
+struct ClaimSpec {
+  db::SimpleAggregateQuery query;
+  double true_value = 0;
+  bool erroneous = false;
+  Rendered rendered;
+  std::string sentence;  ///< full sentence (without trailing period)
+  /// The sentence does not name the predicate value; the decisive keywords
+  /// live in the preceding sentence and the headline (Example 3's
+  /// "lifetime bans" pattern — what makes keyword context matter).
+  bool context_dependent = false;
+  /// For context-dependent claims: the value appears ONLY in the headline
+  /// (no intro sentence), so headline context alone recovers it.
+  bool headline_only = false;
+};
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+  return s;
+}
+
+/// Mention phrase of a column in this domain ("infraction", "fine", ...).
+std::string MentionOf(const DomainSpec& domain, const std::string& column) {
+  for (const auto& cat : domain.categories) {
+    if (column == cat.column) return cat.mention;
+  }
+  for (const auto& num : domain.numerics) {
+    if (column == num.column) return num.mention;
+  }
+  return strings::ToLower(column);
+}
+
+std::string PluralMentionOf(const DomainSpec& domain,
+                            const std::string& column) {
+  for (const auto& cat : domain.categories) {
+    if (column == cat.column) return cat.mention_plural;
+  }
+  return MentionOf(domain, column) + "s";
+}
+
+/// Builds the claim sentence. The predicate VALUES always appear verbatim
+/// (they are the decisive keywords); column mentions and aggregation cue
+/// words appear with high probability but are sometimes omitted, mirroring
+/// real prose (§7.3: 30% of claims omit the aggregation function).
+std::string RenderSentence(const ClaimSpec& spec, const DomainSpec& domain,
+                           Rng* rng) {
+  const auto& q = spec.query;
+  const std::string v = spec.rendered.text;
+  const std::string noun = domain.noun;
+  auto pred_phrase = [&](size_t i, bool with_column) {
+    const auto& p = q.predicates[i];
+    std::string val = p.value.ToString();
+    if (with_column) {
+      return "a " + MentionOf(domain, p.column.column) + " of " + val;
+    }
+    return val + " " + noun;
+  };
+
+  if (spec.context_dependent) {
+    // The restriction is implied by the surrounding context, never named
+    // here (like "three were for repeated substance abuse" relying on
+    // "lifetime bans" one sentence earlier).
+    if (q.fn == db::AggFn::kPercentage) {
+      switch (rng->NextBounded(2)) {
+        case 0:
+          return "They accounted for " + v + " percent of the " + noun;
+        default:
+          return "That group made up " + v + " percent of all " + noun;
+      }
+    }
+    switch (rng->NextBounded(3)) {
+      case 0:
+        return "We counted " + v + " such " + noun;
+      case 1:
+        return "Exactly " + v + " of them were recorded";
+      default:
+        return "Our tally shows " + v + " of these " + noun;
+    }
+  }
+
+  switch (q.fn) {
+    case db::AggFn::kCount: {
+      if (q.predicates.empty()) {
+        switch (rng->NextBounded(3)) {
+          case 0:
+            return "In total, the data set covers " + v + " " + noun;
+          case 1:
+            return "Overall we recorded " + v + " " + noun;
+          default:
+            return "The full data set lists " + v + " " + noun;
+        }
+      }
+      if (q.predicates.size() == 1) {
+        switch (rng->NextBounded(4)) {
+          case 0:
+            return "Exactly " + v + " " + noun + " had " + pred_phrase(0,
+                                                                       true);
+          case 1:
+            return "There were " + v + " " + q.predicates[0].value.ToString()
+                   + " " + noun + " in the data";
+          case 2:
+            return "We counted " + v + " " + noun + " where the " +
+                   MentionOf(domain, q.predicates[0].column.column) +
+                   " was " + q.predicates[0].value.ToString();
+          default:
+            return Capitalize(q.predicates[0].value.ToString()) + " " + noun
+                   + " numbered " + v;
+        }
+      }
+      return "Exactly " + v + " " + noun + " combined " +
+             pred_phrase(0, true) + " with " + pred_phrase(1, true);
+    }
+    case db::AggFn::kCountDistinct:
+      return "The " + noun + " covered " + v + " different " +
+             PluralMentionOf(domain, q.agg_column.column);
+    case db::AggFn::kSum: {
+      std::string col = MentionOf(domain, q.agg_column.column);
+      if (q.predicates.empty()) {
+        return "The combined " + col + " across all " + noun + " reached " +
+               v;
+      }
+      return "For " + pred_phrase(0, false) + ", the total " + col +
+             " reached " + v;
+    }
+    case db::AggFn::kAvg: {
+      std::string col = MentionOf(domain, q.agg_column.column);
+      if (q.predicates.empty()) {
+        return "The average " + col + " across all " + noun + " was " + v;
+      }
+      return "Among " + pred_phrase(0, false) + ", the average " + col +
+             " was " + v;
+    }
+    case db::AggFn::kMin:
+      return "The lowest " + MentionOf(domain, q.agg_column.column) +
+             " recorded was " + v;
+    case db::AggFn::kMax:
+      return "The highest " + MentionOf(domain, q.agg_column.column) +
+             " recorded was " + v;
+    case db::AggFn::kPercentage: {
+      const auto& p = q.predicates[0];
+      if (q.predicates.size() >= 2) {
+        // Conditional share: predicates[0] is the event (on the percentage
+        // column), predicates[1] the condition.
+        const auto& cond = q.predicates[1];
+        return "Among " + noun + " with a " +
+               MentionOf(domain, cond.column.column) + " of " +
+               cond.value.ToString() + ", " + v + " percent had a " +
+               MentionOf(domain, p.column.column) + " of " +
+               p.value.ToString();
+      }
+      switch (rng->NextBounded(2)) {
+        case 0:
+          return v + " percent of the " + noun + " had a " +
+                 MentionOf(domain, p.column.column) + " of " +
+                 p.value.ToString();
+        default:
+          return "Some " + v + " percent of " + noun + " were " +
+                 p.value.ToString();
+      }
+    }
+    case db::AggFn::kConditionalProbability: {
+      return "Among " + noun + " with a " +
+             MentionOf(domain, q.predicates[0].column.column) + " of " +
+             q.predicates[0].value.ToString() + ", " + v +
+             " percent had a " +
+             MentionOf(domain, q.predicates[1].column.column) + " of " +
+             q.predicates[1].value.ToString();
+    }
+  }
+  return "The value was " + v;
+}
+
+}  // namespace
+
+CorpusCase GenerateCase(size_t case_index, const GeneratorOptions& options) {
+  Rng rng(options.seed * 7919 + case_index * 104729 + 17);
+  const DomainSpec& domain = Domains()[case_index % Domains().size()];
+
+  CorpusCase c;
+  c.name = strings::Format("%s-%02zu", domain.table, case_index);
+  c.source = kSources[case_index % (sizeof(kSources) / sizeof(kSources[0]))];
+
+  // --- Data set. ---
+  db::Table t(domain.table);
+  (void)t.AddColumn("RowId", db::ValueType::kLong);
+  for (const auto& cat : domain.categories) {
+    (void)t.AddColumn(cat.column, db::ValueType::kString);
+  }
+  for (const auto& num : domain.numerics) {
+    (void)t.AddColumn(num.column, db::ValueType::kLong);
+  }
+  const int rows = static_cast<int>(rng.NextInt(60, 600)) *
+                   static_cast<int>(std::max<size_t>(options.row_scale, 1));
+  // Skewed category weights so counts differ across values.
+  std::vector<std::vector<double>> cat_weights;
+  for (const auto& cat : domain.categories) {
+    std::vector<double> w;
+    for (size_t i = 0; i < cat.values.size(); ++i) {
+      w.push_back(1.0 / (1.0 + static_cast<double>(i) * rng.NextDouble()));
+    }
+    cat_weights.push_back(std::move(w));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<db::Value> row;
+    row.push_back(db::Value(static_cast<int64_t>(r + 1)));
+    for (size_t ci = 0; ci < domain.categories.size(); ++ci) {
+      size_t pick = rng.NextWeighted(cat_weights[ci]);
+      row.push_back(db::Value(std::string(
+          domain.categories[ci].values[pick])));
+    }
+    for (const auto& num : domain.numerics) {
+      row.push_back(db::Value(rng.NextInt(
+          static_cast<int64_t>(num.lo), static_cast<int64_t>(num.hi))));
+    }
+    (void)t.AddRow(std::move(row));
+  }
+  (void)c.database.AddTable(std::move(t));
+  const db::Table& table = *c.database.FindTable(domain.table);
+  db::QueryExecutor exec(&c.database);
+
+  // --- Theme: the document's focus column and function mix (Fig. 9(b)). ---
+  const size_t focus_cat = rng.NextBounded(domain.categories.size());
+  const size_t focus_num = rng.NextBounded(domain.numerics.size());
+
+  // --- Claim specs. ---
+  const bool error_case = rng.NextBool(options.error_case_rate);
+  size_t num_claims = case_index < 2
+                          ? static_cast<size_t>(rng.NextInt(16, 26))
+                          : static_cast<size_t>(rng.NextInt(4, 10));
+  std::vector<ClaimSpec> specs;
+  std::set<std::string> used_queries;
+
+  auto pick_category = [&](bool exclude_focus) -> size_t {
+    if (!exclude_focus && rng.NextBool(options.focus_probability)) {
+      return focus_cat;
+    }
+    size_t pick = rng.NextBounded(domain.categories.size());
+    if (exclude_focus && pick == focus_cat) {
+      pick = (pick + 1) % domain.categories.size();
+    }
+    return pick;
+  };
+
+  for (size_t k = 0; k < num_claims; ++k) {
+    bool built = false;
+    for (int attempt = 0; attempt < 40 && !built; ++attempt) {
+      db::SimpleAggregateQuery q;
+      // Predicate count per Fig. 9(c).
+      double roll = rng.NextDouble();
+      int npreds = roll < options.zero_pred_rate
+                       ? 0
+                       : roll < options.zero_pred_rate + options.one_pred_rate
+                             ? 1
+                             : 2;
+      // Aggregation function: theme-weighted.
+      double fn_roll = rng.NextDouble();
+      if (npreds == 2 && fn_roll < 0.12) {
+        q.fn = db::AggFn::kConditionalProbability;
+      } else if (fn_roll < 0.52) {
+        q.fn = db::AggFn::kCount;
+      } else if (fn_roll < 0.68 && npreds >= 1) {
+        q.fn = db::AggFn::kPercentage;
+      } else if (fn_roll < 0.80) {
+        q.fn = db::AggFn::kAvg;
+      } else if (fn_roll < 0.86) {
+        q.fn = db::AggFn::kSum;
+      } else if (fn_roll < 0.92) {
+        q.fn = db::AggFn::kCountDistinct;
+        npreds = 0;  // phrased without restrictions in our templates
+      } else {
+        q.fn = rng.NextBool(0.5) ? db::AggFn::kMax : db::AggFn::kMin;
+        npreds = 0;
+      }
+      if (q.fn == db::AggFn::kCount ||
+          q.fn == db::AggFn::kConditionalProbability) {
+        q.agg_column = {domain.table, ""};
+      } else if (q.fn == db::AggFn::kCountDistinct) {
+        size_t cat = pick_category(false);
+        q.agg_column = {domain.table, domain.categories[cat].column};
+      } else if (q.fn == db::AggFn::kPercentage) {
+        // Percentage over the first predicate's column (the paper's
+        // self-taught pattern).
+      } else {
+        size_t num = rng.NextBool(0.7) ? focus_num
+                                       : rng.NextBounded(
+                                             domain.numerics.size());
+        q.agg_column = {domain.table, domain.numerics[num].column};
+      }
+
+      // Predicates on distinct category columns with realized values.
+      std::set<size_t> used_cats;
+      bool pred_failed = false;
+      for (int p = 0; p < npreds; ++p) {
+        size_t cat = pick_category(false);
+        int guard = 0;
+        while (used_cats.count(cat) > 0 && guard++ < 5) {
+          cat = rng.NextBounded(domain.categories.size());
+        }
+        if (used_cats.count(cat) > 0) {
+          pred_failed = true;
+          break;
+        }
+        used_cats.insert(cat);
+        const db::Column* column =
+            table.FindColumn(domain.categories[cat].column);
+        const auto& distinct = column->DistinctValues();
+        if (distinct.empty()) {
+          pred_failed = true;
+          break;
+        }
+        const db::Value& value = distinct[rng.NextBounded(distinct.size())];
+        q.predicates.push_back(db::Predicate{
+            {domain.table, domain.categories[cat].column}, value});
+      }
+      if (pred_failed) continue;
+      if (q.fn == db::AggFn::kPercentage) {
+        q.agg_column = q.predicates[0].column;
+      }
+      if (q.fn == db::AggFn::kConditionalProbability) {
+        if (q.predicates.size() < 2) continue;
+        // Canonical Percentage spelling of a conditional share (footnote 1
+        // makes the two forms numerically identical; the checker ranks the
+        // Percentage form).
+        std::swap(q.predicates[0], q.predicates[1]);  // event first
+        q.agg_column = q.predicates[0].column;
+        q.fn = db::AggFn::kPercentage;
+      }
+
+      // Deduplicate and evaluate.
+      if (used_queries.count(q.CanonicalKey()) > 0) continue;
+      auto result = exec.Execute(q);
+      if (!result.ok() || !result->has_value()) continue;
+      double truth = **result;
+      if (truth <= 0) continue;  // "zero X" reads oddly in prose
+      if (RendersAsYear(truth)) continue;
+
+      ClaimSpec spec;
+      spec.query = q;
+      spec.true_value = truth;
+      spec.context_dependent =
+          q.predicates.size() == 1 &&
+          (q.fn == db::AggFn::kCount || q.fn == db::AggFn::kPercentage) &&
+          rng.NextBool(options.context_dependent_rate);
+      spec.headline_only = spec.context_dependent && rng.NextBool(0.4);
+      spec.erroneous = error_case && rng.NextBool(options.error_claim_rate);
+      double reported = spec.erroneous ? Corrupt(truth, &rng) : truth;
+      spec.rendered = RenderValue(reported, &rng);
+      if (RendersAsYear(spec.rendered.claimed_value)) continue;
+      // The rendered value must agree with the erroneous flag under the
+      // checker's own rounding semantics.
+      bool rounds = rounding::RoundsTo(truth, spec.rendered.claimed_value);
+      spec.erroneous = !rounds;
+      spec.sentence = RenderSentence(spec, domain, &rng);
+      used_queries.insert(q.CanonicalKey());
+      specs.push_back(std::move(spec));
+      built = true;
+    }
+  }
+  // Guarantee at least one error in designated error cases.
+  if (error_case && !specs.empty()) {
+    bool any = false;
+    for (const auto& s : specs) any = any || s.erroneous;
+    if (!any) {
+      ClaimSpec& victim = specs[rng.NextBounded(specs.size())];
+      victim.rendered = RenderValue(Corrupt(victim.true_value, &rng), &rng);
+      victim.erroneous = !rounding::RoundsTo(
+          victim.true_value, victim.rendered.claimed_value);
+      victim.sentence = RenderSentence(victim, domain, &rng);
+    }
+  }
+
+  // --- Document assembly: sections of 2-4 claims, occasional merged
+  // sentences and context intros. ---
+  c.document.set_title(domain.title);
+  size_t pos = 0;
+  while (pos < specs.size()) {
+    size_t take = std::min<size_t>(
+        specs.size() - pos, static_cast<size_t>(rng.NextInt(2, 4)));
+    // Headlines are thematic ("Suspensions by infraction") — unless the
+    // section holds a context-dependent claim, whose omitted value must be
+    // recoverable from the headline (Example 3's "Lifetime bans").
+    std::string headline = Capitalize(domain.noun);
+    for (size_t i = pos; i < pos + take; ++i) {
+      if (specs[i].query.predicates.empty()) continue;
+      const auto& pred = specs[i].query.predicates[0];
+      if (specs[i].context_dependent) {
+        headline = Capitalize(pred.value.ToString()) + " " + domain.noun;
+        break;
+      }
+      headline = Capitalize(domain.noun) + " by " +
+                 MentionOf(domain, pred.column.column);
+    }
+    int section = c.document.AddSection(headline);
+
+    std::string paragraph;
+    size_t i = pos;
+    auto append_sentence = [&paragraph](const std::string& sentence) {
+      if (!paragraph.empty()) paragraph += ' ';
+      paragraph += Capitalize(sentence) + ".";
+    };
+    while (i < pos + take) {
+      if (specs[i].context_dependent && !specs[i].headline_only) {
+        // The decisive keywords go into the preceding sentence.
+        const auto& pred = specs[i].query.predicates[0];
+        switch (rng.NextBounded(3)) {
+          case 0:
+            append_sentence("Consider the " + pred.value.ToString() + " " +
+                            domain.noun + " in particular");
+            break;
+          case 1:
+            append_sentence("Next we turn to " + std::string(domain.noun) +
+                            " with a " +
+                            MentionOf(domain, pred.column.column) + " of " +
+                            pred.value.ToString());
+            break;
+          default:
+            append_sentence("The " + pred.value.ToString() + " " +
+                            domain.noun + " deserve a closer look");
+            break;
+        }
+      }
+      std::string sentence = specs[i].sentence;
+      // Merge with the next claim into one two-clause sentence (§7.3's
+      // multi-claim sentences) — unless the next claim needs its own
+      // context intro first.
+      if (i + 1 < pos + take && !specs[i + 1].context_dependent &&
+          rng.NextBool(options.multi_claim_rate)) {
+        std::string second = specs[i + 1].sentence;
+        if (!second.empty()) second[0] = static_cast<char>(
+            std::tolower(second[0]));
+        sentence += ", and " + second;
+        ++i;
+      }
+      append_sentence(sentence);
+      ++i;
+    }
+    // Context intro without numbers, referencing the focus column.
+    if (rng.NextBool(0.5)) {
+      paragraph = "This section looks at the " +
+                  MentionOf(domain, domain.categories[focus_cat].column) +
+                  " of our " + domain.noun + ". " + paragraph;
+    }
+    c.document.AddParagraph(paragraph, section);
+    pos += take;
+  }
+
+  // --- Ground truth, in document order (= spec order). ---
+  for (const ClaimSpec& spec : specs) {
+    GroundTruthClaim g;
+    g.claimed_value = spec.rendered.claimed_value;
+    g.query = spec.query;
+    g.true_value = spec.true_value;
+    g.is_erroneous = spec.erroneous;
+    c.ground_truth.push_back(std::move(g));
+  }
+  return c;
+}
+
+std::vector<CorpusCase> GenerateCorpus(const GeneratorOptions& options) {
+  std::vector<CorpusCase> cases;
+  cases.reserve(options.num_cases);
+  for (size_t i = 0; i < options.num_cases; ++i) {
+    cases.push_back(GenerateCase(i, options));
+  }
+  return cases;
+}
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus_case.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief Parameters of the synthetic corpus (§B's collection methodology,
+/// reproduced as a generator — see DESIGN.md §1 for the substitution).
+struct GeneratorOptions {
+  size_t num_cases = 50;
+  uint64_t seed = 42;
+
+  /// Probability that a case contains erroneous claims at all (the paper
+  /// finds 17 of 53 cases with at least one error) and the per-claim error
+  /// probability inside such cases (overall ~12% of claims erroneous).
+  double error_case_rate = 0.35;
+  double error_claim_rate = 0.30;
+
+  /// Probability of merging two consecutive claims into one sentence (the
+  /// paper reports 29% of claims share a sentence).
+  double multi_claim_rate = 0.25;
+
+  /// Theme concentration: probability that a claim's predicate goes on the
+  /// document's focus column (drives the Figure 9(b) concentration).
+  double focus_probability = 0.75;
+
+  /// Probability that a single-predicate claim states its value only in
+  /// the surrounding context (previous sentence + headline) instead of the
+  /// claim sentence itself — the pattern that makes Algorithm 2's keyword
+  /// context matter (Example 3).
+  double context_dependent_rate = 0.3;
+
+  /// Predicate-count mix (Figure 9(c)): zero/one/two predicates. The
+  /// rolled rates sit below the paper's 17/61/23 because some aggregation
+  /// functions (CountDistinct, Min, Max) force zero predicates in our
+  /// templates and empty-result retries skew the realized mix.
+  double zero_pred_rate = 0.04;
+  double one_pred_rate = 0.70;  // remainder is two predicates
+
+  /// Multiplies per-case row counts. The default corpus stays laptop-fast;
+  /// the Table 6 backend benchmark uses a scaled corpus (the paper's data
+  /// sets reach ~100 MB) so scan costs, not constant overheads, dominate.
+  size_t row_scale = 1;
+};
+
+/// \brief Generates `options.num_cases` article/data-set pairs across five
+/// domains (sports, politics, developer survey, retail, music) with exact
+/// ground truth. Deterministic in the seed.
+std::vector<CorpusCase> GenerateCorpus(const GeneratorOptions& options = {});
+
+/// Generates a single case (exposed for tests and examples).
+CorpusCase GenerateCase(size_t case_index, const GeneratorOptions& options);
+
+}  // namespace corpus
+}  // namespace aggchecker

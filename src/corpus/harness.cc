@@ -1,0 +1,33 @@
+#include "corpus/harness.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace aggchecker {
+namespace corpus {
+
+CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
+                            core::CheckOptions options) {
+  options.report_top_k = std::max<size_t>(options.report_top_k, 20);
+  CorpusRunResult result;
+  for (const CorpusCase& test_case : corpus) {
+    auto checker = core::AggChecker::Create(&test_case.database, options);
+    if (!checker.ok()) continue;
+    Timer timer;
+    auto report = checker->Check(test_case.document);
+    if (!report.ok()) continue;
+    result.total_seconds += timer.ElapsedSeconds();
+    result.query_seconds += report->eval_stats.query_seconds;
+    result.queries_evaluated += report->queries_evaluated;
+    result.cube_queries += report->eval_stats.cube_queries;
+    result.cache_hits += report->eval_stats.cache_hits;
+    result.detection.Merge(ScoreErrorDetection(test_case, *report));
+    result.coverage.Merge(ScoreCoverage(test_case, *report, 20));
+    result.reports.push_back(std::move(*report));
+  }
+  return result;
+}
+
+}  // namespace corpus
+}  // namespace aggchecker

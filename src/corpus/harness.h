@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "core/aggchecker.h"
+#include "corpus/corpus_case.h"
+#include "corpus/metrics.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief Aggregated outcome of checking the whole corpus with one
+/// configuration — the unit of work behind most benchmark tables.
+struct CorpusRunResult {
+  std::vector<core::CheckReport> reports;  ///< one per case, corpus order
+  ErrorDetectionMetrics detection;
+  CoverageMetrics coverage;
+  double total_seconds = 0;   ///< wall time of all Check calls
+  double query_seconds = 0;   ///< backend query time (EvalStats)
+  size_t queries_evaluated = 0;
+  size_t cube_queries = 0;
+  size_t cache_hits = 0;
+
+  CorpusRunResult() : coverage(20) {}
+};
+
+/// Runs the AggChecker with `options` on every case and aggregates metrics.
+/// `options.report_top_k` is forced to at least 20 so top-k coverage up to
+/// k=20 is measurable.
+CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
+                            core::CheckOptions options);
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,139 @@
+#include "corpus/metrics.h"
+
+#include <cmath>
+
+#include "db/eval_engine.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace corpus {
+
+void ErrorDetectionMetrics::Merge(const ErrorDetectionMetrics& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  total_claims += other.total_claims;
+}
+
+void CoverageMetrics::Merge(const CoverageMetrics& other) {
+  for (size_t k = 0; k < hits.size() && k < other.hits.size(); ++k) {
+    hits[k] += other.hits[k];
+    hits_correct[k] += other.hits_correct[k];
+    hits_incorrect[k] += other.hits_incorrect[k];
+  }
+  total += other.total;
+  total_correct += other.total_correct;
+  total_incorrect += other.total_incorrect;
+}
+
+Status ValidateAlignment(const CorpusCase& test_case,
+                         const core::CheckReport& report) {
+  if (report.verdicts.size() != test_case.ground_truth.size()) {
+    return Status::Internal(strings::Format(
+        "case '%s': detector found %zu claims, ground truth has %zu",
+        test_case.name.c_str(), report.verdicts.size(),
+        test_case.ground_truth.size()));
+  }
+  for (size_t i = 0; i < report.verdicts.size(); ++i) {
+    double detected = report.verdicts[i].claim.claimed_value();
+    double expected = test_case.ground_truth[i].claimed_value;
+    if (std::fabs(detected - expected) > 1e-9) {
+      return Status::Internal(strings::Format(
+          "case '%s' claim %zu: detected value %g, ground truth %g",
+          test_case.name.c_str(), i, detected, expected));
+    }
+  }
+  return Status::OK();
+}
+
+ErrorDetectionMetrics ScoreErrorDetection(const CorpusCase& test_case,
+                                          const core::CheckReport& report) {
+  ErrorDetectionMetrics m;
+  size_t n = std::min(report.verdicts.size(), test_case.ground_truth.size());
+  m.total_claims = n;
+  for (size_t i = 0; i < n; ++i) {
+    bool flagged = report.verdicts[i].likely_erroneous;
+    bool erroneous = test_case.ground_truth[i].is_erroneous;
+    if (flagged && erroneous) ++m.true_positives;
+    if (flagged && !erroneous) ++m.false_positives;
+    if (!flagged && erroneous) ++m.false_negatives;
+  }
+  return m;
+}
+
+namespace {
+
+bool SamePredicates(const db::SimpleAggregateQuery& a,
+                    const db::SimpleAggregateQuery& b) {
+  if (a.predicates.size() != b.predicates.size()) return false;
+  for (const auto& p : a.predicates) {
+    bool found = false;
+    for (const auto& q : b.predicates) {
+      if (p == q) found = true;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool CountFamily(db::AggFn fn) {
+  return fn == db::AggFn::kCount || fn == db::AggFn::kCountDistinct;
+}
+
+}  // namespace
+
+bool QueriesEquivalent(const GroundTruthClaim& truth,
+                       const model::RankedCandidate& candidate) {
+  if (candidate.query == truth.query) return true;
+  // Count-family equivalence: "270 respondents" maps as naturally to
+  // CountDistinct(RespondentID) as to Count(*). A candidate with the same
+  // predicate set over the same relation whose count-family aggregate
+  // evaluates to the ground-truth value is the same translation.
+  if (!CountFamily(truth.query.fn) || !CountFamily(candidate.query.fn)) {
+    return false;
+  }
+  if (!SamePredicates(truth.query, candidate.query)) return false;
+  if (db::EvalEngine::RelationKey(truth.query) !=
+      db::EvalEngine::RelationKey(candidate.query)) {
+    return false;
+  }
+  return candidate.result.has_value() &&
+         std::fabs(*candidate.result - truth.true_value) < 1e-9;
+}
+
+size_t GroundTruthRank(const GroundTruthClaim& truth,
+                       const core::ClaimVerdict& verdict) {
+  for (size_t r = 0; r < verdict.top_queries.size(); ++r) {
+    if (QueriesEquivalent(truth, verdict.top_queries[r])) return r + 1;
+  }
+  return 0;
+}
+
+CoverageMetrics ScoreCoverage(const CorpusCase& test_case,
+                              const core::CheckReport& report, size_t max_k) {
+  CoverageMetrics m(max_k);
+  size_t n = std::min(report.verdicts.size(), test_case.ground_truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    const GroundTruthClaim& truth = test_case.ground_truth[i];
+    size_t rank = GroundTruthRank(truth, report.verdicts[i]);
+    ++m.total;
+    if (truth.is_erroneous) {
+      ++m.total_incorrect;
+    } else {
+      ++m.total_correct;
+    }
+    if (rank == 0) continue;
+    for (size_t k = rank; k <= max_k; ++k) {
+      ++m.hits[k - 1];
+      if (truth.is_erroneous) {
+        ++m.hits_incorrect[k - 1];
+      } else {
+        ++m.hits_correct[k - 1];
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace corpus
+}  // namespace aggchecker

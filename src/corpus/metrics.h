@@ -1,0 +1,99 @@
+#pragma once
+
+#include <vector>
+
+#include "core/aggchecker.h"
+#include "corpus/corpus_case.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace corpus {
+
+/// \brief Classification counters for erroneous-claim detection
+/// (Definitions 4 and 5: precision and recall over flagged claims).
+struct ErrorDetectionMetrics {
+  size_t true_positives = 0;   ///< flagged and truly erroneous
+  size_t false_positives = 0;  ///< flagged but correct
+  size_t false_negatives = 0;  ///< erroneous but not flagged
+  size_t total_claims = 0;
+
+  double Precision() const {
+    size_t flagged = true_positives + false_positives;
+    return flagged == 0 ? 0.0
+                        : static_cast<double>(true_positives) / flagged;
+  }
+  double Recall() const {
+    size_t erroneous = true_positives + false_negatives;
+    return erroneous == 0 ? 1.0
+                          : static_cast<double>(true_positives) / erroneous;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return (p + r) == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+
+  void Merge(const ErrorDetectionMetrics& other);
+};
+
+/// \brief Top-k coverage counters (Definition 6), split by claim
+/// correctness as in Figure 10.
+struct CoverageMetrics {
+  /// hits[k-1] = number of claims whose ground-truth query is within the
+  /// top-k candidates; tracked up to max_k.
+  std::vector<size_t> hits;
+  std::vector<size_t> hits_correct;    ///< over correct claims only
+  std::vector<size_t> hits_incorrect;  ///< over erroneous claims only
+  size_t total = 0;
+  size_t total_correct = 0;
+  size_t total_incorrect = 0;
+
+  explicit CoverageMetrics(size_t max_k = 20)
+      : hits(max_k, 0), hits_correct(max_k, 0), hits_incorrect(max_k, 0) {}
+
+  double TopK(size_t k) const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hits[k - 1]) / total;
+  }
+  double TopKCorrect(size_t k) const {
+    return total_correct == 0 ? 0.0
+                              : 100.0 * hits_correct[k - 1] / double(
+                                            total_correct);
+  }
+  double TopKIncorrect(size_t k) const {
+    return total_incorrect == 0 ? 0.0
+                                : 100.0 * hits_incorrect[k - 1] / double(
+                                              total_incorrect);
+  }
+
+  void Merge(const CoverageMetrics& other);
+};
+
+/// \brief Checks that the verdicts (in detection order) line up with the
+/// case's ground truth: same count and same claimed values. The corpus
+/// generator guarantees this; the tests assert it for every case.
+Status ValidateAlignment(const CorpusCase& test_case,
+                         const core::CheckReport& report);
+
+/// Scores error detection of a report against ground truth. Claims are
+/// matched by position (after ValidateAlignment).
+ErrorDetectionMetrics ScoreErrorDetection(const CorpusCase& test_case,
+                                          const core::CheckReport& report);
+
+/// True when `candidate` is the ground-truth translation or a count-family
+/// equivalent of it (same predicates, same relation, same value).
+bool QueriesEquivalent(const GroundTruthClaim& truth,
+                       const model::RankedCandidate& candidate);
+
+/// Rank of the ground-truth query among a verdict's candidates (1-based),
+/// or 0 if absent from the reported top list.
+size_t GroundTruthRank(const GroundTruthClaim& truth,
+                       const core::ClaimVerdict& verdict);
+
+/// Accumulates top-k coverage for one case.
+CoverageMetrics ScoreCoverage(const CorpusCase& test_case,
+                              const core::CheckReport& report,
+                              size_t max_k = 20);
+
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "db/value.h"
+
+namespace aggchecker {
+namespace db {
+
+/// Aggregation functions supported by Simple Aggregate Queries (§2).
+///
+/// Percentage and ConditionalProbability are ratio aggregates defined in the
+/// paper's footnote 1; the executor derives them from two count evaluations.
+enum class AggFn {
+  kCount = 0,
+  kCountDistinct,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kPercentage,
+  kConditionalProbability,
+};
+
+constexpr int kNumAggFns = 8;
+
+/// SQL-ish display name ("Count", "CountDistinct", ...).
+const char* AggFnName(AggFn fn);
+
+/// All supported aggregation functions, in enum order.
+const std::vector<AggFn>& AllAggFns();
+
+/// Keywords associated with an aggregation-function query fragment (§4.2):
+/// function name plus natural-language cue words ("number", "how many",
+/// "total", "average", "typical", ...).
+const std::vector<std::string>& AggFnKeywords(AggFn fn);
+
+/// True if the function needs a specific aggregation column (Count accepts
+/// the "*" all-column; the others need a real column).
+bool RequiresColumn(AggFn fn);
+
+/// True if the aggregation column must be numeric (Sum/Avg/Min/Max); Count,
+/// CountDistinct, Percentage and ConditionalProbability accept any type.
+bool RequiresNumericColumn(AggFn fn);
+
+/// \brief Streaming accumulator for the five base aggregates.
+///
+/// Percentage/ConditionalProbability are not accumulated directly: the
+/// engine computes them as ratios of Count results.
+class Aggregator {
+ public:
+  explicit Aggregator(AggFn fn) : fn_(fn) {}
+
+  /// Feeds one cell value (NULL cells are ignored per SQL semantics, except
+  /// Count(*) which the caller feeds with non-null placeholders).
+  void Add(const Value& v);
+
+  /// Final aggregate; nullopt when undefined (e.g. Avg of no rows).
+  std::optional<double> Finish() const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  AggFn fn_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  std::optional<double> min_;
+  std::optional<double> max_;
+  std::unordered_set<Value, ValueHasher> distinct_;
+};
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,47 @@
+#include "db/column.h"
+
+namespace aggchecker {
+namespace db {
+
+void Column::Append(Value v) {
+  if (v.is_null()) ++null_count_;
+  values_.push_back(std::move(v));
+  dict_built_ = false;
+}
+
+void Column::BuildDictionary() const {
+  distinct_.clear();
+  distinct_index_.clear();
+  codes_.clear();
+  codes_.reserve(values_.size());
+  for (const Value& v : values_) {
+    if (v.is_null()) {
+      codes_.push_back(-1);
+      continue;
+    }
+    auto [it, inserted] =
+        distinct_index_.emplace(v, static_cast<int>(distinct_.size()));
+    if (inserted) distinct_.push_back(v);
+    codes_.push_back(it->second);
+  }
+  dict_built_ = true;
+}
+
+const std::vector<int32_t>& Column::Codes() const {
+  if (!dict_built_) BuildDictionary();
+  return codes_;
+}
+
+const std::vector<Value>& Column::DistinctValues() const {
+  if (!dict_built_) BuildDictionary();
+  return distinct_;
+}
+
+int Column::DistinctIndexOf(const Value& v) const {
+  if (!dict_built_) BuildDictionary();
+  auto it = distinct_index_.find(v);
+  return it == distinct_index_.end() ? -1 : it->second;
+}
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief A named, typed column of values.
+///
+/// The declared type is the most specific type covering all non-null cells
+/// (LONG ⊂ DOUBLE; anything mixed with strings becomes STRING). A lazily
+/// built distinct-value dictionary supports query-fragment generation and
+/// cube bucketing.
+class Column {
+ public:
+  Column(std::string name, ValueType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  ValueType type() const { return type_; }
+  bool is_numeric() const {
+    return type_ == ValueType::kLong || type_ == ValueType::kDouble;
+  }
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t row) const { return values_[row]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v);
+
+  /// Distinct non-null values, in first-appearance order. Built lazily and
+  /// cached; invalidated by Append.
+  const std::vector<Value>& DistinctValues() const;
+
+  /// Index of `v` in DistinctValues(), or -1 if absent.
+  int DistinctIndexOf(const Value& v) const;
+
+  /// Dictionary codes per row: Codes()[r] is the DistinctValues() index of
+  /// row r's value, or -1 for NULL. Built lazily with the dictionary; used
+  /// by the cube executor to avoid per-row value hashing.
+  const std::vector<int32_t>& Codes() const;
+
+  /// Number of null cells.
+  size_t null_count() const { return null_count_; }
+
+ private:
+  void BuildDictionary() const;
+
+  std::string name_;
+  ValueType type_;
+  std::vector<Value> values_;
+  size_t null_count_ = 0;
+
+  mutable bool dict_built_ = false;
+  mutable std::vector<Value> distinct_;
+  mutable std::unordered_map<Value, int, ValueHasher> distinct_index_;
+  mutable std::vector<int32_t> codes_;
+};
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,194 @@
+#include "db/cube.h"
+
+#include <set>
+
+#include "db/joined_relation.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace db {
+
+int CubeResult::AggregateIndex(const CubeAggregate& agg) const {
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (aggregates_[i] == agg) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<double> CubeResult::Lookup(const std::vector<int16_t>& key,
+                                         size_t agg_idx) const {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return std::nullopt;
+  return it->second[agg_idx];
+}
+
+int16_t CubeResult::BucketOf(size_t dim, const Value& v) const {
+  const auto& index = literal_index_[dim];
+  auto it = index.find(v);
+  return it == index.end() ? kDefaultBucket : it->second;
+}
+
+void CubeResult::Set(const std::vector<int16_t>& key, size_t agg_idx,
+                     double value) {
+  auto& cell = cells_[key];
+  if (cell.empty()) cell.resize(aggregates_.size());
+  cell[agg_idx] = value;
+}
+
+Result<std::shared_ptr<CubeResult>> ExecuteCube(
+    const Database& db, const std::vector<ColumnRef>& dims,
+    const std::vector<std::vector<Value>>& relevant_literals,
+    const std::vector<CubeAggregate>& aggregates, ScanStats* stats) {
+  if (dims.size() != relevant_literals.size()) {
+    return Status::InvalidArgument("dims/literals size mismatch");
+  }
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("cube query needs at least one aggregate");
+  }
+  for (const CubeAggregate& agg : aggregates) {
+    if (agg.fn == AggFn::kPercentage ||
+        agg.fn == AggFn::kConditionalProbability) {
+      return Status::InvalidArgument(
+          "ratio aggregates must be derived from counts, not cubed directly");
+    }
+  }
+
+  // Tables referenced by dims and aggregates; joined along PK-FK paths.
+  std::set<std::string> table_set;
+  for (const ColumnRef& d : dims) table_set.insert(d.table);
+  for (const CubeAggregate& a : aggregates) {
+    // Star aggregates still carry the table to count rows of.
+    if (!a.column.table.empty()) table_set.insert(a.column.table);
+  }
+  if (table_set.empty()) {
+    return Status::InvalidArgument("cube query references no table");
+  }
+  std::vector<std::string> tables(table_set.begin(), table_set.end());
+  auto rel_result = JoinedRelation::Build(db, tables);
+  if (!rel_result.ok()) return rel_result.status();
+  const JoinedRelation& rel = *rel_result;
+
+  std::vector<int> dim_handles;
+  dim_handles.reserve(dims.size());
+  for (const ColumnRef& d : dims) {
+    auto h = rel.ResolveColumn(d);
+    if (!h.ok()) return h.status();
+    dim_handles.push_back(*h);
+  }
+  std::vector<int> agg_handles(aggregates.size(), -1);
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (aggregates[i].is_star()) continue;
+    auto h = rel.ResolveColumn(aggregates[i].column);
+    if (!h.ok()) return h.status();
+    agg_handles[i] = *h;
+  }
+
+  auto result = std::make_shared<CubeResult>(dims, relevant_literals,
+                                             aggregates);
+
+  const size_t d = dims.size();
+  const size_t num_subsets = static_cast<size_t>(1) << d;
+  const Value star_placeholder(static_cast<int64_t>(1));
+
+  // Per-dimension fast access: base-column dictionary codes plus a
+  // code -> bucket translation table, so the hot loop never hashes values.
+  struct DimAccess {
+    const std::vector<int32_t>* codes;
+    std::vector<int16_t> code_to_bucket;
+  };
+  std::vector<DimAccess> access(d);
+  for (size_t i = 0; i < d; ++i) {
+    const Column* column = rel.column_of(dim_handles[i]);
+    access[i].codes = &column->Codes();
+    const auto& distinct = column->DistinctValues();
+    access[i].code_to_bucket.resize(distinct.size());
+    for (size_t c = 0; c < distinct.size(); ++c) {
+      access[i].code_to_bucket[c] = result->BucketOf(i, distinct[c]);
+    }
+  }
+
+  // Group state keyed by a packed bucket code: 16 bits per dimension
+  // (bucket + 3, so kAllBucket/kDefaultBucket pack as 1/2). Dimension
+  // counts beyond 4 never arise (nG <= max predicates + 1 = 4); reject
+  // them rather than overflow the packing.
+  if (d > 4) {
+    return Status::Unsupported("cube dimensionality above 4 not supported");
+  }
+  auto pack = [d](const int16_t* buckets) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < d; ++i) {
+      key = (key << 16) |
+            static_cast<uint16_t>(static_cast<int32_t>(buckets[i]) + 3);
+    }
+    return key;
+  };
+
+  // Group accumulators, addressed by dense index; `group_keys` remembers
+  // each group's bucket vector for the final result assembly.
+  std::vector<std::vector<Aggregator>> groups;
+  std::vector<std::vector<int16_t>> group_keys;
+  std::unordered_map<uint64_t, uint32_t> group_index;
+
+  // Rows sharing a bucket combination update the same 2^d groups; cache
+  // the group-id fan-out per combination so the hot loop performs a single
+  // hash lookup per row.
+  std::unordered_map<uint64_t, uint32_t> combo_index;
+  std::vector<std::vector<uint32_t>> combo_groups;
+
+  int16_t row_buckets[4] = {0, 0, 0, 0};
+  int16_t key_buckets[4] = {0, 0, 0, 0};
+
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      size_t base = rel.base_row(r, dim_handles[i]);
+      int32_t code = (*access[i].codes)[base];
+      row_buckets[i] =
+          code < 0 ? kDefaultBucket : access[i].code_to_bucket[code];
+    }
+    auto [combo_it, combo_new] =
+        combo_index.try_emplace(pack(row_buckets),
+                                static_cast<uint32_t>(combo_groups.size()));
+    if (combo_new) {
+      // First row with this bucket combination: resolve (creating on
+      // demand) the 2^d groups it contributes to.
+      std::vector<uint32_t> fanout;
+      fanout.reserve(num_subsets);
+      for (size_t mask = 0; mask < num_subsets; ++mask) {
+        for (size_t i = 0; i < d; ++i) {
+          key_buckets[i] = (mask & (1u << i)) ? row_buckets[i] : kAllBucket;
+        }
+        auto [it, inserted] = group_index.try_emplace(
+            pack(key_buckets), static_cast<uint32_t>(groups.size()));
+        if (inserted) {
+          std::vector<Aggregator> accs;
+          accs.reserve(aggregates.size());
+          for (const CubeAggregate& a : aggregates) accs.emplace_back(a.fn);
+          groups.push_back(std::move(accs));
+          group_keys.emplace_back(key_buckets, key_buckets + d);
+        }
+        fanout.push_back(it->second);
+      }
+      combo_groups.push_back(std::move(fanout));
+    }
+    for (uint32_t group : combo_groups[combo_it->second]) {
+      for (size_t a = 0; a < aggregates.size(); ++a) {
+        const Value& v = aggregates[a].is_star()
+                             ? star_placeholder
+                             : rel.at(r, agg_handles[a]);
+        groups[group][a].Add(v);
+      }
+    }
+  }
+  if (stats != nullptr) stats->rows_scanned += rel.num_rows();
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t a = 0; a < groups[g].size(); ++a) {
+      std::optional<double> v = groups[g][a].Finish();
+      if (v.has_value()) result->Set(group_keys[g], a, *v);
+    }
+  }
+  return result;
+}
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/aggregate.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief One aggregate computed by a cube query: a base aggregation
+/// function applied to a column (or "*" for Count).
+///
+/// Only the five base functions are valid here; ratio aggregates are derived
+/// from Count lookups by the evaluation engine.
+struct CubeAggregate {
+  AggFn fn = AggFn::kCount;
+  ColumnRef column;  ///< empty column name = "*"
+
+  bool is_star() const { return column.column.empty(); }
+  std::string Key() const {
+    return std::string(AggFnName(fn)) + "(" +
+           (is_star() ? "*" : column.ToString()) + ")";
+  }
+  bool operator==(const CubeAggregate& other) const {
+    return fn == other.fn && column == other.column;
+  }
+};
+
+/// Bucket code for one cube dimension in a result key.
+/// >= 0 : index into the dimension's relevant-literal list
+///  kDefaultBucket : a value outside the relevant set (InOrDefault default)
+///  kAllBucket     : dimension rolled up (no restriction)
+constexpr int16_t kDefaultBucket = -1;
+constexpr int16_t kAllBucket = -2;
+
+/// \brief Result of a cube query for a fixed dimension set.
+///
+/// Maps a bucket-code vector (one code per dimension, in dimension order) to
+/// per-aggregate values. Implements the paper's InOrDefault reduction: only
+/// the relevant literals get their own buckets; everything else collapses
+/// into the default bucket, and kAllBucket entries provide rollups.
+class CubeResult {
+ public:
+  struct KeyHasher {
+    size_t operator()(const std::vector<int16_t>& key) const {
+      size_t h = 1469598103934665603ULL;
+      for (int16_t k : key) {
+        h ^= static_cast<size_t>(static_cast<uint16_t>(k));
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
+  CubeResult(std::vector<ColumnRef> dims,
+             std::vector<std::vector<Value>> literals,
+             std::vector<CubeAggregate> aggregates)
+      : dims_(std::move(dims)),
+        literals_(std::move(literals)),
+        aggregates_(std::move(aggregates)) {
+    literal_index_.resize(literals_.size());
+    for (size_t d = 0; d < literals_.size(); ++d) {
+      for (size_t i = 0; i < literals_[d].size(); ++i) {
+        literal_index_[d].emplace(literals_[d][i],
+                                  static_cast<int16_t>(i));
+      }
+    }
+  }
+
+  const std::vector<ColumnRef>& dims() const { return dims_; }
+  const std::vector<std::vector<Value>>& literals() const { return literals_; }
+  const std::vector<CubeAggregate>& aggregates() const { return aggregates_; }
+
+  /// Index of an aggregate in this result, or -1.
+  int AggregateIndex(const CubeAggregate& agg) const;
+
+  /// Looks up the value of aggregate `agg_idx` for a bucket-code key.
+  /// Missing cells mean "no rows matched" and yield nullopt; for Count this
+  /// is reported as 0 by the engine, not here.
+  std::optional<double> Lookup(const std::vector<int16_t>& key,
+                               size_t agg_idx) const;
+
+  /// Bucket code of `v` on dimension `dim`: literal index or kDefaultBucket.
+  int16_t BucketOf(size_t dim, const Value& v) const;
+
+  void Set(const std::vector<int16_t>& key, size_t agg_idx, double value);
+
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  std::vector<ColumnRef> dims_;
+  std::vector<std::vector<Value>> literals_;
+  std::vector<CubeAggregate> aggregates_;
+  // Per-dimension literal -> bucket index (hash lookup for large sets).
+  std::vector<std::unordered_map<Value, int16_t, ValueHasher>> literal_index_;
+  std::unordered_map<std::vector<int16_t>, std::vector<std::optional<double>>,
+                     KeyHasher>
+      cells_;
+};
+
+/// \brief Executes one merged cube query (§6.2).
+///
+/// Computes every aggregate in `aggregates` for every combination of bucket
+/// codes over `dims` — including rollups (kAllBucket) for each dimension
+/// subset — in a single scan of the joined relation.
+Result<std::shared_ptr<CubeResult>> ExecuteCube(
+    const Database& db, const std::vector<ColumnRef>& dims,
+    const std::vector<std::vector<Value>>& relevant_literals,
+    const std::vector<CubeAggregate>& aggregates, ScanStats* stats = nullptr);
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,360 @@
+#include "db/eval_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace aggchecker {
+namespace db {
+
+const char* EvalStrategyName(EvalStrategy s) {
+  switch (s) {
+    case EvalStrategy::kNaive:
+      return "Naive";
+    case EvalStrategy::kMerged:
+      return "+ Query Merging";
+    case EvalStrategy::kMergedCached:
+      return "+ Caching";
+  }
+  return "?";
+}
+
+EvalEngine::NormalizedPreds EvalEngine::Normalize(
+    const std::vector<Predicate>& preds) {
+  NormalizedPreds np;
+  for (const Predicate& p : preds) {
+    bool duplicate = false;
+    for (const Predicate& q : np.preds) {
+      if (q.column == p.column) {
+        duplicate = true;
+        if (!(q.value == p.value)) np.unsatisfiable = true;
+        break;
+      }
+    }
+    if (!duplicate) np.preds.push_back(p);
+  }
+  return np;
+}
+
+std::string EvalEngine::DimSetKey(const std::vector<ColumnRef>& dims) {
+  std::string key;
+  for (const ColumnRef& d : dims) {
+    key += strings::ToLower(d.ToString());
+    key += ';';
+  }
+  return key;
+}
+
+std::string EvalEngine::RelationKey(const SimpleAggregateQuery& query) {
+  std::vector<std::string> tables;
+  for (const std::string& t : query.ReferencedTables()) {
+    tables.push_back(strings::ToLower(t));
+  }
+  std::sort(tables.begin(), tables.end());
+  std::string key;
+  for (const std::string& t : tables) {
+    key += t;
+    key += ',';
+  }
+  return key;
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
+    const std::vector<SimpleAggregateQuery>& queries) {
+  Timer timer;
+  std::vector<std::optional<double>> results;
+  switch (strategy_) {
+    case EvalStrategy::kNaive:
+      results = EvaluateNaive(queries);
+      break;
+    case EvalStrategy::kMerged:
+      results = EvaluateMerged(queries, /*use_cache=*/false);
+      break;
+    case EvalStrategy::kMergedCached:
+      results = EvaluateMerged(queries, /*use_cache=*/true);
+      break;
+  }
+  stats_.queries_answered += queries.size();
+  stats_.query_seconds += timer.ElapsedSeconds();
+  return results;
+}
+
+std::optional<double> EvalEngine::Evaluate(const SimpleAggregateQuery& query) {
+  return EvaluateBatch({query})[0];
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
+    const std::vector<SimpleAggregateQuery>& queries) {
+  std::vector<std::optional<double>> results;
+  results.reserve(queries.size());
+  ScanStats scan;
+  for (const auto& q : queries) {
+    auto r = executor_.Execute(q, &scan);
+    results.push_back(r.ok() ? *r : std::nullopt);
+  }
+  stats_.rows_scanned += scan.rows_scanned;
+  return results;
+}
+
+std::optional<double> EvalEngine::AnswerFromCube(
+    const SimpleAggregateQuery& query, const NormalizedPreds& np,
+    const CubeResult& cube, size_t agg_idx) const {
+  const auto& dims = cube.dims();
+  // Map each cube dimension to the predicate value (if any).
+  std::vector<int16_t> key(dims.size(), kAllBucket);
+  std::vector<int> pred_dim(np.preds.size(), -1);
+  for (size_t p = 0; p < np.preds.size(); ++p) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d] == np.preds[p].column) {
+        pred_dim[p] = static_cast<int>(d);
+        key[d] = cube.BucketOf(d, np.preds[p].value);
+        break;
+      }
+    }
+  }
+
+  const bool is_count_like = query.fn == AggFn::kCount ||
+                             query.fn == AggFn::kCountDistinct ||
+                             query.fn == AggFn::kPercentage ||
+                             query.fn == AggFn::kConditionalProbability;
+
+  auto lookup_count = [&](const std::vector<int16_t>& k) -> double {
+    std::optional<double> v = cube.Lookup(k, agg_idx);
+    return v.value_or(0.0);  // absent group = zero matching rows
+  };
+
+  if (query.fn == AggFn::kPercentage) {
+    double num = lookup_count(key);
+    std::vector<int16_t> den_key = key;
+    if (!query.is_star()) {
+      for (size_t p = 0; p < np.preds.size(); ++p) {
+        if (np.preds[p].column == query.agg_column && pred_dim[p] >= 0) {
+          den_key[static_cast<size_t>(pred_dim[p])] = kAllBucket;
+        }
+      }
+    }
+    double den = lookup_count(den_key);
+    if (den == 0.0) return std::nullopt;
+    return num * 100.0 / den;
+  }
+  if (query.fn == AggFn::kConditionalProbability) {
+    double num = lookup_count(key);
+    std::vector<int16_t> den_key(dims.size(), kAllBucket);
+    if (!np.preds.empty() && pred_dim[0] >= 0) {
+      den_key[static_cast<size_t>(pred_dim[0])] =
+          key[static_cast<size_t>(pred_dim[0])];
+    }
+    double den = lookup_count(den_key);
+    if (den == 0.0) return std::nullopt;
+    return num * 100.0 / den;
+  }
+
+  std::optional<double> v = cube.Lookup(key, agg_idx);
+  if (!v.has_value() && is_count_like) return 0.0;
+  return v;
+}
+
+const EvalEngine::CacheEntry* EvalEngine::FindCached(
+    const CubeAggregate& agg, const std::vector<ColumnRef>& cols,
+    const std::map<std::string, std::vector<Value>>& needed_literals,
+    const std::string& relation_key) const {
+  auto covers = [&](const CacheEntry& entry) {
+    if (entry.relation_key != relation_key) return false;
+    const CubeResult& cube = *entry.cube;
+    for (const ColumnRef& col : cols) {
+      int dim = -1;
+      for (size_t d = 0; d < cube.dims().size(); ++d) {
+        if (cube.dims()[d] == col) {
+          dim = static_cast<int>(d);
+          break;
+        }
+      }
+      if (dim < 0) return false;  // dimension not in this cube
+      auto it = needed_literals.find(strings::ToLower(col.ToString()));
+      if (it == needed_literals.end()) continue;
+      for (const Value& v : it->second) {
+        if (cube.BucketOf(static_cast<size_t>(dim), v) == kDefaultBucket) {
+          return false;  // literal not separately bucketed
+        }
+      }
+    }
+    return true;
+  };
+
+  // Exact dimension-set hit first.
+  std::string exact_key =
+      agg.Key() + "|" + relation_key + "|" + DimSetKey(cols);
+  auto it = cache_.find(exact_key);
+  if (it != cache_.end() && covers(it->second)) return &it->second;
+
+  // Otherwise any cached cube for the same aggregate whose dimensions are a
+  // superset of the query's predicate columns (rollup reuse, §6.3).
+  std::string agg_prefix = agg.Key() + "|";
+  for (const auto& [key, entry] : cache_) {
+    if (!strings::StartsWith(key, agg_prefix)) continue;
+    if (covers(entry)) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
+    const std::vector<SimpleAggregateQuery>& queries, bool use_cache) {
+  std::vector<std::optional<double>> results(queries.size());
+
+  // Global relevant-literal map: the union of predicate values per column
+  // across the whole batch (the paper's "literals with non-zero marginal
+  // probability for any claim").
+  std::map<std::string, std::vector<Value>> literals_by_col;
+  std::map<std::string, ColumnRef> col_by_key;
+  for (const auto& q : queries) {
+    for (const Predicate& p : q.predicates) {
+      std::string key = strings::ToLower(p.column.ToString());
+      col_by_key.emplace(key, p.column);
+      auto& lits = literals_by_col[key];
+      if (std::find(lits.begin(), lits.end(), p.value) == lits.end()) {
+        lits.push_back(p.value);
+      }
+    }
+  }
+
+  // Group queries by relation (referenced-table set) and normalized
+  // predicate-column set; only queries over the same joined relation may
+  // share a cube.
+  struct Group {
+    std::vector<ColumnRef> dims;
+    std::string relation_key;
+    std::vector<size_t> query_indices;
+  };
+  std::map<std::string, Group> groups;
+  std::vector<NormalizedPreds> normalized(queries.size());
+  ScanStats scan;
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    if (!executor_.Validate(q).ok()) {
+      results[i] = std::nullopt;
+      continue;
+    }
+    normalized[i] = Normalize(q.predicates);
+    if (normalized[i].unsatisfiable) {
+      // Rare degenerate case: fall back to the reference executor so all
+      // strategies agree on semantics.
+      auto r = executor_.Execute(q, &scan);
+      results[i] = r.ok() ? *r : std::nullopt;
+      continue;
+    }
+    std::vector<ColumnRef> dims;
+    dims.reserve(normalized[i].preds.size());
+    for (const Predicate& p : normalized[i].preds) dims.push_back(p.column);
+    std::sort(dims.begin(), dims.end());
+    std::string relation = RelationKey(q);
+    std::string key = relation + "||" + DimSetKey(dims);
+    auto& group = groups[key];
+    if (group.query_indices.empty()) {
+      group.dims = dims;
+      group.relation_key = relation;
+    }
+    group.query_indices.push_back(i);
+  }
+
+  for (auto& [group_key, group] : groups) {
+    (void)group_key;
+    // Base aggregates needed by this group (ratio fns need a Count).
+    std::vector<CubeAggregate> needed;
+    auto add_needed = [&needed](CubeAggregate agg) {
+      for (const auto& a : needed) {
+        if (a == agg) return;
+      }
+      needed.push_back(std::move(agg));
+    };
+    for (size_t qi : group.query_indices) {
+      const auto& q = queries[qi];
+      CubeAggregate agg;
+      agg.column = q.agg_column;
+      switch (q.fn) {
+        case AggFn::kPercentage:
+        case AggFn::kConditionalProbability:
+          agg.fn = AggFn::kCount;
+          break;
+        default:
+          agg.fn = q.fn;
+          break;
+      }
+      add_needed(std::move(agg));
+    }
+
+    // Literals needed on this group's dimensions.
+    std::map<std::string, std::vector<Value>> needed_literals;
+    for (const ColumnRef& d : group.dims) {
+      std::string key = strings::ToLower(d.ToString());
+      needed_literals[key] = literals_by_col[key];
+    }
+
+    // Resolve each aggregate to a (cube, index) source: cache or execute.
+    std::unordered_map<std::string, std::pair<std::shared_ptr<CubeResult>,
+                                              size_t>>
+        sources;
+    std::vector<CubeAggregate> to_execute;
+    for (const CubeAggregate& agg : needed) {
+      if (use_cache) {
+        const CacheEntry* hit = FindCached(agg, group.dims, needed_literals,
+                                           group.relation_key);
+        if (hit != nullptr) {
+          ++stats_.cache_hits;
+          sources[agg.Key()] = {hit->cube, hit->agg_idx};
+          continue;
+        }
+        ++stats_.cache_misses;
+      }
+      to_execute.push_back(agg);
+    }
+
+    if (!to_execute.empty()) {
+      std::vector<std::vector<Value>> dim_literals;
+      dim_literals.reserve(group.dims.size());
+      for (const ColumnRef& d : group.dims) {
+        dim_literals.push_back(
+            needed_literals[strings::ToLower(d.ToString())]);
+      }
+      auto cube = ExecuteCube(*db_, group.dims, dim_literals, to_execute,
+                              &scan);
+      ++stats_.cube_queries;
+      if (cube.ok()) {
+        for (size_t a = 0; a < to_execute.size(); ++a) {
+          sources[to_execute[a].Key()] = {*cube, a};
+          if (use_cache) {
+            std::string cache_key = to_execute[a].Key() + "|" +
+                                    group.relation_key + "|" +
+                                    DimSetKey(group.dims);
+            cache_[cache_key] = CacheEntry{*cube, a, group.relation_key};
+          }
+        }
+      }
+    }
+
+    for (size_t qi : group.query_indices) {
+      const auto& q = queries[qi];
+      CubeAggregate agg;
+      agg.column = q.agg_column;
+      agg.fn = (q.fn == AggFn::kPercentage ||
+                q.fn == AggFn::kConditionalProbability)
+                   ? AggFn::kCount
+                   : q.fn;
+      auto it = sources.find(agg.Key());
+      if (it == sources.end()) {
+        results[qi] = std::nullopt;  // cube execution failed
+        continue;
+      }
+      results[qi] = AnswerFromCube(q, normalized[qi], *it->second.first,
+                                   it->second.second);
+    }
+  }
+
+  stats_.rows_scanned += scan.rows_scanned;
+  return results;
+}
+
+}  // namespace db
+}  // namespace aggchecker

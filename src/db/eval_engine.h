@@ -1,0 +1,123 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/cube.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/query.h"
+
+namespace aggchecker {
+namespace db {
+
+/// Execution strategies compared in Table 6 of the paper.
+enum class EvalStrategy {
+  kNaive = 0,        ///< one scan per candidate query
+  kMerged,           ///< merge candidates into cube queries (§6.2)
+  kMergedCached,     ///< cubes + result cache across claims/iterations (§6.3)
+};
+
+const char* EvalStrategyName(EvalStrategy s);
+
+/// \brief Counters exposed for the Table 6 / Figure 13 benchmarks.
+struct EvalStats {
+  size_t queries_answered = 0;
+  size_t cube_queries = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t rows_scanned = 0;
+  double query_seconds = 0.0;
+
+  void Reset() { *this = EvalStats{}; }
+};
+
+/// \brief Batch evaluator for candidate queries (Function RefineByEval's
+/// processing backend, §6).
+///
+/// In merged mode, candidates sharing a predicate-column set are answered by
+/// one multi-aggregate cube query; the cached mode additionally persists
+/// per-(aggregate, dimension-set) cube slices across batches and EM
+/// iterations. All strategies return identical results — the property tests
+/// assert this.
+class EvalEngine {
+ public:
+  EvalEngine(const Database* db, EvalStrategy strategy)
+      : db_(db), strategy_(strategy), executor_(db) {}
+
+  /// Evaluates every query; result[i] is nullopt when query i is invalid,
+  /// unsatisfiable for value-returning aggregates, or undefined.
+  std::vector<std::optional<double>> EvaluateBatch(
+      const std::vector<SimpleAggregateQuery>& queries);
+
+  /// Evaluates a single query using the engine's strategy (and cache).
+  std::optional<double> Evaluate(const SimpleAggregateQuery& query);
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  void ClearCache() { cache_.clear(); }
+  EvalStrategy strategy() const { return strategy_; }
+
+  /// Canonical key of the relation a query runs over (its sorted
+  /// referenced-table set). Queries may share cubes and cache entries only
+  /// within one relation.
+  static std::string RelationKey(const SimpleAggregateQuery& query);
+
+ private:
+  /// One cached slice: a cube result plus the index of the aggregate within
+  /// it that this cache entry answers, tagged with the relation the cube
+  /// was computed over.
+  struct CacheEntry {
+    std::shared_ptr<CubeResult> cube;
+    size_t agg_idx;
+    std::string relation_key;
+  };
+
+  /// Normalized predicates: deduplicated, with a flag when the conjunction
+  /// is unsatisfiable (same column constrained to two different values).
+  struct NormalizedPreds {
+    std::vector<Predicate> preds;
+    bool unsatisfiable = false;
+  };
+  static NormalizedPreds Normalize(const std::vector<Predicate>& preds);
+
+  std::vector<std::optional<double>> EvaluateNaive(
+      const std::vector<SimpleAggregateQuery>& queries);
+  std::vector<std::optional<double>> EvaluateMerged(
+      const std::vector<SimpleAggregateQuery>& queries, bool use_cache);
+
+  /// Answers one query from a cube result. `dims` is the cube's dimension
+  /// list; lookups translate missing count cells to 0.
+  std::optional<double> AnswerFromCube(const SimpleAggregateQuery& query,
+                                       const NormalizedPreds& np,
+                                       const CubeResult& cube,
+                                       size_t agg_idx) const;
+
+  /// Finds a cached slice answering `agg` over predicate columns `cols`
+  /// with the required literals, for a query running over relation
+  /// `relation_key`; nullptr on miss. Cubes over different relations are
+  /// never interchangeable: an aggregate over a PK-FK join differs from the
+  /// same aggregate over a base table (inner joins drop dangling rows and
+  /// joins multiply cardinalities).
+  const CacheEntry* FindCached(const CubeAggregate& agg,
+                               const std::vector<ColumnRef>& cols,
+                               const std::map<std::string, std::vector<Value>>&
+                                   needed_literals,
+                               const std::string& relation_key) const;
+
+  static std::string DimSetKey(const std::vector<ColumnRef>& dims);
+
+  const Database* db_;
+  EvalStrategy strategy_;
+  QueryExecutor executor_;
+  EvalStats stats_;
+  // Cache key: aggregate key + "|" + sorted dim-set key.
+  std::unordered_map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,159 @@
+#include "db/executor.h"
+
+#include <algorithm>
+
+#include "db/joined_relation.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace db {
+
+namespace {
+
+/// Counts joined rows that satisfy the given predicates, counting rows whose
+/// aggregation column is non-null (or all rows for "*").
+Result<std::optional<double>> CountWithPredicates(
+    const JoinedRelation& rel, const ColumnRef& agg_column, bool star,
+    const std::vector<Predicate>& predicates,
+    const std::vector<int>& pred_handles, int agg_handle, ScanStats* stats) {
+  int64_t count = 0;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool match = true;
+    for (size_t p = 0; p < predicates.size(); ++p) {
+      const Value& cell = rel.at(r, pred_handles[p]);
+      if (cell.is_null() || !(cell == predicates[p].value)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (!star && rel.at(r, agg_handle).is_null()) continue;
+    ++count;
+  }
+  if (stats != nullptr) stats->rows_scanned += rel.num_rows();
+  (void)agg_column;
+  return std::optional<double>(static_cast<double>(count));
+}
+
+}  // namespace
+
+Status QueryExecutor::Validate(const SimpleAggregateQuery& query) const {
+  if (query.is_star()) {
+    if (query.fn != AggFn::kCount && query.fn != AggFn::kPercentage &&
+        query.fn != AggFn::kConditionalProbability) {
+      return Status::InvalidArgument(
+          strings::Format("%s requires an aggregation column",
+                          AggFnName(query.fn)));
+    }
+  } else {
+    const Column* col = db_->FindColumn(query.agg_column);
+    if (col == nullptr) {
+      return Status::NotFound("unknown aggregation column: " +
+                              query.agg_column.ToString());
+    }
+    if (RequiresNumericColumn(query.fn) && !col->is_numeric()) {
+      return Status::InvalidArgument(
+          strings::Format("%s requires a numeric column, %s is %s",
+                          AggFnName(query.fn),
+                          query.agg_column.ToString().c_str(),
+                          ValueTypeName(col->type())));
+    }
+  }
+  if (query.fn == AggFn::kConditionalProbability && query.predicates.empty()) {
+    return Status::InvalidArgument(
+        "ConditionalProbability requires at least one predicate (condition)");
+  }
+  for (const Predicate& p : query.predicates) {
+    if (db_->FindColumn(p.column) == nullptr) {
+      return Status::NotFound("unknown predicate column: " +
+                              p.column.ToString());
+    }
+  }
+  auto tables = query.ReferencedTables();
+  if (tables.empty()) {
+    return Status::InvalidArgument("query references no table");
+  }
+  auto plan = db_->JoinPlan(tables);
+  if (!plan.ok()) return plan.status();
+  return Status::OK();
+}
+
+Result<std::optional<double>> QueryExecutor::Execute(
+    const SimpleAggregateQuery& query, ScanStats* stats) const {
+  Status valid = Validate(query);
+  if (!valid.ok()) return valid;
+
+  auto tables = query.ReferencedTables();
+  auto rel_result = JoinedRelation::Build(*db_, tables);
+  if (!rel_result.ok()) return rel_result.status();
+  const JoinedRelation& rel = *rel_result;
+
+  int agg_handle = -1;
+  if (!query.is_star()) {
+    auto h = rel.ResolveColumn(query.agg_column);
+    if (!h.ok()) return h.status();
+    agg_handle = *h;
+  }
+  std::vector<int> pred_handles;
+  pred_handles.reserve(query.predicates.size());
+  for (const Predicate& p : query.predicates) {
+    auto h = rel.ResolveColumn(p.column);
+    if (!h.ok()) return h.status();
+    pred_handles.push_back(*h);
+  }
+
+  // Ratio aggregates: quotient of two counts (footnote 1 / §4.4).
+  if (query.fn == AggFn::kPercentage ||
+      query.fn == AggFn::kConditionalProbability) {
+    auto num = CountWithPredicates(rel, query.agg_column, query.is_star(),
+                                   query.predicates, pred_handles, agg_handle,
+                                   stats);
+    if (!num.ok()) return num.status();
+
+    std::vector<Predicate> denom_preds;
+    std::vector<int> denom_handles;
+    if (query.fn == AggFn::kConditionalProbability) {
+      // Denominator restricted to the condition (first predicate) only.
+      denom_preds.push_back(query.predicates[0]);
+      denom_handles.push_back(pred_handles[0]);
+    } else {
+      // Percentage: denominator drops predicates on the percentage column.
+      for (size_t i = 0; i < query.predicates.size(); ++i) {
+        bool on_agg_column =
+            !query.is_star() &&
+            query.predicates[i].column == query.agg_column;
+        if (!on_agg_column) {
+          denom_preds.push_back(query.predicates[i]);
+          denom_handles.push_back(pred_handles[i]);
+        }
+      }
+    }
+    auto den = CountWithPredicates(rel, query.agg_column, query.is_star(),
+                                   denom_preds, denom_handles, agg_handle,
+                                   stats);
+    if (!den.ok()) return den.status();
+    double d = den->value_or(0.0);
+    if (d == 0.0) return std::optional<double>(std::nullopt);
+    return std::optional<double>(num->value_or(0.0) * 100.0 / d);
+  }
+
+  Aggregator agg(query.fn);
+  const Value star_placeholder(static_cast<int64_t>(1));
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    bool match = true;
+    for (size_t p = 0; p < query.predicates.size(); ++p) {
+      const Value& cell = rel.at(r, pred_handles[p]);
+      if (cell.is_null() || !(cell == query.predicates[p].value)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    agg.Add(query.is_star() ? star_placeholder : rel.at(r, agg_handle));
+  }
+  if (stats != nullptr) stats->rows_scanned += rel.num_rows();
+  return agg.Finish();
+}
+
+}  // namespace db
+}  // namespace aggchecker

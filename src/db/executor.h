@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief Statistics about executed scans (shared by naive and cube paths).
+struct ScanStats {
+  size_t rows_scanned = 0;
+};
+
+/// \brief Reference single-query executor (the "naive" strategy of Table 6).
+///
+/// Each call materializes the join and scans it once (twice for the ratio
+/// aggregates Percentage and ConditionalProbability, which are quotients of
+/// two counts per footnote 1 of the paper).
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Database* db) : db_(db) {}
+
+  /// Evaluates `query`. Returns nullopt inside the Result when the aggregate
+  /// is undefined (empty input for Avg/Min/Max, zero denominator for ratio
+  /// aggregates); returns an error Status for malformed queries (unknown
+  /// columns, non-numeric Sum target, unreachable join).
+  Result<std::optional<double>> Execute(const SimpleAggregateQuery& query,
+                                        ScanStats* stats = nullptr) const;
+
+  /// Validates a query against the schema without executing it.
+  Status Validate(const SimpleAggregateQuery& query) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace db
+}  // namespace aggchecker

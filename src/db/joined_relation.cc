@@ -1,0 +1,107 @@
+#include "db/joined_relation.h"
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace db {
+
+Result<JoinedRelation> JoinedRelation::Build(
+    const Database& db, const std::vector<std::string>& tables) {
+  JoinedRelation rel;
+  rel.db_ = &db;
+
+  auto plan = db.JoinPlan(tables);
+  if (!plan.ok()) return plan.status();
+
+  const Table* root = db.FindTable(plan->root);
+  if (plan->steps.empty()) {
+    rel.single_table_ = true;
+    rel.num_rows_ = root->num_rows();
+    rel.table_order_.push_back(strings::ToLower(root->name()));
+    return rel;
+  }
+
+  // Start with the root table's identity mapping.
+  rel.table_order_.push_back(strings::ToLower(root->name()));
+  rel.row_indices_.emplace_back(root->num_rows());
+  for (uint32_t r = 0; r < root->num_rows(); ++r) {
+    rel.row_indices_[0][r] = r;
+  }
+  rel.num_rows_ = root->num_rows();
+
+  for (const JoinStep& step : plan->steps) {
+    const Table* right_table = db.FindTable(step.table);
+    const Column* right_col = db.FindColumn(step.right);
+    const Column* left_col = db.FindColumn(step.left);
+    if (right_table == nullptr || right_col == nullptr ||
+        left_col == nullptr) {
+      return Status::Internal("join plan references unknown column");
+    }
+    // Locate the already-joined table holding the left column.
+    std::string left_table = strings::ToLower(step.left.table);
+    int left_pos = -1;
+    for (size_t i = 0; i < rel.table_order_.size(); ++i) {
+      if (rel.table_order_[i] == left_table) {
+        left_pos = static_cast<int>(i);
+        break;
+      }
+    }
+    if (left_pos < 0) {
+      return Status::Internal("join step left table not yet joined: " +
+                              step.left.table);
+    }
+
+    // Hash the right side on the join column.
+    std::unordered_multimap<Value, uint32_t, ValueHasher> hash;
+    hash.reserve(right_table->num_rows());
+    for (uint32_t r = 0; r < right_table->num_rows(); ++r) {
+      const Value& v = right_col->at(r);
+      if (!v.is_null()) hash.emplace(v, r);
+    }
+
+    // Probe with current joined rows; inner-join semantics.
+    std::vector<std::vector<uint32_t>> next(rel.row_indices_.size() + 1);
+    for (size_t r = 0; r < rel.num_rows_; ++r) {
+      uint32_t left_base =
+          rel.row_indices_[static_cast<size_t>(left_pos)][r];
+      const Value& key = left_col->at(left_base);
+      if (key.is_null()) continue;
+      auto [begin, end] = hash.equal_range(key);
+      for (auto it = begin; it != end; ++it) {
+        for (size_t t = 0; t < rel.row_indices_.size(); ++t) {
+          next[t].push_back(rel.row_indices_[t][r]);
+        }
+        next.back().push_back(it->second);
+      }
+    }
+    rel.row_indices_ = std::move(next);
+    rel.table_order_.push_back(strings::ToLower(right_table->name()));
+    rel.num_rows_ = rel.row_indices_[0].size();
+  }
+  return rel;
+}
+
+Result<int> JoinedRelation::ResolveColumn(const ColumnRef& ref) const {
+  const Column* column = db_->FindColumn(ref);
+  if (column == nullptr) {
+    return Status::NotFound("unknown column: " + ref.ToString());
+  }
+  std::string table = strings::ToLower(ref.table);
+  size_t pos = 0;
+  bool found = false;
+  for (size_t i = 0; i < table_order_.size(); ++i) {
+    if (table_order_[i] == table) {
+      pos = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("table not part of join: " + ref.table);
+  }
+  slots_.push_back(Slot{column, pos});
+  return static_cast<int>(slots_.size() - 1);
+}
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief Materialized equi-join over the PK-FK join path of a table set.
+///
+/// Rows are represented as per-table row indices; column access goes through
+/// the base tables without copying values. Single-table requests skip the
+/// join machinery entirely.
+class JoinedRelation {
+ public:
+  /// Builds the join of `tables` (inner join along the database's unique
+  /// PK-FK paths, per §4.4). Fails if tables are not connected.
+  static Result<JoinedRelation> Build(const Database& db,
+                                      const std::vector<std::string>& tables);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Resolves a column for fast repeated access. Fails if the column's
+  /// table was not part of the join.
+  Result<int> ResolveColumn(const ColumnRef& ref) const;
+
+  /// Value of resolved column `handle` in joined row `row`.
+  const Value& at(size_t row, int handle) const {
+    const Slot& slot = slots_[static_cast<size_t>(handle)];
+    size_t base_row =
+        single_table_ ? row : row_indices_[slot.table_pos][row];
+    return slot.column->at(base_row);
+  }
+
+  /// Base table of a resolved column (for dictionary-code access).
+  const Column* column_of(int handle) const {
+    return slots_[static_cast<size_t>(handle)].column;
+  }
+
+  /// Base-table row index behind joined row `row` for column `handle`.
+  size_t base_row(size_t row, int handle) const {
+    const Slot& slot = slots_[static_cast<size_t>(handle)];
+    return single_table_ ? row : row_indices_[slot.table_pos][row];
+  }
+
+ private:
+  JoinedRelation() = default;
+
+  struct Slot {
+    const Column* column;
+    size_t table_pos;  ///< index into row_indices_
+  };
+
+  const Database* db_ = nullptr;
+  bool single_table_ = false;
+  size_t num_rows_ = 0;
+  std::vector<std::string> table_order_;  // lower-cased names
+  // row_indices_[t][r] = row in base table t for joined row r.
+  std::vector<std::vector<uint32_t>> row_indices_;
+  mutable std::vector<Slot> slots_;
+};
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,274 @@
+#include "db/sql_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace db {
+
+namespace {
+
+/// SQL token: word, quoted string, number, or punctuation character.
+struct SqlToken {
+  enum Kind { kWord, kString, kNumber, kPunct } kind;
+  std::string text;  ///< words lower-cased; strings/numbers verbatim
+};
+
+Result<std::vector<SqlToken>> Lex(const std::string& sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char ch = sql[i];
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++i;
+      continue;
+    }
+    if (ch == '\'') {
+      std::string value;
+      ++i;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (i >= n) return Status::ParseError("unterminated string literal");
+      ++i;  // closing quote
+      tokens.push_back({SqlToken::kString, std::move(value)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        ((ch == '-' || ch == '+') && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::string number;
+      number.push_back(ch);
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        number.push_back(sql[i++]);
+      }
+      tokens.push_back({SqlToken::kNumber, std::move(number)});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql[i]))));
+        ++i;
+      }
+      tokens.push_back({SqlToken::kWord, std::move(word)});
+      continue;
+    }
+    tokens.push_back({SqlToken::kPunct, std::string(1, ch)});
+    ++i;
+  }
+  return tokens;
+}
+
+/// Cursor over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<SqlToken> tokens, const Database& db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  Result<SimpleAggregateQuery> Run() {
+    if (!EatWord("select")) {
+      return Status::ParseError("expected SELECT");
+    }
+    SimpleAggregateQuery query;
+
+    // Aggregation function.
+    std::optional<AggFn> fn = ParseFunctionName();
+    if (!fn.has_value()) {
+      return Status::ParseError("unknown aggregation function");
+    }
+    query.fn = *fn;
+
+    // (column | * | DISTINCT column)
+    if (!EatPunct("(")) return Status::ParseError("expected '('");
+    if (EatWord("distinct")) {
+      if (query.fn != AggFn::kCount) {
+        return Status::ParseError("DISTINCT only valid with COUNT");
+      }
+      query.fn = AggFn::kCountDistinct;
+    }
+    if (EatPunct("*")) {
+      // all-column; table resolved after FROM
+    } else {
+      auto column = ParseColumnRef();
+      if (!column.ok()) return column.status();
+      query.agg_column = *column;
+    }
+    if (!EatPunct(")")) return Status::ParseError("expected ')'");
+
+    // FROM table [E-JOIN table ...]
+    if (!EatWord("from")) return Status::ParseError("expected FROM");
+    std::vector<std::string> tables;
+    while (true) {
+      const SqlToken* t = Next();
+      if (t == nullptr || t->kind != SqlToken::kWord) {
+        return Status::ParseError("expected table name after FROM");
+      }
+      const Table* table = db_.FindTable(t->text);
+      if (table == nullptr) {
+        return Status::NotFound("unknown table: " + t->text);
+      }
+      tables.push_back(table->name());
+      // E-JOIN / JOIN separators.
+      size_t mark = pos_;
+      if (EatWord("e") && EatPunct("-") && EatWord("join")) continue;
+      pos_ = mark;
+      if (EatWord("join")) continue;
+      break;
+    }
+    if (query.agg_column.table.empty() && query.agg_column.column.empty()) {
+      query.agg_column.table = tables[0];  // the "*" target
+    }
+
+    // WHERE clause.
+    if (EatWord("where")) {
+      while (true) {
+        auto column = ParseColumnRef();
+        if (!column.ok()) return column.status();
+        if (!EatPunct("=")) return Status::ParseError("expected '='");
+        const SqlToken* value = Next();
+        if (value == nullptr ||
+            (value->kind != SqlToken::kString &&
+             value->kind != SqlToken::kNumber &&
+             value->kind != SqlToken::kWord)) {
+          return Status::ParseError("expected literal after '='");
+        }
+        query.predicates.push_back(
+            Predicate{*column, ParseCell(value->text)});
+        if (!EatWord("and")) break;
+      }
+    }
+    if (pos_ != tokens_.size() && !(pos_ + 1 == tokens_.size() &&
+                                    tokens_[pos_].kind == SqlToken::kPunct &&
+                                    tokens_[pos_].text == ";")) {
+      return Status::ParseError("unexpected trailing tokens");
+    }
+
+    // Final resolution sanity: every referenced column must exist.
+    if (!query.is_star() && db_.FindColumn(query.agg_column) == nullptr) {
+      return Status::NotFound("unknown column: " +
+                              query.agg_column.ToString());
+    }
+    return query;
+  }
+
+ private:
+  const SqlToken* Peek() const {
+    return pos_ < tokens_.size() ? &tokens_[pos_] : nullptr;
+  }
+  const SqlToken* Next() {
+    return pos_ < tokens_.size() ? &tokens_[pos_++] : nullptr;
+  }
+  bool EatWord(const std::string& word) {
+    const SqlToken* t = Peek();
+    if (t != nullptr && t->kind == SqlToken::kWord && t->text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatPunct(const std::string& punct) {
+    const SqlToken* t = Peek();
+    if (t != nullptr && t->kind == SqlToken::kPunct && t->text == punct) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<AggFn> ParseFunctionName() {
+    const SqlToken* t = Next();
+    if (t == nullptr || t->kind != SqlToken::kWord) return std::nullopt;
+    std::string name = t->text;
+    if (name == "count") {
+      // COUNT DISTINCT as two words.
+      size_t mark = pos_;
+      if (EatWord("distinct")) return AggFn::kCountDistinct;
+      pos_ = mark;
+      return AggFn::kCount;
+    }
+    if (name == "countdistinct") return AggFn::kCountDistinct;
+    if (name == "sum") return AggFn::kSum;
+    if (name == "avg" || name == "average") return AggFn::kAvg;
+    if (name == "min") return AggFn::kMin;
+    if (name == "max") return AggFn::kMax;
+    if (name == "percentage" || name == "percent") return AggFn::kPercentage;
+    if (name == "conditionalprobability" || name == "condprob") {
+      return AggFn::kConditionalProbability;
+    }
+    return std::nullopt;
+  }
+
+  /// column | table.column — unqualified names resolved over all tables.
+  Result<ColumnRef> ParseColumnRef() {
+    const SqlToken* first = Next();
+    if (first == nullptr || first->kind != SqlToken::kWord) {
+      return Status::ParseError("expected column name");
+    }
+    size_t mark = pos_;
+    if (EatPunct(".")) {
+      const SqlToken* second = Next();
+      if (second == nullptr || second->kind != SqlToken::kWord) {
+        return Status::ParseError("expected column after '.'");
+      }
+      const Table* table = db_.FindTable(first->text);
+      if (table == nullptr) {
+        return Status::NotFound("unknown table: " + first->text);
+      }
+      const Column* column = table->FindColumn(second->text);
+      if (column == nullptr) {
+        return Status::NotFound("unknown column: " + first->text + "." +
+                                second->text);
+      }
+      return ColumnRef{table->name(), column->name()};
+    }
+    pos_ = mark;
+    // Unqualified: must match exactly one table's column.
+    std::optional<ColumnRef> found;
+    for (size_t t = 0; t < db_.num_tables(); ++t) {
+      const Table& table = db_.table(t);
+      const Column* column = table.FindColumn(first->text);
+      if (column == nullptr) continue;
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column: " + first->text);
+      }
+      found = ColumnRef{table.name(), column->name()};
+    }
+    if (!found.has_value()) {
+      return Status::NotFound("unknown column: " + first->text);
+    }
+    return *found;
+  }
+
+  std::vector<SqlToken> tokens_;
+  const Database& db_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SimpleAggregateQuery> ParseSql(const std::string& sql,
+                                      const Database& db) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(*tokens), db).Run();
+}
+
+}  // namespace db
+}  // namespace aggchecker

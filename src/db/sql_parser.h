@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief Parses the Simple-Aggregate-Query SQL dialect of Definition 2:
+///
+///   SELECT <Fct>(<column>|*) FROM <table> [E-JOIN <table> ...]
+///   [WHERE <column> = '<value>' [AND ...]]
+///
+/// Accepted function names are the AggFnName spellings (case-insensitive)
+/// plus COUNT DISTINCT / COUNT(DISTINCT col). Values may be single-quoted
+/// strings or bare numbers. Column references may be table-qualified
+/// (t.col); unqualified names are resolved against `db` and must be
+/// unambiguous. The FROM clause is validated but join paths are inferred
+/// from the schema as usual (§4.4), so listing join tables is optional.
+///
+/// Used by the review REPL's custom-query action (Figure 3(d)) and by
+/// tooling that replays exported ground-truth queries.
+Result<SimpleAggregateQuery> ParseSql(const std::string& sql,
+                                      const Database& db);
+
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/column.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief A named table: an ordered list of equally sized columns.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Builds a table from parsed CSV, inferring column types: a column whose
+  /// non-null cells are all integral is LONG, all numeric is DOUBLE,
+  /// otherwise STRING (numeric-looking cells in a string column keep their
+  /// string rendering).
+  static Result<Table> FromCsv(std::string name, const csv::CsvData& data);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column& column(size_t i) { return *columns_[i]; }
+
+  /// Case-insensitive column lookup. Returns -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+  const Column* FindColumn(const std::string& name) const;
+
+  /// Appends an empty column; all columns must be appended before rows.
+  Status AddColumn(std::string column_name, ValueType type);
+
+  /// Appends a row of values (one per column, in column order).
+  Status AddRow(std::vector<Value> row);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace db
+}  // namespace aggchecker

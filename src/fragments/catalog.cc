@@ -1,0 +1,196 @@
+#include "fragments/catalog.h"
+
+#include <algorithm>
+
+#include "ir/tokenizer.h"
+#include "ir/word_splitter.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace fragments {
+
+namespace {
+
+using TermWeight = ir::InvertedIndex::TermWeight;
+
+/// Adds the word parts of an identifier (column or table name) at `weight`.
+void AddIdentifierKeywords(const std::string& identifier, double weight,
+                           std::vector<TermWeight>* terms) {
+  for (const std::string& part : ir::WordSplitter::Default().Split(
+           identifier)) {
+    if (part.size() < 2 && !strings::IsDigits(part)) continue;
+    terms->push_back({part, weight});
+  }
+}
+
+/// Adds free-text keywords (dictionary descriptions, literal values).
+void AddTextKeywords(const std::string& text, double weight,
+                     std::vector<TermWeight>* terms) {
+  for (const std::string& token : ir::Tokenize(text)) {
+    if (ir::IsStopWord(token)) continue;
+    terms->push_back({token, weight});
+  }
+}
+
+}  // namespace
+
+Result<FragmentCatalog> FragmentCatalog::Build(const db::Database& db,
+                                               const CatalogOptions& options) {
+  if (db.num_tables() == 0) {
+    return Status::InvalidArgument("database has no tables");
+  }
+  FragmentCatalog catalog;
+
+  // --- Aggregation-function fragments: fixed keyword sets. ---
+  auto& fn_fragments =
+      catalog.fragments_[static_cast<size_t>(FragmentType::kAggFunction)];
+  auto& fn_index =
+      catalog.indexes_[static_cast<size_t>(FragmentType::kAggFunction)];
+  for (db::AggFn fn : db::AllAggFns()) {
+    QueryFragment frag;
+    frag.type = FragmentType::kAggFunction;
+    frag.fn = fn;
+    std::vector<TermWeight> terms;
+    for (const std::string& kw : db::AggFnKeywords(fn)) {
+      terms.push_back({kw, 1.0});
+    }
+    fn_index.AddDocument(terms);
+    fn_fragments.push_back(std::move(frag));
+  }
+
+  // --- Aggregation-column fragments: every numeric column plus one "*" per
+  // table. Keywords from the column name, table name, and dictionary. ---
+  auto& col_fragments =
+      catalog.fragments_[static_cast<size_t>(FragmentType::kAggColumn)];
+  auto& col_index =
+      catalog.indexes_[static_cast<size_t>(FragmentType::kAggColumn)];
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const db::Table& table = db.table(t);
+    {
+      QueryFragment star;
+      star.type = FragmentType::kAggColumn;
+      star.column = db::ColumnRef{table.name(), ""};
+      std::vector<TermWeight> terms;
+      AddIdentifierKeywords(table.name(), 1.0, &terms);
+      // Generic row-count vocabulary so "*" is reachable from count-ish
+      // phrasings without a named column.
+      for (const char* kw : {"rows", "entries", "records", "cases"}) {
+        terms.push_back({kw, 0.5});
+      }
+      col_index.AddDocument(terms);
+      col_fragments.push_back(std::move(star));
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const db::Column& column = table.column(c);
+      QueryFragment frag;
+      frag.type = FragmentType::kAggColumn;
+      frag.column = db::ColumnRef{table.name(), column.name()};
+      std::vector<TermWeight> terms;
+      AddIdentifierKeywords(column.name(), 1.0, &terms);
+      AddIdentifierKeywords(table.name(), 0.4, &terms);
+      if (options.dictionary != nullptr) {
+        AddTextKeywords(options.dictionary->Lookup(frag.column), 0.8, &terms);
+      }
+      // Non-numeric columns are still valid aggregation targets for
+      // CountDistinct / Percentage; numeric ones additionally for
+      // Sum/Avg/Min/Max. The model's validator rejects bad pairings.
+      col_index.AddDocument(terms);
+      col_fragments.push_back(std::move(frag));
+    }
+  }
+
+  // --- Predicate fragments: one per (column, distinct literal). ---
+  auto& pred_fragments =
+      catalog.fragments_[static_cast<size_t>(FragmentType::kPredicate)];
+  auto& pred_index =
+      catalog.indexes_[static_cast<size_t>(FragmentType::kPredicate)];
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const db::Table& table = db.table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const db::Column& column = table.column(c);
+      db::ColumnRef col_ref{table.name(), column.name()};
+      const auto& distinct = column.DistinctValues();
+      size_t limit = std::min(distinct.size(),
+                              options.max_literals_per_column);
+      if (limit > 0) catalog.predicate_columns_.push_back(col_ref);
+      for (size_t v = 0; v < limit; ++v) {
+        QueryFragment frag;
+        frag.type = FragmentType::kPredicate;
+        frag.column = col_ref;
+        frag.value = distinct[v];
+        std::vector<TermWeight> terms;
+        AddTextKeywords(distinct[v].ToString(), 1.0, &terms);
+        AddIdentifierKeywords(column.name(), 0.6, &terms);
+        AddIdentifierKeywords(table.name(), 0.2, &terms);
+        if (options.dictionary != nullptr) {
+          AddTextKeywords(options.dictionary->Lookup(col_ref), 0.5, &terms);
+        }
+        pred_index.AddDocument(terms);
+        pred_fragments.push_back(std::move(frag));
+      }
+    }
+  }
+  return catalog;
+}
+
+std::vector<ScoredFragment> FragmentCatalog::Retrieve(
+    FragmentType type, const std::vector<TermWeight>& query,
+    size_t top_k) const {
+  std::vector<ScoredFragment> out;
+  for (const ir::ScoredDoc& hit :
+       indexes_[static_cast<size_t>(type)].Search(query, top_k)) {
+    out.push_back(ScoredFragment{hit.doc_id, hit.score});
+  }
+  return out;
+}
+
+int FragmentCatalog::PredicateColumnIndex(const db::ColumnRef& column) const {
+  for (size_t i = 0; i < predicate_columns_.size(); ++i) {
+    if (strings::ToLower(predicate_columns_[i].ToString()) ==
+        strings::ToLower(column.ToString())) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int FragmentCatalog::AggColumnIndex(const db::ColumnRef& column) const {
+  const auto& cols =
+      fragments_[static_cast<size_t>(FragmentType::kAggColumn)];
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (strings::ToLower(cols[i].column.ToString()) ==
+        strings::ToLower(column.ToString())) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double FragmentCatalog::CountPossibleQueries(const db::Database& db) {
+  // (function, column) pairs.
+  double select_choices = 0;
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const db::Table& table = db.table(t);
+    select_choices += 1;  // Count(*) — plus ratio-on-star pairs below
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const db::Column& column = table.column(c);
+      for (db::AggFn fn : db::AllAggFns()) {
+        if (db::RequiresNumericColumn(fn) && !column.is_numeric()) continue;
+        select_choices += 1;
+      }
+    }
+  }
+  // Predicate combinations: any subset of columns, one literal each.
+  double predicate_choices = 1;
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const db::Table& table = db.table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      predicate_choices *=
+          1.0 + static_cast<double>(table.column(c).DistinctValues().size());
+    }
+  }
+  return select_choices * predicate_choices;
+}
+
+}  // namespace fragments
+}  // namespace aggchecker

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "fragments/data_dictionary.h"
+#include "fragments/fragment.h"
+#include "ir/inverted_index.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace fragments {
+
+/// \brief A retrieved fragment with its IR relevance score.
+struct ScoredFragment {
+  int fragment_index = -1;  ///< into FragmentCatalog::fragments(type)
+  double score = 0.0;
+};
+
+/// \brief Options controlling fragment generation.
+struct CatalogOptions {
+  /// Columns with more distinct values than this still index only the first
+  /// N literals (protects against id-like columns exploding the index; the
+  /// paper's data sets cap out far below this).
+  size_t max_literals_per_column = 2000;
+
+  /// Optional data dictionary adding description keywords per column.
+  const DataDictionary* dictionary = nullptr;
+};
+
+/// \brief Catalog of all potentially relevant query fragments of a database,
+/// indexed by keywords (Function IndexFragments of Algorithm 1).
+///
+/// Three separate inverted indexes — one per fragment category — supply the
+/// category-wise relevance scores S^F, S^A, S^R of the probabilistic model.
+class FragmentCatalog {
+ public:
+  /// Traverses the database and builds all fragments plus keyword indexes.
+  static Result<FragmentCatalog> Build(const db::Database& db,
+                                       const CatalogOptions& options = {});
+
+  const std::vector<QueryFragment>& fragments(FragmentType type) const {
+    return fragments_[static_cast<size_t>(type)];
+  }
+  const QueryFragment& fragment(FragmentType type, int index) const {
+    return fragments_[static_cast<size_t>(type)][static_cast<size_t>(index)];
+  }
+
+  /// Top-k fragments of one category for a weighted keyword query.
+  std::vector<ScoredFragment> Retrieve(
+      FragmentType type, const std::vector<ir::InvertedIndex::TermWeight>& query,
+      size_t top_k) const;
+
+  /// Number of distinct predicate columns (used for prior bookkeeping).
+  const std::vector<db::ColumnRef>& predicate_columns() const {
+    return predicate_columns_;
+  }
+
+  /// Index of a predicate column in predicate_columns(), or -1.
+  int PredicateColumnIndex(const db::ColumnRef& column) const;
+
+  /// Index of an aggregation-column fragment (empty column name = the "*"
+  /// fragment of that table), or -1.
+  int AggColumnIndex(const db::ColumnRef& column) const;
+
+  /// \brief Number of Simple Aggregate Queries expressible over `db`
+  /// (Figure 8): sum over compatible (function, column) pairs times the
+  /// product over predicate columns of (1 + #distinct literals).
+  ///
+  /// Returned as double since real data sets exceed 10^12 (§B).
+  static double CountPossibleQueries(const db::Database& db);
+
+ private:
+  FragmentCatalog() = default;
+
+  std::vector<QueryFragment> fragments_[kNumFragmentTypes];
+  ir::InvertedIndex indexes_[kNumFragmentTypes];
+  std::vector<db::ColumnRef> predicate_columns_;
+};
+
+}  // namespace fragments
+}  // namespace aggchecker

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "db/database.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace fragments {
+
+/// \brief Optional data dictionary mapping columns to text descriptions
+/// (§4.2: "If a data dictionary is provided, we add for each column the
+/// data dictionary description to its associated keywords").
+///
+/// The supported format is CSV with columns (table, column, description);
+/// the table field may be empty when the database has a single table.
+class DataDictionary {
+ public:
+  DataDictionary() = default;
+
+  /// Parses the CSV dictionary format described above.
+  static Result<DataDictionary> Parse(const std::string& csv_text);
+
+  void Add(const db::ColumnRef& column, std::string description);
+
+  /// Description for a column; empty string if absent. Lookup is
+  /// case-insensitive; an entry with an empty table name matches any table.
+  const std::string& Lookup(const db::ColumnRef& column) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  static std::string KeyOf(const db::ColumnRef& column);
+
+  std::unordered_map<std::string, std::string> entries_;
+  std::string empty_;
+};
+
+}  // namespace fragments
+}  // namespace aggchecker

@@ -1,0 +1,43 @@
+#include "fragments/fragment.h"
+
+namespace aggchecker {
+namespace fragments {
+
+const char* FragmentTypeName(FragmentType type) {
+  switch (type) {
+    case FragmentType::kAggFunction:
+      return "function";
+    case FragmentType::kAggColumn:
+      return "column";
+    case FragmentType::kPredicate:
+      return "predicate";
+  }
+  return "?";
+}
+
+std::string QueryFragment::Describe() const {
+  switch (type) {
+    case FragmentType::kAggFunction:
+      return db::AggFnName(fn);
+    case FragmentType::kAggColumn:
+      return is_star_column() ? column.table + ".*" : column.ToString();
+    case FragmentType::kPredicate:
+      return column.column + " = '" + value.ToString() + "'";
+  }
+  return "";
+}
+
+std::string QueryFragment::Key() const {
+  switch (type) {
+    case FragmentType::kAggFunction:
+      return std::string("f:") + db::AggFnName(fn);
+    case FragmentType::kAggColumn:
+      return "a:" + column.ToString();
+    case FragmentType::kPredicate:
+      return "r:" + column.ToString() + "='" + value.ToString() + "'";
+  }
+  return "";
+}
+
+}  // namespace fragments
+}  // namespace aggchecker

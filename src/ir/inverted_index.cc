@@ -1,0 +1,87 @@
+#include "ir/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/porter_stemmer.h"
+
+namespace aggchecker {
+namespace ir {
+
+int InvertedIndex::AddDocument(const std::vector<TermWeight>& terms) {
+  const int doc_id = static_cast<int>(doc_norms_.size());
+  // Accumulate weights per stemmed term.
+  std::unordered_map<std::string, double> tf;
+  for (const auto& [term, weight] : terms) {
+    if (term.empty() || weight <= 0) continue;
+    tf[PorterStem(term)] += weight;
+  }
+  double norm_sq = 0;
+  for (const auto& [term, weight] : tf) {
+    double w = 1.0 + std::log(weight);
+    if (w <= 0) w = weight;  // weights < 1 stay sub-linear but positive
+    postings_[term].push_back(Posting{doc_id, w});
+    norm_sq += w * w;
+  }
+  doc_norms_.push_back(norm_sq > 0 ? std::sqrt(norm_sq) : 1.0);
+  finalized_ = false;
+  return doc_id;
+}
+
+void InvertedIndex::Finalize() const { finalized_ = true; }
+
+double InvertedIndex::Idf(size_t df) const {
+  return std::log(1.0 + static_cast<double>(doc_norms_.size()) /
+                            (1.0 + static_cast<double>(df)));
+}
+
+void InvertedIndex::Accumulate(
+    const std::vector<TermWeight>& query,
+    std::unordered_map<int, double>* scores) const {
+  if (!finalized_) Finalize();
+  // Merge duplicate query terms first.
+  std::unordered_map<std::string, double> qtf;
+  for (const auto& [term, weight] : query) {
+    if (term.empty() || weight <= 0) continue;
+    qtf[PorterStem(term)] += weight;
+  }
+  for (const auto& [term, weight] : qtf) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double idf = Idf(it->second.size());
+    double qw = weight * idf;
+    for (const Posting& p : it->second) {
+      (*scores)[p.doc_id] +=
+          qw * p.weight * idf / doc_norms_[static_cast<size_t>(p.doc_id)];
+    }
+  }
+}
+
+std::vector<ScoredDoc> InvertedIndex::Search(
+    const std::vector<TermWeight>& query, size_t top_k) const {
+  std::unordered_map<int, double> scores;
+  Accumulate(query, &scores);
+  std::vector<ScoredDoc> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (score > 0) hits.push_back(ScoredDoc{doc, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a,
+                                         const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+double InvertedIndex::Score(const std::vector<TermWeight>& query,
+                            int doc_id) const {
+  std::unordered_map<int, double> scores;
+  Accumulate(query, &scores);
+  auto it = scores.find(doc_id);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+}  // namespace ir
+}  // namespace aggchecker

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace aggchecker {
+namespace ir {
+
+/// \brief A retrieval hit: document id plus relevance score.
+struct ScoredDoc {
+  int doc_id = -1;
+  double score = 0.0;
+};
+
+/// \brief TF-IDF inverted index over weighted keyword bags — the engine the
+/// AggChecker uses in place of Apache Lucene (§4.1).
+///
+/// Documents are weighted term bags (query fragments index their keyword
+/// sets; claims query with their weighted keyword contexts). Terms are
+/// Porter-stemmed on both sides. Scoring is cosine similarity with
+/// log-scaled term frequencies and smoothed idf, matching Lucene's classic
+/// practical scoring closely enough to act as the relevance-score source
+/// S_c of the probabilistic model.
+class InvertedIndex {
+ public:
+  using TermWeight = std::pair<std::string, double>;
+
+  /// Adds a document; returns its id (dense, starting at 0).
+  /// Documents added after the first Search call are an error in spirit —
+  /// the index finalizes lazily and asserts immutability via idf caching.
+  int AddDocument(const std::vector<TermWeight>& terms);
+
+  /// Top-k documents by score. Ties broken by lower doc id. Query terms are
+  /// stemmed; unknown terms are ignored. Scores are always > 0 for returned
+  /// docs; fewer than k hits may be returned.
+  std::vector<ScoredDoc> Search(const std::vector<TermWeight>& query,
+                                size_t top_k) const;
+
+  /// Relevance score of a specific document for a query (0 if no overlap).
+  double Score(const std::vector<TermWeight>& query, int doc_id) const;
+
+  size_t num_documents() const { return doc_norms_.size(); }
+
+ private:
+  struct Posting {
+    int doc_id;
+    double weight;  ///< log-scaled term frequency
+  };
+
+  void Finalize() const;
+  double Idf(size_t df) const;
+
+  /// Accumulates per-document scores for a query into `scores`.
+  void Accumulate(const std::vector<TermWeight>& query,
+                  std::unordered_map<int, double>* scores) const;
+
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<double> doc_norms_;
+  mutable bool finalized_ = false;
+};
+
+}  // namespace ir
+}  // namespace aggchecker

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace aggchecker {
+namespace ir {
+
+/// \brief Classic Porter (1980) stemming algorithm.
+///
+/// Used to match morphological variants between claim keywords and
+/// database-derived fragment keywords ("suspensions" vs "suspension",
+/// "donated" vs "donate"). Input should be a lower-cased alphabetic token;
+/// tokens shorter than 3 characters or containing non-letters are returned
+/// unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace ir
+}  // namespace aggchecker

@@ -1,0 +1,101 @@
+#include "ir/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace aggchecker {
+namespace ir {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Inner punctuation kept inside a token when flanked by word characters.
+bool IsInnerPunct(char c) { return c == '\'' || c == '.' || c == ','; }
+}  // namespace
+
+std::vector<Token> TokenizeWithOffsets(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    if (!IsWordChar(text[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    std::string token;
+    while (i < n) {
+      char c = text[i];
+      if (IsWordChar(c)) {
+        token.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        ++i;
+      } else if (IsInnerPunct(c) && i + 1 < n && IsWordChar(text[i + 1])) {
+        // Keep "don't", "13.6", "1,200" as single tokens; commas only join
+        // digit groups ("1,200"), never words.
+        if (c == ',' &&
+            !(std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+              std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+          break;
+        }
+        token.push_back(c);
+        ++i;
+      } else {
+        break;
+      }
+    }
+    tokens.push_back(Token{std::move(token), start});
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& t : TokenizeWithOffsets(text)) out.push_back(std::move(t.text));
+  return out;
+}
+
+bool IsNumericToken(std::string_view token) {
+  if (token.empty()) return false;
+  bool digit_seen = false;
+  bool dot_seen = false;
+  for (size_t i = 0; i < token.size(); ++i) {
+    char c = token[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c == '.') {
+      if (dot_seen) return false;
+      dot_seen = true;
+    } else if (c == ',') {
+      // thousands separator, must be between digits (tokenizer guarantees)
+      continue;
+    } else if ((c == '-' || c == '+') && i == 0) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+bool IsStopWord(std::string_view token) {
+  static const std::unordered_set<std::string_view> kStopWords = {
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "but",
+      "by",    "for",   "from",  "had",   "has",   "have",  "he",    "her",
+      "his",   "i",     "in",    "is",    "it",    "its",   "of",    "on",
+      "or",    "our",   "she",   "that",  "the",   "their", "them",  "then",
+      "they",  "this",  "to",    "was",   "we",    "were",  "which", "who",
+      "will",  "with",  "you",   "your",  "these", "those", "been",  "being",
+      "do",    "does",  "did",   "if",    "into",  "than",  "so",    "such",
+      "about", "after", "before", "also", "not",   "no",    "up",    "out",
+      "over",  "under", "again", "once",  "here",  "when",  "where", "why",
+      "how",   "all",   "any",   "both",  "each",  "few",   "more",  "some",
+      "own",   "same",  "s",     "t",     "can",   "just",  "very",  "what",
+  };
+  return kStopWords.count(token) > 0;
+}
+
+}  // namespace ir
+}  // namespace aggchecker

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggchecker {
+namespace ir {
+
+/// \brief A token with its character offset in the source text.
+struct Token {
+  std::string text;   ///< lower-cased token
+  size_t offset = 0;  ///< byte offset of the first character
+};
+
+/// \brief Splits text into lower-cased word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; embedded
+/// apostrophes ("don't") and number punctuation ("13.6", "1,200", "1.5e3")
+/// are kept inside a single token. Everything else is a separator.
+std::vector<Token> TokenizeWithOffsets(std::string_view text);
+
+/// Token texts only.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for tokens that are purely numeric (digits with optional sign,
+/// decimal point, thousands separators).
+bool IsNumericToken(std::string_view token);
+
+/// \brief Common English stop words excluded from keyword indexing.
+bool IsStopWord(std::string_view token);
+
+}  // namespace ir
+}  // namespace aggchecker

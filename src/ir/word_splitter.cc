@@ -1,0 +1,159 @@
+#include "ir/word_splitter.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace ir {
+
+void WordSplitter::AddWord(const std::string& word) {
+  if (word.size() < 2) return;
+  if (!Contains(word)) dictionary_.push_back(word);
+}
+
+bool WordSplitter::Contains(const std::string& word) const {
+  return std::find(dictionary_.begin(), dictionary_.end(), word) !=
+         dictionary_.end();
+}
+
+std::vector<std::string> WordSplitter::SegmentRun(
+    const std::string& run) const {
+  // Dynamic program: best[i] = minimal number of dictionary words covering
+  // run[0..i), or -1 if not coverable. Prefer fewer (hence longer) words.
+  const size_t n = run.size();
+  if (n < 4) return {run};  // too short to be a concatenation
+  std::vector<int> best(n + 1, -1);
+  std::vector<size_t> prev(n + 1, 0);
+  best[0] = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (best[j] < 0) continue;
+      std::string piece = run.substr(j, i - j);
+      if (piece.size() < 2 || !Contains(piece)) continue;
+      if (best[i] < 0 || best[j] + 1 < best[i]) {
+        best[i] = best[j] + 1;
+        prev[i] = j;
+      }
+    }
+  }
+  if (best[n] < 0 || best[n] < 2) return {run};  // no split, or trivial
+  std::vector<std::string> parts;
+  for (size_t i = n; i > 0; i = prev[i]) {
+    parts.push_back(run.substr(prev[i], i - prev[i]));
+  }
+  std::reverse(parts.begin(), parts.end());
+  return parts;
+}
+
+std::vector<std::string> WordSplitter::Split(
+    const std::string& identifier) const {
+  // Pass 1: split on explicit separators and case/digit boundaries.
+  std::vector<std::string> runs;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      runs.push_back(strings::ToLower(cur));
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    char c = identifier[i];
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      flush();
+      continue;
+    }
+    bool boundary = false;
+    if (!cur.empty()) {
+      char p = identifier[i - 1];
+      bool p_lower = std::islower(static_cast<unsigned char>(p));
+      bool c_upper = std::isupper(static_cast<unsigned char>(c));
+      bool p_digit = std::isdigit(static_cast<unsigned char>(p));
+      bool c_digit = std::isdigit(static_cast<unsigned char>(c));
+      if (p_lower && c_upper) boundary = true;          // camelCase
+      if (p_digit != c_digit) boundary = true;          // digit edges
+      // ABBRWord: split before the last upper of an upper run.
+      if (std::isupper(static_cast<unsigned char>(p)) && c_upper &&
+          i + 1 < identifier.size() &&
+          std::islower(static_cast<unsigned char>(identifier[i + 1]))) {
+        boundary = true;
+      }
+    }
+    if (boundary) flush();
+    cur.push_back(c);
+  }
+  flush();
+
+  // Pass 2: dictionary segmentation of long all-letter runs.
+  std::vector<std::string> out;
+  for (const std::string& run : runs) {
+    bool all_alpha = std::all_of(run.begin(), run.end(), [](unsigned char c) {
+      return std::isalpha(c) != 0;
+    });
+    if (all_alpha && !Contains(run)) {
+      for (auto& part : SegmentRun(run)) out.push_back(std::move(part));
+    } else {
+      out.push_back(run);
+    }
+  }
+  return out;
+}
+
+const WordSplitter& WordSplitter::Default() {
+  static const WordSplitter* kDefault = [] {
+    auto* s = new WordSplitter();
+    // Compact dictionary targeted at column-name vocabulary: common data
+    // headers across the corpus domains plus frequent English nouns.
+    static const char* kWords[] = {
+        "suspension", "suspensions", "nfl", "team", "teams", "game", "games",
+        "player", "players", "category", "name", "names", "year", "years",
+        "date", "season", "seasons", "state", "states", "city", "cities",
+        "country", "countries", "region", "regions", "county", "counties",
+        "vote", "votes", "voter", "voters", "party", "candidate",
+        "candidates", "election", "elections", "donor", "donors", "donation",
+        "donations", "amount", "amounts", "recipient", "recipients", "fund",
+        "funds", "committee", "salary", "salaries", "income", "incomes",
+        "price", "prices", "cost", "costs", "total", "count", "number",
+        "rate", "rates", "percent", "percentage", "share", "ratio", "age",
+        "ages", "gender", "education", "degree", "occupation", "job", "jobs",
+        "employment", "employer", "employers", "employee", "employees",
+        "company", "companies", "industry", "experience", "level", "levels",
+        "response", "responses", "respondent", "respondents", "answer",
+        "answers", "question", "questions", "survey", "surveys", "language",
+        "languages", "tool", "tools", "tech", "stack", "code", "developer",
+        "developers", "remote", "satisfaction", "happy", "happiness",
+        "score", "scores", "rating", "ratings", "rank", "ranks", "ranking",
+        "goal", "goals", "point", "points", "win", "wins", "loss", "losses",
+        "match", "matches", "league", "division", "club", "clubs", "coach",
+        "stadium", "attendance", "crowd", "capacity", "population", "area",
+        "density", "growth", "gdp", "budget", "revenue", "profit", "sales",
+        "sale", "tax", "taxes", "order", "orders", "customer", "customers",
+        "product", "products", "store", "stores", "item", "items",
+        "quantity", "unit", "units", "speech", "speeches", "president",
+        "presidents", "commencement", "school", "schools", "college",
+        "university", "station", "stations", "network", "networks", "show",
+        "shows", "guest", "guests", "appearance", "appearances", "song",
+        "songs", "artist", "artists", "album", "albums", "lyric", "lyrics",
+        "mention", "mentions", "sentiment", "genre", "genres", "movie",
+        "movies", "film", "films", "title", "titles", "length", "duration",
+        "time", "times", "month", "months", "day", "days", "week", "weeks",
+        "flight", "flights", "airline", "airlines", "passenger",
+        "passengers", "seat", "seats", "recline", "etiquette", "rude",
+        "child", "children", "parent", "parents", "household", "weight",
+        "height", "distance", "speed", "size", "type", "types", "kind",
+        "status", "group", "groups", "class", "classes", "code", "codes",
+        "id", "key", "label", "labels", "value", "values", "source", "flag",
+        "min", "max", "mean", "median", "avg", "average", "first", "last",
+        "start", "end", "home", "away", "male", "female", "self", "taught",
+        "formal", "per", "capita", "gross", "net", "annual", "monthly",
+        "weekly", "daily", "hourly", "hour", "hours",
+    };
+    for (const char* w : kWords) s->AddWord(w);
+    return s;
+  }();
+  return *kDefault;
+}
+
+}  // namespace ir
+}  // namespace aggchecker

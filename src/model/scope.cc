@@ -1,0 +1,33 @@
+#include "model/scope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aggchecker {
+namespace model {
+
+ScopeBudget PickScope(const db::Database& db, size_t num_claims,
+                      const ModelOptions& options) {
+  ScopeBudget budget;
+  if (!options.adaptive_scope) {
+    budget.eval_per_claim = options.max_eval_per_claim;
+    budget.estimated_row_scans =
+        static_cast<double>(num_claims) * options.max_eval_per_claim *
+        options.new_group_rate * static_cast<double>(db.TotalRows());
+    return budget;
+  }
+  const double rows = std::max<double>(1.0, double(db.TotalRows()));
+  const double claims = std::max<size_t>(num_claims, 1);
+  double ideal =
+      options.target_row_scans / (claims * rows * options.new_group_rate);
+  size_t eval = static_cast<size_t>(std::llround(ideal));
+  eval = std::clamp(eval, options.min_eval_per_claim,
+                    options.max_eval_per_claim);
+  budget.eval_per_claim = eval;
+  budget.estimated_row_scans =
+      claims * static_cast<double>(eval) * options.new_group_rate * rows;
+  return budget;
+}
+
+}  // namespace model
+}  // namespace aggchecker

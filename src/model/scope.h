@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "db/database.h"
+#include "model/options.h"
+
+namespace aggchecker {
+namespace model {
+
+/// \brief Evaluation scope chosen by the cost model.
+struct ScopeBudget {
+  /// Candidate queries to evaluate per claim per EM iteration.
+  size_t eval_per_claim = 0;
+  /// Estimated row-scans one EM iteration will cost under this budget.
+  double estimated_row_scans = 0;
+};
+
+/// \brief Function PickScope's cost model (§6.1): "To determine the scope,
+/// we use a cost model that takes into account the size of the database as
+/// well as the number of claims to verify."
+///
+/// The scope expands (prioritizing likelier candidates — the translator
+/// ranks them) until estimated evaluation cost reaches the target. Cost is
+/// modeled in row-scans: candidates sharing a predicate-column set merge
+/// into one cube scan, so marginal cost per extra candidate is the chance
+/// it opens a new cube group times a full scan. With target T row-scans,
+/// claims n, and data rows R:
+///
+///   eval_per_claim ~= T / (n * R * new_group_rate)
+///
+/// clamped to [min_eval, max_eval]. Small data sets get the full budget;
+/// large ones shrink the scope — matching the paper's behavior of keeping
+/// per-document processing time roughly constant (Table 5 reports ~2.4s
+/// per article regardless of data size).
+ScopeBudget PickScope(const db::Database& db, size_t num_claims,
+                      const ModelOptions& options);
+
+}  // namespace model
+}  // namespace aggchecker

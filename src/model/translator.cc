@@ -1,0 +1,318 @@
+#include "model/translator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "model/scope.h"
+#include "util/rounding.h"
+
+namespace aggchecker {
+namespace model {
+
+namespace {
+
+/// Compact candidate address within a claim's CandidateSpace.
+uint64_t TripleKey(size_t f, size_t c, size_t s) {
+  return (static_cast<uint64_t>(f) << 40) | (static_cast<uint64_t>(c) << 20) |
+         static_cast<uint64_t>(s);
+}
+
+struct EvalOutcome {
+  std::optional<double> result;
+  bool matches = false;
+};
+
+struct ScoredTriple {
+  double score;
+  size_t f, c, s;
+};
+
+/// Per-iteration prior factors for one claim's candidate space.
+struct PriorFactors {
+  std::vector<double> fn;      // per considered function
+  std::vector<double> col;     // per considered column
+  std::vector<double> subset;  // per predicate subset
+
+  double of(size_t f, size_t c, size_t s) const {
+    return fn[f] * col[c] * subset[s];
+  }
+};
+
+PriorFactors ComputePriorFactors(const CandidateSpace& space,
+                                 const Priors& priors,
+                                 const fragments::FragmentCatalog& catalog) {
+  PriorFactors factors;
+  factors.fn.reserve(space.functions().size());
+  for (const auto& f : space.functions()) {
+    factors.fn.push_back(priors.fn_prior(
+        catalog.fragment(fragments::FragmentType::kAggFunction, f.frag).fn));
+  }
+  factors.col.reserve(space.columns().size());
+  for (const auto& c : space.columns()) {
+    factors.col.push_back(priors.agg_col_prior(c.frag));
+  }
+  // Full Bernoulli restriction prior: restricted columns contribute pri,
+  // unrestricted ones (1 - pri). The paper's formula drops the (1 - pri)
+  // factors; at our smaller evaluation budget that simplification
+  // systematically favors predicate-free candidates, so we keep the
+  // complete likelihood (equivalent up to the per-claim constant
+  // prod_i (1 - pri) divided out, which the simplified form ignores only
+  // when comparing candidates with equal predicate sets).
+  double all_unrestricted = 1.0;
+  const size_t num_restrict = priors.num_restrict_components();
+  for (size_t col = 0; col < num_restrict; ++col) {
+    all_unrestricted *= 1.0 - priors.restrict_prior(static_cast<int>(col));
+  }
+  factors.subset.reserve(space.subsets().size());
+  for (const auto& s : space.subsets()) {
+    double p = all_unrestricted;
+    for (int col : s.restrict_cols) {
+      if (col < 0) continue;
+      double pri = priors.restrict_prior(col);
+      double complement = 1.0 - pri;
+      if (complement < 1e-6) complement = 1e-6;
+      p *= pri / complement;
+    }
+    factors.subset.push_back(p);
+  }
+  return factors;
+}
+
+/// Top-N valid triples by score (keyword likelihood times prior factor).
+///
+/// With priors enabled, the evaluation scope hedges: half the budget goes
+/// to the prior-weighted ranking and half to the keyword-only ranking.
+/// PickScope (§6.1) can afford tens of thousands of evaluations per claim;
+/// at our smaller budget a pure prior-weighted scope can evict the true
+/// query before the priors have converged, so both rankings contribute.
+std::vector<ScoredTriple> SelectTop(const CandidateSpace& space,
+                                    const PriorFactors& factors,
+                                    bool use_priors, size_t top_n) {
+  std::vector<ScoredTriple> triples;
+  const size_t nf = space.functions().size();
+  const size_t nc = space.columns().size();
+  const size_t ns = space.subsets().size();
+  triples.reserve(nf * nc * ns / 2);
+  for (size_t f = 0; f < nf; ++f) {
+    for (size_t c = 0; c < nc; ++c) {
+      for (size_t s = 0; s < ns; ++s) {
+        if (!space.Valid(f, c, s)) continue;
+        double score = space.KeywordScore(f, c, s);
+        if (use_priors) score *= factors.of(f, c, s);
+        triples.push_back(ScoredTriple{score, f, c, s});
+      }
+    }
+  }
+  auto by_score_desc = [](const ScoredTriple& a, const ScoredTriple& b) {
+    return a.score > b.score;
+  };
+  if (use_priors && triples.size() > top_n) {
+    // Keyword-only ranking of the same triples, keeping the top half.
+    std::vector<ScoredTriple> by_keyword = triples;
+    for (auto& t : by_keyword) t.score = space.KeywordScore(t.f, t.c, t.s);
+    size_t half = std::max<size_t>(top_n / 2, 1);
+    if (by_keyword.size() > half) {
+      std::nth_element(by_keyword.begin(), by_keyword.begin() + half - 1,
+                       by_keyword.end(), by_score_desc);
+      by_keyword.resize(half);
+    }
+
+    std::nth_element(triples.begin(), triples.begin() + top_n - 1,
+                     triples.end(), by_score_desc);
+    triples.resize(top_n);
+    // Union the two scopes (slight budget overrun is fine); keyword-only
+    // entries carry their combined score for posterior ranking.
+    std::set<uint64_t> present;
+    for (const auto& t : triples) present.insert(TripleKey(t.f, t.c, t.s));
+    for (const auto& t : by_keyword) {
+      if (!present.insert(TripleKey(t.f, t.c, t.s)).second) continue;
+      ScoredTriple extra = t;
+      extra.score =
+          space.KeywordScore(t.f, t.c, t.s) * factors.of(t.f, t.c, t.s);
+      triples.push_back(extra);
+    }
+    std::sort(triples.begin(), triples.end(), by_score_desc);
+    return triples;
+  }
+  if (triples.size() > top_n) {
+    std::nth_element(triples.begin(), triples.begin() + top_n - 1,
+                     triples.end(), by_score_desc);
+    triples.resize(top_n);
+  }
+  std::sort(triples.begin(), triples.end(), by_score_desc);
+  return triples;
+}
+
+}  // namespace
+
+TranslationResult Translator::Translate(
+    const std::vector<claims::Claim>& claims,
+    const std::vector<claims::ClaimRelevance>& relevance,
+    db::EvalEngine* engine,
+    const std::vector<std::optional<db::SimpleAggregateQuery>>* pinned)
+    const {
+  TranslationResult result;
+  const size_t n = claims.size();
+  if (n == 0) return result;
+
+  auto is_pinned = [&](size_t i) {
+    return pinned != nullptr && i < pinned->size() && (*pinned)[i].has_value();
+  };
+  // Evaluate pinned queries once, up front.
+  std::vector<EvalOutcome> pinned_outcomes(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_pinned(i)) continue;
+    auto value = engine->Evaluate(*(*pinned)[i]);
+    pinned_outcomes[i].result = value;
+    pinned_outcomes[i].matches =
+        value.has_value() &&
+        rounding::Matches(*value, claims[i].claimed_value(),
+                          options_.rounding_mode,
+                          options_.rounding_tolerance);
+  }
+
+  // Build one candidate space per claim.
+  std::vector<CandidateSpace> spaces;
+  spaces.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    spaces.push_back(
+        CandidateSpace::Build(*db_, *catalog_, relevance[i], options_));
+    result.total_candidates += spaces.back().TotalCandidates();
+  }
+
+  // Evaluation outcomes per claim, keyed by candidate triple.
+  std::vector<std::unordered_map<uint64_t, EvalOutcome>> outcomes(n);
+  std::vector<std::vector<ScoredTriple>> selections(n);
+
+  Priors priors = Priors::Uniform(*catalog_);
+  if (options_.trace_priors) result.prior_trace.push_back(priors);
+  const ScopeBudget scope = PickScope(*db_, n, options_);
+  const int max_iters = options_.use_priors ? options_.max_em_iterations : 1;
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++result.em_iterations;
+
+    // E-step part 1: per-claim candidate selection under current priors.
+    for (size_t i = 0; i < n; ++i) {
+      if (is_pinned(i)) {
+        selections[i].clear();  // fixed translation, nothing to explore
+        continue;
+      }
+      PriorFactors factors =
+          ComputePriorFactors(spaces[i], priors, *catalog_);
+      selections[i] = SelectTop(spaces[i], factors, options_.use_priors,
+                                scope.eval_per_claim);
+    }
+
+    // RefineByEval: evaluate all newly selected candidates in one batch so
+    // the engine can merge across claims (§6.2).
+    std::vector<db::SimpleAggregateQuery> batch;
+    std::vector<std::pair<size_t, uint64_t>> batch_owner;
+    for (size_t i = 0; i < n; ++i) {
+      for (const ScoredTriple& t : selections[i]) {
+        uint64_t key = TripleKey(t.f, t.c, t.s);
+        if (outcomes[i].count(key) > 0) continue;
+        batch.push_back(spaces[i].Materialize(t.f, t.c, t.s, *catalog_));
+        batch_owner.emplace_back(i, key);
+        outcomes[i][key] = EvalOutcome{};  // reserve to avoid dup enqueues
+      }
+    }
+    if (!batch.empty()) {
+      result.queries_evaluated += batch.size();
+      auto results = engine->EvaluateBatch(batch);
+      for (size_t b = 0; b < batch.size(); ++b) {
+        auto [claim_idx, key] = batch_owner[b];
+        EvalOutcome& outcome = outcomes[claim_idx][key];
+        outcome.result = results[b];
+        outcome.matches =
+            results[b].has_value() &&
+            rounding::Matches(*results[b],
+                              claims[claim_idx].claimed_value(),
+                              options_.rounding_mode,
+                              options_.rounding_tolerance);
+      }
+    }
+
+    if (!options_.use_priors) break;
+
+    // M-step: maximum-likelihood query per claim, then re-estimate priors.
+    std::vector<db::SimpleAggregateQuery> ml_queries;
+    ml_queries.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (is_pinned(i)) {
+        ml_queries.push_back(*(*pinned)[i]);
+        continue;
+      }
+      const ScoredTriple* best = nullptr;
+      double best_post = -1;
+      for (const ScoredTriple& t : selections[i]) {
+        const EvalOutcome& o = outcomes[i].at(TripleKey(t.f, t.c, t.s));
+        double post = t.score;
+        if (options_.use_eval_results) {
+          post *= o.matches ? options_.pT : (1.0 - options_.pT);
+        }
+        if (post > best_post) {
+          best_post = post;
+          best = &t;
+        }
+      }
+      if (best != nullptr) {
+        ml_queries.push_back(
+            spaces[i].Materialize(best->f, best->c, best->s, *catalog_));
+      }
+    }
+    Priors next = Priors::FromMlQueries(ml_queries, *catalog_);
+    double delta = next.MaxDelta(priors);
+    priors = next;
+    if (options_.trace_priors) result.prior_trace.push_back(priors);
+    if (delta < options_.convergence_tol) break;
+  }
+
+  // Final distributions from the last selection round.
+  result.distributions.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ClaimDistribution& dist = result.distributions[i];
+    dist.total_candidates = spaces[i].TotalCandidates();
+    if (is_pinned(i)) {
+      // User-confirmed translation: a point mass.
+      RankedCandidate cand;
+      cand.query = *(*pinned)[i];
+      cand.probability = 1.0;
+      cand.result = pinned_outcomes[i].result;
+      cand.matches = pinned_outcomes[i].matches;
+      dist.ranked.push_back(std::move(cand));
+      continue;
+    }
+    PriorFactors factors = ComputePriorFactors(spaces[i], priors, *catalog_);
+    double total = 0;
+    for (const ScoredTriple& t : selections[i]) {
+      const EvalOutcome& o = outcomes[i].at(TripleKey(t.f, t.c, t.s));
+      RankedCandidate cand;
+      cand.query = spaces[i].Materialize(t.f, t.c, t.s, *catalog_);
+      cand.keyword_score = spaces[i].KeywordScore(t.f, t.c, t.s);
+      cand.prior = factors.of(t.f, t.c, t.s);
+      cand.result = o.result;
+      cand.matches = o.matches;
+      double post = cand.keyword_score;
+      if (options_.use_priors) post *= cand.prior;
+      if (options_.use_eval_results) {
+        post *= o.matches ? options_.pT : (1.0 - options_.pT);
+      }
+      cand.probability = post;
+      total += post;
+      dist.ranked.push_back(std::move(cand));
+    }
+    if (total > 0) {
+      for (auto& cand : dist.ranked) cand.probability /= total;
+    }
+    std::sort(dist.ranked.begin(), dist.ranked.end(),
+              [](const RankedCandidate& a, const RankedCandidate& b) {
+                return a.probability > b.probability;
+              });
+  }
+  return result;
+}
+
+}  // namespace model
+}  // namespace aggchecker

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "claims/claim.h"
+#include "claims/relevance_scorer.h"
+#include "db/eval_engine.h"
+#include "fragments/catalog.h"
+#include "model/candidate_space.h"
+#include "model/options.h"
+#include "model/priors.h"
+
+namespace aggchecker {
+namespace model {
+
+/// \brief A candidate query with its refined probability — one entry of the
+/// distribution Q_c the system outputs per claim (Definition 3).
+struct RankedCandidate {
+  db::SimpleAggregateQuery query;
+  double probability = 0.0;      ///< normalized posterior
+  std::optional<double> result;  ///< evaluation result (nullopt = undefined)
+  bool matches = false;          ///< result rounds to the claimed value
+  double keyword_score = 0.0;    ///< Pr(S_c | Q_c) factor
+  double prior = 0.0;            ///< Pr(Q_c) factor under the final priors
+};
+
+/// \brief Distribution over query candidates for one claim, ranked by
+/// probability (descending).
+struct ClaimDistribution {
+  std::vector<RankedCandidate> ranked;
+  size_t total_candidates = 0;  ///< size of the full candidate space
+
+  const RankedCandidate* top() const {
+    return ranked.empty() ? nullptr : &ranked[0];
+  }
+};
+
+/// \brief Output of the expectation-maximization translation.
+struct TranslationResult {
+  std::vector<ClaimDistribution> distributions;  ///< one per claim
+  int em_iterations = 0;
+  size_t total_candidates = 0;   ///< across all claims
+  size_t queries_evaluated = 0;  ///< distinct candidate queries executed
+  /// Θ snapshots when ModelOptions::trace_priors is set: the uniform
+  /// initialization followed by the priors after each M-step (Table 2).
+  std::vector<Priors> prior_trace;
+};
+
+/// \brief Implements Algorithm 3 (QueryAndLearn): learns document-specific
+/// priors while refining per-claim query distributions through candidate
+/// evaluations (Algorithm 4's RefineByEval runs on the EvalEngine).
+class Translator {
+ public:
+  Translator(const db::Database* db,
+             const fragments::FragmentCatalog* catalog, ModelOptions options)
+      : db_(db), catalog_(catalog), options_(options) {}
+
+  /// Translates all claims given their relevance scores. The engine's cache
+  /// persists across EM iterations (and across documents if shared).
+  ///
+  /// `pinned` (optional, one entry per claim) fixes a claim's translation
+  /// to a user-confirmed query: pinned claims contribute their query to the
+  /// prior maximization in every iteration and their distribution becomes a
+  /// point mass — the mechanism behind semi-automated checking, where "a
+  /// clear signal received for one claim resolves ambiguities for many
+  /// others" (§1).
+  TranslationResult Translate(
+      const std::vector<claims::Claim>& claims,
+      const std::vector<claims::ClaimRelevance>& relevance,
+      db::EvalEngine* engine,
+      const std::vector<std::optional<db::SimpleAggregateQuery>>* pinned =
+          nullptr) const;
+
+  const ModelOptions& options() const { return options_; }
+
+ private:
+  const db::Database* db_;
+  const fragments::FragmentCatalog* catalog_;
+  ModelOptions options_;
+};
+
+}  // namespace model
+}  // namespace aggchecker

@@ -1,0 +1,133 @@
+#include "sim/crowd_study.h"
+
+#include <algorithm>
+
+#include "core/aggchecker.h"
+#include "util/rng.h"
+
+namespace aggchecker {
+namespace sim {
+
+namespace {
+
+/// Claim indices in scope: the whole article, or the claims of the first
+/// paragraph that contains an erroneous claim (the paper's two-sentence
+/// excerpt deliberately included one).
+std::vector<size_t> ScopedClaims(const corpus::CorpusCase& article,
+                                 const core::CheckReport& report,
+                                 CrowdScope scope) {
+  std::vector<size_t> indices;
+  if (scope == CrowdScope::kDocument) {
+    for (size_t i = 0; i < article.ground_truth.size(); ++i) {
+      indices.push_back(i);
+    }
+    return indices;
+  }
+  // The paper's paragraph task is a two-sentence excerpt containing one
+  // erroneous claim: scope = the first erroneous claim plus its preceding
+  // claim.
+  size_t erroneous = 0;
+  bool found = false;
+  for (size_t i = 0; i < article.ground_truth.size(); ++i) {
+    if (article.ground_truth[i].is_erroneous) {
+      erroneous = i;
+      found = true;
+      break;
+    }
+  }
+  (void)report;
+  if (!found) {
+    indices.push_back(0);
+    return indices;
+  }
+  if (erroneous > 0) indices.push_back(erroneous - 1);
+  indices.push_back(erroneous);
+  return indices;
+}
+
+}  // namespace
+
+Result<CrowdResult> RunCrowdStudy(const corpus::CorpusCase& article,
+                                  CrowdScope scope, CrowdConfig config) {
+  core::CheckOptions options;
+  options.report_top_k = 20;
+  auto checker = core::AggChecker::Create(&article.database, options);
+  if (!checker.ok()) return checker.status();
+  auto report = checker->Check(article.document);
+  if (!report.ok()) return report.status();
+
+  std::vector<size_t> in_scope = ScopedClaims(article, *report, scope);
+  std::vector<size_t> ranks;
+  for (size_t i : in_scope) {
+    ranks.push_back(corpus::GroundTruthRank(article.ground_truth[i],
+                                            report->verdicts[i]));
+  }
+
+  Rng rng(config.seed);
+  CrowdResult result;
+  result.aggchecker_workers = config.aggchecker_workers;
+  result.sheet_workers = config.sheet_workers;
+
+  auto simulate_worker = [&](bool uses_aggchecker,
+                             corpus::ErrorDetectionMetrics* metrics) {
+    double budget = 60.0 * std::max(2.0, rng.NextGaussian(
+                                             config.attention_minutes_mean,
+                                             config.attention_minutes_stddev));
+    double clock = 0;
+    for (size_t k = 0; k < in_scope.size(); ++k) {
+      size_t claim = in_scope[k];
+      bool erroneous = article.ground_truth[claim].is_erroneous;
+      double duration;
+      bool correct;
+      if (uses_aggchecker) {
+        size_t rank = ranks[k];
+        if (rank >= 1 && rank <= 5) {
+          duration = rng.NextGaussian(20, 6);
+          correct = true;
+        } else if (rank >= 6 && rank <= 10) {
+          duration = rng.NextGaussian(38, 10);
+          correct = true;
+        } else {
+          duration = rng.NextGaussian(90, 30);
+          correct = rng.NextBool(scope == CrowdScope::kParagraph
+                                     ? config.custom_success_paragraph
+                                     : config.custom_success);
+        }
+      } else {
+        duration = rng.NextGaussian(config.sheet_seconds_mean,
+                                    config.sheet_seconds_stddev);
+        correct = rng.NextBool(scope == CrowdScope::kDocument
+                                   ? config.sheet_success_document
+                                   : config.sheet_success_paragraph);
+      }
+      duration = std::max(5.0, duration * config.worker_speed_factor);
+      if (clock + duration > budget) {
+        // Unreached erroneous claims are misses.
+        for (size_t rest = k; rest < in_scope.size(); ++rest) {
+          if (article.ground_truth[in_scope[rest]].is_erroneous) {
+            ++metrics->false_negatives;
+          }
+        }
+        break;
+      }
+      clock += duration;
+      bool flagged =
+          correct ? erroneous : rng.NextBool(config.wrong_flag_rate);
+      if (flagged && erroneous) ++metrics->true_positives;
+      if (flagged && !erroneous) ++metrics->false_positives;
+      if (!flagged && erroneous) ++metrics->false_negatives;
+    }
+    metrics->total_claims += in_scope.size();
+  };
+
+  for (size_t w = 0; w < config.aggchecker_workers; ++w) {
+    simulate_worker(true, &result.aggchecker);
+  }
+  for (size_t w = 0; w < config.sheet_workers; ++w) {
+    simulate_worker(false, &result.sheet);
+  }
+  return result;
+}
+
+}  // namespace sim
+}  // namespace aggchecker

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "corpus/corpus_case.h"
+#include "corpus/metrics.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace sim {
+
+/// Verification scope of the crowd study (§D / Table 11).
+enum class CrowdScope {
+  kDocument,   ///< verify the whole article
+  kParagraph,  ///< verify two sentences only
+};
+
+/// \brief Configuration of the Amazon-Mechanical-Turk-style study.
+///
+/// Crowd workers are slower and less persistent than on-site participants:
+/// they use the tool untrained, give up quickly, and — with a spreadsheet —
+/// must eyeball filters by hand, which at document scope essentially never
+/// surfaces an erroneous claim (the paper's G-Sheet row is all zeros).
+struct CrowdConfig {
+  uint64_t seed = 11;
+  size_t aggchecker_workers = 19;  ///< respondents in the paper
+  size_t sheet_workers = 13;
+  double worker_speed_factor = 1.8;      ///< crowd slow-down vs on-site
+  double attention_minutes_mean = 12.0;  ///< time before giving up
+  double attention_minutes_stddev = 4.0;
+  double custom_success = 0.35;          ///< untrained custom-query success
+  /// At paragraph scope the paper doubled the payment and the task shrank
+  /// to two sentences; workers invest far more effort per claim.
+  double custom_success_paragraph = 0.8;
+  double sheet_seconds_mean = 200;
+  double sheet_seconds_stddev = 80;
+  double sheet_success_document = 0.04;
+  double sheet_success_paragraph = 0.45;
+  double wrong_flag_rate = 0.25;
+};
+
+/// \brief Per-tool outcome of a crowd study run.
+struct CrowdResult {
+  corpus::ErrorDetectionMetrics aggchecker;
+  corpus::ErrorDetectionMetrics sheet;
+  size_t aggchecker_workers = 0;
+  size_t sheet_workers = 0;
+};
+
+/// \brief Runs the simulated crowd study on one article (the paper uses a
+/// 538 survey article for document scope and a two-sentence excerpt for
+/// paragraph scope).
+Result<CrowdResult> RunCrowdStudy(const corpus::CorpusCase& article,
+                                  CrowdScope scope, CrowdConfig config = {});
+
+}  // namespace sim
+}  // namespace aggchecker

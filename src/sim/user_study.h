@@ -1,0 +1,132 @@
+#pragma once
+
+#include <vector>
+
+#include "core/aggchecker.h"
+#include "corpus/corpus_case.h"
+#include "corpus/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace sim {
+
+/// Verification tools compared in the user study (§7.2).
+enum class Tool { kAggChecker, kSql };
+
+/// UI action a simulated AggChecker user resolved a claim with (Table 3).
+enum class UiAction { kTop1, kTop5, kTop10, kCustom, kSql };
+
+/// \brief One completed claim verification by a simulated user.
+struct VerificationEvent {
+  double timestamp = 0;     ///< seconds from session start, at completion
+  size_t claim_index = 0;
+  UiAction action = UiAction::kTop1;
+  bool correct_query = false;  ///< user ended on the ground-truth query
+  bool user_flagged = false;   ///< user marked the claim as erroneous
+};
+
+/// \brief One (user, article, tool) session.
+struct Session {
+  size_t user = 0;
+  size_t article = 0;  ///< index into the study's article list
+  Tool tool = Tool::kAggChecker;
+  double time_limit = 0;
+  std::vector<VerificationEvent> events;
+
+  size_t NumCorrect() const {
+    size_t n = 0;
+    for (const auto& e : events) n += e.correct_query ? 1 : 0;
+    return n;
+  }
+};
+
+/// \brief Behavioural parameters of the simulated verifiers. Defaults are
+/// calibrated so that per-claim verification times land in the ranges the
+/// paper's timing curves imply; the *relative* AggChecker-vs-SQL outcome is
+/// driven by the measured top-k coverage of the pipeline, not by these
+/// constants (see DESIGN.md §1).
+struct UserModel {
+  double top1_seconds = 9, top1_stddev = 2;
+  double top5_seconds = 18, top5_stddev = 4;
+  double top10_seconds = 32, top10_stddev = 6;
+  double custom_seconds = 80, custom_stddev = 20;
+  double custom_success = 0.8;
+  double sql_base_seconds = 100, sql_per_predicate = 50, sql_stddev = 25;
+  double sql_success = 0.72;
+  /// Chance a user who ended on a WRONG query still flags the claim.
+  double wrong_query_flag_rate = 0.4;
+  /// Per-user speed spread (multiplier ~ N(1, skill_stddev)).
+  double skill_stddev = 0.15;
+  /// Global slow-down factor (crowd workers use > 1).
+  double speed_factor = 1.0;
+};
+
+/// \brief Study configuration (§7.2: eight users, six articles, 20/5-minute
+/// limits, tools alternating so nobody verifies a document twice).
+struct StudyConfig {
+  size_t num_users = 8;
+  uint64_t seed = 7;
+  double long_article_limit = 1200;
+  double short_article_limit = 300;
+  size_t long_article_threshold = 15;  ///< claims above this = long
+  UserModel model;
+};
+
+/// \brief Pipeline output for one study article: the checker's report plus
+/// the rank of each claim's ground-truth query.
+struct ArticleRuntime {
+  const corpus::CorpusCase* article = nullptr;
+  core::CheckReport report;
+  std::vector<size_t> gt_ranks;  ///< 1-based; 0 = not in the top list
+};
+
+/// \brief Full study output plus the aggregations the paper reports.
+struct StudyResult {
+  std::vector<ArticleRuntime> articles;
+  std::vector<Session> sessions;
+
+  /// Table 3: share of AggChecker verifications by UI action (percent).
+  struct ActionShares {
+    double top1 = 0, top5 = 0, top10 = 0, custom = 0;
+  };
+  ActionShares ComputeActionShares() const;
+
+  /// Table 4: recall/precision of "tool + user" error detection.
+  corpus::ErrorDetectionMetrics ErrorDetection(Tool tool) const;
+
+  /// Figure 7: claims verified per minute for one user or article.
+  double ThroughputByUser(size_t user, Tool tool) const;
+  double ThroughputByArticle(size_t article, Tool tool) const;
+
+  /// Figure 6: average #correctly-verified-claims over time for an article
+  /// and tool, sampled every `step` seconds up to the article's limit.
+  std::vector<double> VerifiedOverTime(size_t article, Tool tool,
+                                       double step) const;
+
+  /// Table 8: survey preference counts derived from per-user speedups.
+  struct SurveyRow {
+    int sql_strong = 0, sql_weak = 0, neutral = 0, ac_weak = 0,
+        ac_strong = 0;
+  };
+  SurveyRow Survey(const char* criterion) const;
+};
+
+/// \brief Runs the simulated on-site user study: executes the real pipeline
+/// on every article, then simulates users verifying claims with either the
+/// AggChecker UI or a plain SQL interface.
+class UserStudy {
+ public:
+  UserStudy(const std::vector<corpus::CorpusCase>* corpus,
+            std::vector<size_t> article_indices, StudyConfig config = {});
+
+  Result<StudyResult> Run();
+
+ private:
+  const std::vector<corpus::CorpusCase>* corpus_;
+  std::vector<size_t> article_indices_;
+  StudyConfig config_;
+};
+
+}  // namespace sim
+}  // namespace aggchecker

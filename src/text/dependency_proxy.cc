@@ -1,0 +1,64 @@
+#include "text/dependency_proxy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace aggchecker {
+namespace text {
+
+namespace {
+bool IsClauseBreakChar(char c) {
+  // ASCII clause punctuation; UTF-8 em-dashes in source text are preceded by
+  // a space in practice and the '-' fallback is not needed for them.
+  return c == ',' || c == ';' || c == ':' || c == '(' || c == ')' ||
+         c == '-';
+}
+
+bool IsCoordConjunction(const std::string& word) {
+  static const std::unordered_set<std::string> kConj = {
+      "and", "but", "or", "while", "whereas", "although", "though",
+      "because", "since", "unless", "which", "who", "whom", "where",
+  };
+  return kConj.count(word) > 0;
+}
+}  // namespace
+
+DependencyProxy::DependencyProxy(const std::string& sentence)
+    : tokens_(ir::TokenizeWithOffsets(sentence)) {
+  clause_.resize(tokens_.size(), 0);
+  int clause = 0;
+  for (size_t t = 0; t < tokens_.size(); ++t) {
+    if (t > 0) {
+      // Punctuation between the previous token's end and this token's start
+      // opens a new clause.
+      size_t prev_end = tokens_[t - 1].offset + tokens_[t - 1].text.size();
+      bool breaks = false;
+      for (size_t p = prev_end; p < tokens_[t].offset; ++p) {
+        // A hyphen joining two words without spaces ("twenty-one",
+        // "self-taught") is not a clause break.
+        if (sentence[p] == '-' && p == prev_end &&
+            p + 1 == tokens_[t].offset) {
+          continue;
+        }
+        if (IsClauseBreakChar(sentence[p])) {
+          breaks = true;
+          break;
+        }
+      }
+      if (breaks || IsCoordConjunction(tokens_[t].text)) ++clause;
+    }
+    clause_[t] = clause;
+  }
+}
+
+int DependencyProxy::TreeDistance(size_t i, size_t j) const {
+  if (i == j) return 0;
+  long gap = std::labs(static_cast<long>(i) - static_cast<long>(j));
+  int within = 1 + static_cast<int>(std::min<long>(gap - 1, 4));
+  int across = 4 * std::abs(clause_[i] - clause_[j]);
+  return within + across;
+}
+
+}  // namespace text
+}  // namespace aggchecker

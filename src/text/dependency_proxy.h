@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/tokenizer.h"
+
+namespace aggchecker {
+namespace text {
+
+/// \brief Deterministic approximation of dependency-parse-tree distance.
+///
+/// The paper uses a Stanford dependency parse only to compute
+/// TreeDistance(word, claim) — a proximity measure that separates multiple
+/// claims within one sentence (Algorithm 2 / Example 3). This proxy
+/// segments the sentence into clauses (split at commas, semicolons, dashes,
+/// parentheses, and coordinating conjunctions) and defines
+///
+///   TreeDistance(i, j) = 1 + min(|i-j| - 1, 4) + 4 * |clause(i)-clause(j)|
+///
+/// for i != j (0 for i == j). Words in the same clause are near; words in
+/// sibling clauses are far — the exact property the keyword weighting
+/// relies on. See DESIGN.md §1 for the substitution rationale.
+class DependencyProxy {
+ public:
+  explicit DependencyProxy(const std::string& sentence);
+
+  const std::vector<ir::Token>& tokens() const { return tokens_; }
+
+  /// Clause index of a token (0-based, left to right).
+  int clause_of(size_t token_idx) const {
+    return clause_[token_idx];
+  }
+
+  /// Approximated tree distance between two token positions.
+  int TreeDistance(size_t i, size_t j) const;
+
+ private:
+  std::vector<ir::Token> tokens_;
+  std::vector<int> clause_;
+};
+
+}  // namespace text
+}  // namespace aggchecker

@@ -1,0 +1,151 @@
+#include "text/document.h"
+
+#include "text/sentence_splitter.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace text {
+
+int TextDocument::AddSection(std::string headline, int parent, int level) {
+  sections_.push_back(Section{std::move(headline), parent, level});
+  return static_cast<int>(sections_.size() - 1);
+}
+
+int TextDocument::AddParagraph(const std::string& raw_text, int section) {
+  Paragraph para;
+  para.section = section;
+  const int para_idx = static_cast<int>(paragraphs_.size());
+  int pos = 0;
+  for (std::string& text : SplitSentences(raw_text)) {
+    Sentence s;
+    s.tokens = ir::TokenizeWithOffsets(text);
+    s.text = std::move(text);
+    s.paragraph = para_idx;
+    s.index_in_paragraph = pos++;
+    para.sentence_indices.push_back(static_cast<int>(sentences_.size()));
+    sentences_.push_back(std::move(s));
+  }
+  paragraphs_.push_back(std::move(para));
+  return para_idx;
+}
+
+int TextDocument::PreviousSentenceInParagraph(int sentence_idx) const {
+  const Sentence& s = sentence(sentence_idx);
+  if (s.index_in_paragraph == 0) return -1;
+  const Paragraph& p = paragraph(s.paragraph);
+  return p.sentence_indices[static_cast<size_t>(s.index_in_paragraph - 1)];
+}
+
+int TextDocument::ParagraphFirstSentence(int sentence_idx) const {
+  const Sentence& s = sentence(sentence_idx);
+  return paragraph(s.paragraph).sentence_indices[0];
+}
+
+std::vector<int> TextDocument::EnclosingSections(int sentence_idx) const {
+  std::vector<int> chain;
+  int sec = paragraph(sentence(sentence_idx).paragraph).section;
+  while (sec >= 0) {
+    chain.push_back(sec);
+    sec = sections_[static_cast<size_t>(sec)].parent;
+  }
+  return chain;
+}
+
+namespace {
+
+/// Extracts the body of an HTML-ish tag if `line` is "<tag>body</tag>".
+bool MatchTag(const std::string& line, const std::string& tag,
+              std::string* body) {
+  std::string open = "<" + tag + ">";
+  std::string close = "</" + tag + ">";
+  if (!strings::StartsWith(line, open)) return false;
+  std::string rest = line.substr(open.size());
+  if (strings::EndsWith(rest, close)) {
+    rest = rest.substr(0, rest.size() - close.size());
+  }
+  *body = strings::Trim(rest);
+  return true;
+}
+
+}  // namespace
+
+Result<TextDocument> ParseDocument(const std::string& input) {
+  TextDocument doc;
+  int current_h2 = -1;  // innermost level-1 section
+  int current_h3 = -1;  // innermost level-2 section
+  std::string pending_paragraph;
+
+  auto flush_paragraph = [&] {
+    std::string text = strings::Trim(pending_paragraph);
+    pending_paragraph.clear();
+    if (text.empty()) return;
+    int section = current_h3 >= 0 ? current_h3 : current_h2;
+    doc.AddParagraph(text, section);
+  };
+
+  bool in_paragraph_tag = false;
+  for (std::string& raw_line : strings::Split(input, '\n')) {
+    std::string line = strings::Trim(raw_line);
+    std::string body;
+    if (in_paragraph_tag) {
+      // Accumulate until the closing </p>.
+      bool closes = strings::EndsWith(line, "</p>");
+      if (closes) line = strings::Trim(line.substr(0, line.size() - 4));
+      if (!line.empty()) {
+        if (!pending_paragraph.empty()) pending_paragraph += ' ';
+        pending_paragraph += line;
+      }
+      if (closes) {
+        flush_paragraph();
+        in_paragraph_tag = false;
+      }
+      continue;
+    }
+    if (line.empty()) {
+      flush_paragraph();
+      continue;
+    }
+    if (MatchTag(line, "h1", &body) || strings::StartsWith(line, "# ")) {
+      flush_paragraph();
+      doc.set_title(body.empty() ? strings::Trim(line.substr(2)) : body);
+      continue;
+    }
+    if (MatchTag(line, "h2", &body) || strings::StartsWith(line, "## ")) {
+      flush_paragraph();
+      if (body.empty()) body = strings::Trim(line.substr(3));
+      current_h2 = doc.AddSection(body, -1, 1);
+      current_h3 = -1;
+      continue;
+    }
+    if (MatchTag(line, "h3", &body) || strings::StartsWith(line, "### ")) {
+      flush_paragraph();
+      if (body.empty()) body = strings::Trim(line.substr(4));
+      current_h3 = doc.AddSection(body, current_h2, 2);
+      continue;
+    }
+    if (strings::StartsWith(line, "<p>")) {
+      flush_paragraph();
+      bool closes = MatchTag(line, "p", &body) &&
+                    strings::EndsWith(line, "</p>");
+      pending_paragraph = body;
+      if (closes) {
+        flush_paragraph();
+      } else {
+        in_paragraph_tag = true;
+      }
+      continue;
+    }
+    // Plain text line: accumulate into the pending paragraph.
+    if (!pending_paragraph.empty()) pending_paragraph += ' ';
+    pending_paragraph += line;
+  }
+  flush_paragraph();
+
+  if (doc.sentences().empty()) {
+    return Status::ParseError("document contains no sentences");
+  }
+  return doc;
+}
+
+}  // namespace text
+}  // namespace aggchecker

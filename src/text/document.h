@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/tokenizer.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace text {
+
+/// \brief One sentence with its token stream.
+struct Sentence {
+  std::string text;
+  std::vector<ir::Token> tokens;
+  int paragraph = -1;       ///< owning paragraph index
+  int index_in_paragraph = 0;
+};
+
+/// \brief A paragraph: consecutive sentences under one section.
+struct Paragraph {
+  std::vector<int> sentence_indices;  ///< into TextDocument::sentences()
+  int section = -1;                   ///< owning section index (-1 = root)
+};
+
+/// \brief A (sub)section with a headline, nested via parent links.
+struct Section {
+  std::string headline;
+  int parent = -1;  ///< enclosing section, -1 for top level
+  int level = 1;    ///< 1 = <h2>, 2 = <h3>, ...
+};
+
+/// \brief Hierarchical text document (Figure 4): title, nested sections,
+/// paragraphs, sentences.
+///
+/// Built either programmatically (corpus generator) or from HTML-lite /
+/// markdown-ish input (ParseDocument). Claims reference sentences by index;
+/// the keyword extractor walks this structure for context.
+class TextDocument {
+ public:
+  explicit TextDocument(std::string title = "") : title_(std::move(title)) {}
+
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a section under `parent` (-1 for top level); returns its index.
+  int AddSection(std::string headline, int parent = -1, int level = 1);
+
+  /// Adds a paragraph of raw text under `section`; the text is split into
+  /// sentences and tokenized. Returns the paragraph index.
+  int AddParagraph(const std::string& raw_text, int section = -1);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  const std::vector<Paragraph>& paragraphs() const { return paragraphs_; }
+  const std::vector<Sentence>& sentences() const { return sentences_; }
+
+  const Sentence& sentence(int i) const {
+    return sentences_[static_cast<size_t>(i)];
+  }
+  const Paragraph& paragraph(int i) const {
+    return paragraphs_[static_cast<size_t>(i)];
+  }
+  const Section& section(int i) const {
+    return sections_[static_cast<size_t>(i)];
+  }
+
+  /// Index of the sentence preceding `sentence_idx` within the same
+  /// paragraph, or -1.
+  int PreviousSentenceInParagraph(int sentence_idx) const;
+
+  /// Index of the first sentence of the paragraph containing
+  /// `sentence_idx`.
+  int ParagraphFirstSentence(int sentence_idx) const;
+
+  /// Chain of enclosing sections of a sentence, innermost first.
+  std::vector<int> EnclosingSections(int sentence_idx) const;
+
+ private:
+  std::string title_;
+  std::vector<Section> sections_;
+  std::vector<Paragraph> paragraphs_;
+  std::vector<Sentence> sentences_;
+};
+
+/// \brief Parses HTML-lite / markdown-ish text into a TextDocument.
+///
+/// Supported structure markers (the paper uses HTML markup; any word
+/// processor's outline maps to this):
+///   <h1>..</h1> or "# "   — document title
+///   <h2>..</h2> or "## "  — section
+///   <h3>..</h3> or "### " — subsection
+///   <p>..</p> or blank-line separated text — paragraph
+Result<TextDocument> ParseDocument(const std::string& input);
+
+}  // namespace text
+}  // namespace aggchecker

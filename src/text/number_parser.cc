@@ -1,0 +1,309 @@
+#include "text/number_parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/rounding.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace text {
+
+namespace {
+
+const std::unordered_map<std::string, double>& Units() {
+  static const std::unordered_map<std::string, double> kUnits = {
+      {"zero", 0},   {"one", 1},      {"two", 2},       {"three", 3},
+      {"four", 4},   {"five", 5},     {"six", 6},       {"seven", 7},
+      {"eight", 8},  {"nine", 9},     {"ten", 10},      {"eleven", 11},
+      {"twelve", 12}, {"thirteen", 13}, {"fourteen", 14}, {"fifteen", 15},
+      {"sixteen", 16}, {"seventeen", 17}, {"eighteen", 18},
+      {"nineteen", 19},
+  };
+  return kUnits;
+}
+
+const std::unordered_map<std::string, double>& Tens() {
+  static const std::unordered_map<std::string, double> kTens = {
+      {"twenty", 20}, {"thirty", 30}, {"forty", 40},  {"fifty", 50},
+      {"sixty", 60},  {"seventy", 70}, {"eighty", 80}, {"ninety", 90},
+  };
+  return kTens;
+}
+
+const std::unordered_map<std::string, double>& Scales() {
+  static const std::unordered_map<std::string, double> kScales = {
+      {"hundred", 100},
+      {"thousand", 1000},
+      {"million", 1e6},
+      {"billion", 1e9},
+      {"trillion", 1e12},
+  };
+  return kScales;
+}
+
+const std::unordered_map<std::string, double>& OrdinalWords() {
+  static const std::unordered_map<std::string, double> kOrdinals = {
+      {"first", 1}, {"second", 2}, {"third", 3},  {"fourth", 4},
+      {"fifth", 5}, {"sixth", 6},  {"seventh", 7}, {"eighth", 8},
+      {"ninth", 9}, {"tenth", 10},
+  };
+  return kOrdinals;
+}
+
+bool IsOrdinalSuffixToken(const std::string& token) {
+  // "1st", "2nd", "3rd", "4th" ... — tokenizer keeps them as one token.
+  if (token.size() < 3) return false;
+  size_t i = 0;
+  while (i < token.size() && std::isdigit(static_cast<unsigned char>(
+                                 token[i]))) {
+    ++i;
+  }
+  if (i == 0 || i + 2 != token.size()) return false;
+  std::string suffix = token.substr(i);
+  return suffix == "st" || suffix == "nd" || suffix == "rd" || suffix == "th";
+}
+
+}  // namespace
+
+std::optional<double> ParseNumericLiteral(const std::string& token) {
+  if (!ir::IsNumericToken(token)) return std::nullopt;
+  std::string stripped = strings::ReplaceAll(token, ",", "");
+  char* end = nullptr;
+  double v = std::strtod(stripped.c_str(), &end);
+  if (end == stripped.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> ParseNumberWords(const std::vector<ir::Token>& tokens,
+                                       size_t begin, size_t* end) {
+  double total = 0;
+  double current = 0;
+  size_t i = begin;
+  bool any = false;
+  while (i < tokens.size()) {
+    const std::string& w = tokens[i].text;
+    auto unit = Units().find(w);
+    auto ten = Tens().find(w);
+    auto scale = Scales().find(w);
+    if (unit != Units().end()) {
+      // Two adjacent units ("one two") are separate numbers, not one.
+      if (any && current != 0 &&
+          current < 20 /* already consumed a unit */) {
+        break;
+      }
+      current += unit->second;
+      any = true;
+      ++i;
+    } else if (ten != Tens().end()) {
+      if (any && current != 0 && std::fmod(current, 100) != 0) break;
+      current += ten->second;
+      any = true;
+      ++i;
+    } else if (scale != Scales().end()) {
+      if (!any) break;  // "hundred" alone is not a number mention
+      if (current == 0) current = 1;
+      if (scale->second == 100) {
+        current *= 100;
+      } else {
+        total += current * scale->second;
+        current = 0;
+      }
+      any = true;
+      ++i;
+    } else if (w == "and" && any && i + 1 < tokens.size() &&
+               (Units().count(tokens[i + 1].text) > 0 ||
+                Tens().count(tokens[i + 1].text) > 0)) {
+      ++i;  // "two hundred and five"
+    } else {
+      break;
+    }
+  }
+  if (!any) return std::nullopt;
+  *end = i;
+  return total + current;
+}
+
+std::vector<ParsedNumber> FindNumbers(const std::string& raw_sentence,
+                                      const std::vector<ir::Token>& tokens) {
+  std::vector<ParsedNumber> numbers;
+
+  auto percent_after = [&](size_t token_end_idx, size_t raw_end) {
+    // '%' directly after the raw span, or a following percent word.
+    for (size_t p = raw_end; p < raw_sentence.size(); ++p) {
+      char c = raw_sentence[p];
+      if (c == ' ') continue;
+      if (c == '%') return true;
+      break;
+    }
+    if (token_end_idx < tokens.size()) {
+      const std::string& next = tokens[token_end_idx].text;
+      if (next == "percent" || next == "percentage" || next == "pct") {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Fraction vocabulary, read as a percentage of a population ("half of
+  // the fliers" = 50%). Values are rounded the way prose uses them.
+  auto fraction_percent = [](const std::string& word) -> double {
+    if (word == "half") return 50;
+    if (word == "third" || word == "thirds") return 100.0 / 3.0;
+    if (word == "quarter" || word == "quarters" || word == "fourth") {
+      return 25;
+    }
+    if (word == "fifth" || word == "fifths") return 20;
+    return 0;
+  };
+  auto followed_by_of = [&tokens](size_t idx) {
+    return idx + 1 < tokens.size() && tokens[idx + 1].text == "of";
+  };
+
+  for (size_t i = 0; i < tokens.size();) {
+    const std::string& w = tokens[i].text;
+
+    // "one in five (respondents)" — a ratio phrase read as a percentage.
+    if (i + 2 < tokens.size() && tokens[i + 1].text == "in") {
+      auto numer = Units().find(w);
+      auto denom = Units().find(tokens[i + 2].text);
+      double denom_digits = 0;
+      if (denom == Units().end()) {
+        if (auto v = ParseNumericLiteral(tokens[i + 2].text)) {
+          denom_digits = *v;
+        }
+      } else {
+        denom_digits = denom->second;
+      }
+      if (numer != Units().end() && numer->second > 0 && denom_digits > 1) {
+        ParsedNumber n;
+        n.value = 100.0 * numer->second / denom_digits;
+        n.token_begin = i;
+        n.token_end = i + 3;
+        n.is_percent = true;
+        n.is_fraction = true;
+        n.from_words = true;
+        n.raw = w + " in " + tokens[i + 2].text;
+        numbers.push_back(std::move(n));
+        i += 3;
+        continue;
+      }
+    }
+
+    // Fraction words followed by "of": "half of", "a third of",
+    // "two-thirds of". Ordinal readings ("the third attempt") are excluded
+    // by the "of" requirement.
+    {
+      double multiplier = 1.0;
+      size_t frac_idx = i;
+      auto unit = Units().find(w);
+      if (unit != Units().end() && unit->second >= 1 && unit->second <= 9 &&
+          i + 1 < tokens.size()) {
+        multiplier = unit->second;
+        frac_idx = i + 1;
+      }
+      double base = frac_idx < tokens.size()
+                        ? fraction_percent(tokens[frac_idx].text)
+                        : 0.0;
+      double value = base * multiplier;
+      if (base > 0 && followed_by_of(frac_idx) && value < 100) {
+        ParsedNumber n;
+        // Prose fractions carry ~2 significant digits (a third = 33%).
+        n.value = rounding::RoundToSignificant(value, 2);
+        n.token_begin = i;
+        n.token_end = frac_idx + 1;
+        n.is_percent = true;
+        n.is_fraction = true;
+        n.from_words = true;
+        for (size_t t = i; t <= frac_idx; ++t) {
+          if (t > i) n.raw += ' ';
+          n.raw += tokens[t].text;
+        }
+        numbers.push_back(std::move(n));
+        i = frac_idx + 1;
+        continue;
+      }
+    }
+
+    // Ordinal digit forms ("3rd"): flag and move on.
+    if (IsOrdinalSuffixToken(w)) {
+      ParsedNumber n;
+      n.value = std::strtod(w.c_str(), nullptr);
+      n.token_begin = i;
+      n.token_end = i + 1;
+      n.is_ordinal = true;
+      n.raw = w;
+      numbers.push_back(std::move(n));
+      ++i;
+      continue;
+    }
+
+    // Digit literals, optionally scaled by a following word ("1.5 million").
+    if (auto v = ParseNumericLiteral(w)) {
+      ParsedNumber n;
+      n.value = *v;
+      n.token_begin = i;
+      n.token_end = i + 1;
+      n.raw = w;
+      if (n.token_end < tokens.size()) {
+        auto scale = Scales().find(tokens[n.token_end].text);
+        if (scale != Scales().end()) {
+          n.value *= scale->second;
+          n.raw += " " + tokens[n.token_end].text;
+          ++n.token_end;
+        }
+      }
+      size_t raw_end = tokens[i].offset + w.size();
+      n.is_percent = percent_after(n.token_end, raw_end);
+      n.looks_like_year = (w.size() == 4 && n.value >= 1900 &&
+                           n.value <= 2099 && !n.is_percent &&
+                           n.value == std::floor(n.value));
+      i = n.token_end;
+      numbers.push_back(std::move(n));
+      continue;
+    }
+
+    // Ordinal words ("third"): flagged, usually skipped by the detector.
+    auto ow = OrdinalWords().find(w);
+    if (ow != OrdinalWords().end()) {
+      ParsedNumber n;
+      n.value = ow->second;
+      n.token_begin = i;
+      n.token_end = i + 1;
+      n.is_ordinal = true;
+      n.from_words = true;
+      n.raw = w;
+      numbers.push_back(std::move(n));
+      ++i;
+      continue;
+    }
+
+    // Spelled-out cardinals.
+    size_t end = i;
+    if (auto v = ParseNumberWords(tokens, i, &end)) {
+      ParsedNumber n;
+      n.value = *v;
+      n.token_begin = i;
+      n.token_end = end;
+      n.from_words = true;
+      for (size_t t = i; t < end; ++t) {
+        if (t > i) n.raw += ' ';
+        n.raw += tokens[t].text;
+      }
+      size_t raw_end = tokens[end - 1].offset + tokens[end - 1].text.size();
+      n.is_percent = percent_after(end, raw_end);
+      i = end;
+      numbers.push_back(std::move(n));
+      continue;
+    }
+    ++i;
+  }
+  return numbers;
+}
+
+}  // namespace text
+}  // namespace aggchecker

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/tokenizer.h"
+
+namespace aggchecker {
+namespace text {
+
+/// \brief A numeric mention found in a sentence — a potential claimed query
+/// result (Definition 1's value `e`).
+struct ParsedNumber {
+  double value = 0;
+  size_t token_begin = 0;  ///< first token of the mention
+  size_t token_end = 0;    ///< one past the last token
+  bool is_percent = false; ///< "41%", "41 percent"
+  bool from_words = false; ///< spelled out ("four", "two hundred")
+  bool is_ordinal = false; ///< "1st", "third" (usually not a claim)
+  bool looks_like_year = false;  ///< 1900..2099 four-digit literal
+  bool is_fraction = false;      ///< "half of", "a third of", "one in five"
+  std::string raw;         ///< original surface form
+};
+
+/// \brief Finds all numeric mentions in a tokenized sentence.
+///
+/// Handles digit literals ("63", "13.6", "1,200"), percent markers ('%'
+/// adjacent in the raw text or a following "percent"/"pct" token), number
+/// words ("four", "twenty-one", "two hundred", "three million"), fraction
+/// phrases read as percentages ("half of" = 50%, "two-thirds of" = 67%,
+/// "one in five" = 20%), and flags ordinals and year-like literals so the
+/// claim detector can skip them.
+std::vector<ParsedNumber> FindNumbers(const std::string& raw_sentence,
+                                      const std::vector<ir::Token>& tokens);
+
+/// Parses a sequence of number words starting at `begin`; on success returns
+/// the value and sets `*end` to one past the last consumed token.
+std::optional<double> ParseNumberWords(const std::vector<ir::Token>& tokens,
+                                       size_t begin, size_t* end);
+
+/// Parses a single numeric literal token ("1,200", "13.6"); nullopt if the
+/// token is not purely numeric.
+std::optional<double> ParseNumericLiteral(const std::string& token);
+
+}  // namespace text
+}  // namespace aggchecker

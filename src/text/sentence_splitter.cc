@@ -1,0 +1,96 @@
+#include "text/sentence_splitter.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace text {
+
+namespace {
+
+/// Abbreviations whose trailing period does not end a sentence.
+const std::unordered_set<std::string>& Abbreviations() {
+  static const std::unordered_set<std::string> kAbbrev = {
+      "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "no", "vs", "etc",
+      "e.g", "i.e", "u.s", "u.k", "fig", "sept", "oct", "nov", "dec", "jan",
+      "feb", "mar", "apr", "aug", "jun", "jul", "inc", "ltd", "co", "corp",
+      "approx", "dept", "est", "min", "max", "avg",
+  };
+  return kAbbrev;
+}
+
+/// The word (lower-cased) immediately before position `i` (which holds a
+/// terminator character).
+std::string WordBefore(const std::string& s, size_t i) {
+  size_t end = i;
+  size_t begin = end;
+  while (begin > 0) {
+    char c = s[begin - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+      --begin;
+    } else {
+      break;
+    }
+  }
+  std::string word = s.substr(begin, end - begin);
+  // Drop a trailing period chain ("U.S." -> "u.s").
+  while (!word.empty() && word.back() == '.') word.pop_back();
+  return strings::ToLower(word);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(const std::string& paragraph) {
+  std::vector<std::string> sentences;
+  std::string cur;
+  const size_t n = paragraph.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = paragraph[i];
+    cur.push_back(c);
+    if (c != '.' && c != '!' && c != '?') continue;
+
+    if (c == '.') {
+      // Decimal point: digit on both sides.
+      if (i > 0 && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(paragraph[i - 1])) &&
+          std::isdigit(static_cast<unsigned char>(paragraph[i + 1]))) {
+        continue;
+      }
+      std::string word = WordBefore(paragraph, i);
+      if (Abbreviations().count(word) > 0) continue;
+      // Single-letter initials ("J. Smith").
+      if (word.size() == 1 &&
+          std::isalpha(static_cast<unsigned char>(word[0]))) {
+        continue;
+      }
+    }
+    // Consume closing quotes/parens directly after the terminator.
+    while (i + 1 < n &&
+           (paragraph[i + 1] == '"' || paragraph[i + 1] == '\'' ||
+            paragraph[i + 1] == ')')) {
+      cur.push_back(paragraph[++i]);
+    }
+    // Boundary requires whitespace then an upper-case letter, digit, or
+    // quote — or end of paragraph.
+    size_t j = i + 1;
+    while (j < n && (paragraph[j] == ' ' || paragraph[j] == '\t')) ++j;
+    bool at_end = (j >= n) || paragraph[j] == '\n';
+    bool next_starts_sentence =
+        j < n && (std::isupper(static_cast<unsigned char>(paragraph[j])) ||
+                  std::isdigit(static_cast<unsigned char>(paragraph[j])) ||
+                  paragraph[j] == '"' || paragraph[j] == '\'');
+    if (at_end || next_starts_sentence) {
+      std::string trimmed = strings::Trim(cur);
+      if (!trimmed.empty()) sentences.push_back(std::move(trimmed));
+      cur.clear();
+    }
+  }
+  std::string trimmed = strings::Trim(cur);
+  if (!trimmed.empty()) sentences.push_back(std::move(trimmed));
+  return sentences;
+}
+
+}  // namespace text
+}  // namespace aggchecker

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aggchecker {
+namespace text {
+
+/// \brief Splits a paragraph into sentences.
+///
+/// Boundaries are '.', '!', '?' followed by whitespace and an upper-case
+/// letter, digit, or quote. Decimal points ("13.6"), common abbreviations
+/// ("Mr.", "U.S.", "e.g."), and single-initial periods ("J. Smith") do not
+/// split. Trailing text without terminal punctuation forms a final sentence.
+std::vector<std::string> SplitSentences(const std::string& paragraph);
+
+}  // namespace text
+}  // namespace aggchecker

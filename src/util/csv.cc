@@ -1,0 +1,136 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace csv {
+
+namespace {
+
+/// Splits raw CSV text into records of fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    fields.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::ParseError("quote in unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (!field.empty() || field_started || !fields.empty()) end_record();
+  return records;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+}  // namespace
+
+Result<CsvData> Parse(const std::string& text) {
+  auto records = Tokenize(text);
+  if (!records.ok()) return records.status();
+  if (records->empty()) return Status::ParseError("empty CSV input");
+
+  CsvData data;
+  data.header = (*records)[0];
+  const size_t width = data.header.size();
+  for (size_t r = 1; r < records->size(); ++r) {
+    auto& row = (*records)[r];
+    // Skip stray blank lines — but only for multi-column tables; in a
+    // single-column table an empty line is a legitimate NULL row.
+    if (width > 1 && row.size() == 1 && strings::Trim(row[0]).empty()) {
+      continue;
+    }
+    if (row.size() > width) {
+      return Status::ParseError(
+          strings::Format("row %zu has %zu fields, header has %zu", r,
+                          row.size(), width));
+    }
+    row.resize(width);
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+Result<CsvData> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+std::string Write(const CsvData& data) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (NeedsQuoting(row[i])) {
+        out.push_back('"');
+        out += strings::ReplaceAll(row[i], "\"", "\"\"");
+        out.push_back('"');
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  };
+  write_row(data.header);
+  for (const auto& row : data.rows) write_row(row);
+  return out;
+}
+
+}  // namespace csv
+}  // namespace aggchecker

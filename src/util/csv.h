@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aggchecker {
+namespace csv {
+
+/// \brief Parsed CSV content: a header row plus data rows.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses RFC-4180-ish CSV text.
+///
+/// Supports quoted fields with embedded commas/newlines and doubled quotes.
+/// The first record is treated as the header. Rows shorter than the header
+/// are padded with empty strings; longer rows are an error.
+Result<CsvData> Parse(const std::string& text);
+
+/// Reads a CSV file from disk and parses it.
+Result<CsvData> ReadFile(const std::string& path);
+
+/// Serializes data back to CSV text (quoting where needed).
+std::string Write(const CsvData& data);
+
+}  // namespace csv
+}  // namespace aggchecker

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aggchecker {
+
+/// \brief Deterministic xoshiro256** pseudo-random generator.
+///
+/// Every randomized component (corpus generation, simulated users, property
+/// tests) takes an explicit Rng so all experiments are reproducible from a
+/// seed. Never seeded from wall-clock time.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Normal-ish double via sum of uniforms (Irwin-Hall, 4 terms), scaled to
+  /// mean/stddev. Sufficient for latency models; avoids <random> state.
+  double NextGaussian(double mean, double stddev);
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace aggchecker

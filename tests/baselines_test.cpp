@@ -1,0 +1,102 @@
+#include "baselines/claimbuster_fm.h"
+#include "baselines/margot.h"
+#include "baselines/nalir.h"
+
+#include <gtest/gtest.h>
+
+#include "claims/claim_detector.h"
+#include "corpus/embedded_articles.h"
+
+namespace aggchecker {
+namespace baselines {
+namespace {
+
+TEST(ClaimBusterFmTest, RepositoryBuilt) {
+  ClaimBusterFm fm(ClaimBusterFm::Aggregation::kMax);
+  EXPECT_GE(fm.repository_size(), 30u);
+}
+
+TEST(ClaimBusterFmTest, ChecksEveryClaim) {
+  auto c = corpus::MakeNflCase();
+  auto detected = claims::ClaimDetector().Detect(c.document);
+  ClaimBusterFm fm(ClaimBusterFm::Aggregation::kMax);
+  auto flags = fm.CheckDocument(c.document, detected);
+  EXPECT_EQ(flags.size(), detected.size());
+}
+
+TEST(ClaimBusterFmTest, LongTailClaimsMatchSpuriouslyOrNotAtAll) {
+  // The structural point of the baseline: its verdicts on data-set-specific
+  // claims carry no signal, so agreement with ground truth is near chance.
+  auto c = corpus::MakeNflCase();
+  auto detected = claims::ClaimDetector().Detect(c.document);
+  ClaimBusterFm max_fm(ClaimBusterFm::Aggregation::kMax);
+  ClaimBusterFm mv_fm(ClaimBusterFm::Aggregation::kMajorityVote);
+  auto max_flags = max_fm.CheckDocument(c.document, detected);
+  auto mv_flags = mv_fm.CheckDocument(c.document, detected);
+  // Both exist; the two aggregations may differ on some claims.
+  EXPECT_EQ(max_flags.size(), mv_flags.size());
+}
+
+TEST(NalirTest, TranslatesOnlyExplicitSingleClaimSentences) {
+  auto c = corpus::MakeNflCase();
+  auto detected = claims::ClaimDetector().Detect(c.document);
+  auto catalog = fragments::FragmentCatalog::Build(c.database);
+  ASSERT_TRUE(catalog.ok());
+  NalirBaseline nalir(&c.database, &*catalog);
+  size_t translated = 0;
+  for (const auto& claim : detected) {
+    auto outcome = nalir.CheckClaim(c.document, claim);
+    if (outcome.translated) ++translated;
+    // Question generation must fail on the two-claim sentence
+    // ("Three were ... one was for gambling").
+    if (claim.id == "s1#0" || claim.id == "s1#1") {
+      EXPECT_FALSE(outcome.question_generated) << claim.id;
+    }
+  }
+  // Only a minority of claims translate — the paper's bottleneck.
+  EXPECT_LT(translated, detected.size());
+  EXPECT_EQ(nalir.stats().attempts, detected.size());
+  EXPECT_LE(nalir.stats().single_values, nalir.stats().translations);
+}
+
+TEST(NalirTest, ExplicitCountSentenceTranslates) {
+  auto c = corpus::MakeNflCase();
+  auto catalog = fragments::FragmentCatalog::Build(c.database);
+  NalirBaseline nalir(&c.database, &*catalog);
+  // Build a toy document with an explicit, short, single-claim sentence
+  // whose value token matches a database literal exactly.
+  auto doc = text::ParseDocument(
+      "We counted 6 suspensions where the category was gambling.");
+  auto detected = claims::ClaimDetector().Detect(*doc);
+  ASSERT_EQ(detected.size(), 1u);
+  auto outcome = nalir.CheckClaim(*doc, detected[0]);
+  EXPECT_TRUE(outcome.question_generated);
+  EXPECT_TRUE(outcome.translated);
+  ASSERT_TRUE(outcome.single_value);
+  // Count(*) WHERE Category='gambling' = 1, claimed 6 -> flagged.
+  EXPECT_DOUBLE_EQ(*outcome.result, 1.0);
+  EXPECT_TRUE(outcome.flagged_erroneous);
+}
+
+TEST(NalirTest, NoCueWordNoTranslation) {
+  auto c = corpus::MakeNflCase();
+  auto catalog = fragments::FragmentCatalog::Build(c.database);
+  NalirBaseline nalir(&c.database, &*catalog);
+  auto doc = text::ParseDocument("There were 4 gambling suspensions.");
+  auto detected = claims::ClaimDetector().Detect(*doc);
+  ASSERT_EQ(detected.size(), 1u);
+  auto outcome = nalir.CheckClaim(*doc, detected[0]);
+  EXPECT_TRUE(outcome.question_generated);
+  EXPECT_FALSE(outcome.translated);
+}
+
+TEST(MargotTest, CountsArgumentativeSentences) {
+  auto c = corpus::MakeEtiquetteCase();
+  size_t count = CountArgumentativeClaims(c.document);
+  EXPECT_GT(count, 0u);
+  EXPECT_LE(count, c.document.sentences().size());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace aggchecker

@@ -1,0 +1,183 @@
+#include "claims/claim_detector.h"
+#include "claims/keyword_extractor.h"
+#include "claims/relevance_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace claims {
+namespace {
+
+constexpr const char* kNflArticle = R"(
+<h1>The NFL's Uneven History Of Punishing Domestic Violence</h1>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database. Three were
+for repeated substance abuse, one was for gambling.</p>
+<h2>History</h2>
+<p>The policy started in 2014. About 12 percent of suspensions were long.</p>
+)";
+
+text::TextDocument ParseArticle() {
+  auto doc = text::ParseDocument(kNflArticle);
+  EXPECT_TRUE(doc.ok());
+  return std::move(*doc);
+}
+
+TEST(ClaimDetectorTest, FindsWordAndDigitClaims) {
+  auto doc = ParseArticle();
+  ClaimDetector detector;
+  auto claims = detector.Detect(doc);
+  // four, three, one, 12% — the year 2014 is skipped.
+  ASSERT_EQ(claims.size(), 4u);
+  EXPECT_DOUBLE_EQ(claims[0].claimed_value(), 4);
+  EXPECT_DOUBLE_EQ(claims[1].claimed_value(), 3);
+  EXPECT_DOUBLE_EQ(claims[2].claimed_value(), 1);
+  EXPECT_DOUBLE_EQ(claims[3].claimed_value(), 12);
+  EXPECT_TRUE(claims[3].is_percent());
+}
+
+TEST(ClaimDetectorTest, YearsKeptWhenDisabled) {
+  auto doc = ParseArticle();
+  ClaimDetectorOptions options;
+  options.skip_years = false;
+  auto claims = ClaimDetector(options).Detect(doc);
+  EXPECT_EQ(claims.size(), 5u);
+}
+
+TEST(ClaimDetectorTest, MaxValueCap) {
+  auto doc = *text::ParseDocument("We sold 1500000 units, or 85 percent.");
+  ClaimDetectorOptions options;
+  options.max_value = 10000;
+  auto claims = ClaimDetector(options).Detect(doc);
+  // The large value is dropped; the percent survives the cap.
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_TRUE(claims[0].is_percent());
+}
+
+TEST(ClaimDetectorTest, ClaimIdsUniquePerSentence) {
+  auto doc = ParseArticle();
+  auto claims = ClaimDetector().Detect(doc);
+  // "three" and "one" share a sentence: same prefix, increasing counter.
+  EXPECT_EQ(claims[1].sentence, claims[2].sentence);
+  EXPECT_EQ(claims[1].id, "s1#0");
+  EXPECT_EQ(claims[2].id, "s1#1");
+  EXPECT_NE(claims[0].id, claims[1].id);
+}
+
+class KeywordExtractorTest : public ::testing::Test {
+ protected:
+  KeywordExtractorTest() : doc_(ParseArticle()) {
+    claims_ = ClaimDetector().Detect(doc_);
+  }
+
+  static double WeightOf(
+      const std::vector<ir::InvertedIndex::TermWeight>& keywords,
+      const std::string& word) {
+    for (const auto& [w, weight] : keywords) {
+      if (w == word) return weight;
+    }
+    return 0.0;
+  }
+
+  text::TextDocument doc_;
+  std::vector<Claim> claims_;
+};
+
+TEST_F(KeywordExtractorTest, ClaimSentenceKeywordsWeighted) {
+  KeywordExtractor extractor(KeywordContextOptions::ClaimSentenceOnly());
+  // Claim 'one' (gambling).
+  auto keywords = extractor.Extract(doc_, claims_[2]);
+  double w_gambling = WeightOf(keywords, "gambling");
+  double w_substance = WeightOf(keywords, "substance");
+  EXPECT_GT(w_gambling, 0.0);
+  EXPECT_GT(w_gambling, w_substance);  // Example 3's separation property
+
+  // And for claim 'three' it flips.
+  auto keywords3 = extractor.Extract(doc_, claims_[1]);
+  EXPECT_GT(WeightOf(keywords3, "substance"),
+            WeightOf(keywords3, "gambling"));
+}
+
+TEST_F(KeywordExtractorTest, ClaimValueItselfExcluded) {
+  KeywordExtractor extractor(KeywordContextOptions::ClaimSentenceOnly());
+  auto keywords = extractor.Extract(doc_, claims_[2]);
+  EXPECT_EQ(WeightOf(keywords, "one"), 0.0);
+}
+
+TEST_F(KeywordExtractorTest, PreviousSentenceAddsContext) {
+  // The decisive "lifetime bans" context for claims three/one lives in the
+  // previous sentence (Example 3).
+  KeywordContextOptions options = KeywordContextOptions::ClaimSentenceOnly();
+  KeywordExtractor without(options);
+  EXPECT_EQ(WeightOf(without.Extract(doc_, claims_[2]), "lifetime"), 0.0);
+
+  options.previous_sentence = true;
+  KeywordExtractor with(options);
+  EXPECT_GT(WeightOf(with.Extract(doc_, claims_[2]), "lifetime"), 0.0);
+}
+
+TEST_F(KeywordExtractorTest, HeadlinesAddContext) {
+  KeywordContextOptions options = KeywordContextOptions::ClaimSentenceOnly();
+  options.headlines = true;
+  KeywordExtractor extractor(options);
+  auto keywords = extractor.Extract(doc_, claims_[0]);
+  EXPECT_GT(WeightOf(keywords, "lifetime"), 0.0);   // section headline
+  EXPECT_GT(WeightOf(keywords, "violence"), 0.0);   // document title
+}
+
+TEST_F(KeywordExtractorTest, SynonymsExpandAtDiscount) {
+  KeywordContextOptions options = KeywordContextOptions::ClaimSentenceOnly();
+  options.previous_sentence = true;
+  options.synonyms = true;
+  KeywordExtractor extractor(options);
+  auto keywords = extractor.Extract(doc_, claims_[2]);
+  // "lifetime" (from the previous sentence) expands to "indef".
+  double w_lifetime = WeightOf(keywords, "lifetime");
+  double w_indef = WeightOf(keywords, "indef");
+  EXPECT_GT(w_indef, 0.0);
+  EXPECT_LT(w_indef, w_lifetime + 1e-12);
+}
+
+TEST_F(KeywordExtractorTest, ContextNeverRemovesKeywords) {
+  // Property: enabling more context only adds keywords (or raises weights).
+  KeywordExtractor minimal(KeywordContextOptions::ClaimSentenceOnly());
+  KeywordExtractor full((KeywordContextOptions()));
+  for (const Claim& claim : claims_) {
+    auto base = minimal.Extract(doc_, claim);
+    auto extended = full.Extract(doc_, claim);
+    for (const auto& [word, weight] : base) {
+      EXPECT_GE(WeightOf(extended, word), weight) << word;
+    }
+  }
+}
+
+TEST(RelevanceScorerTest, EndToEndScoresFragments) {
+  auto doc = ParseArticle();
+  auto claims = ClaimDetector().Detect(doc);
+  auto database = testing_fixtures::MakeNflDatabase();
+  auto catalog = fragments::FragmentCatalog::Build(database);
+  ASSERT_TRUE(catalog.ok());
+  RelevanceScorer scorer(&*catalog, KeywordExtractor(), 20);
+  auto relevance = scorer.ScoreAll(doc, claims);
+  ASSERT_EQ(relevance.size(), claims.size());
+
+  // For claim 'one', the gambling predicate fragment must rank highly.
+  const auto& rel = relevance[2];
+  ASSERT_FALSE(rel.predicates.empty());
+  bool gambling_found = false;
+  for (const auto& hit : rel.predicates) {
+    const auto& frag = catalog->fragment(fragments::FragmentType::kPredicate,
+                                         hit.fragment_index);
+    if (frag.value.ToString() == "gambling") gambling_found = true;
+  }
+  EXPECT_TRUE(gambling_found);
+  // Functions are always scored over the full set.
+  EXPECT_FALSE(rel.functions.empty());
+}
+
+}  // namespace
+}  // namespace claims
+}  // namespace aggchecker

@@ -1,0 +1,183 @@
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "claims/claim_detector.h"
+#include "corpus/embedded_articles.h"
+#include "corpus/metrics.h"
+#include "db/executor.h"
+#include "util/rounding.h"
+
+namespace aggchecker {
+namespace corpus {
+namespace {
+
+/// Detector-level alignment: claim count and claimed values must line up
+/// with ground truth for every corpus case (the invariant all benchmark
+/// metrics rely on).
+void ExpectDetectorAlignment(const CorpusCase& c) {
+  claims::ClaimDetector detector;
+  auto detected = detector.Detect(c.document);
+  ASSERT_EQ(detected.size(), c.ground_truth.size()) << c.name;
+  for (size_t i = 0; i < detected.size(); ++i) {
+    EXPECT_NEAR(detected[i].claimed_value(), c.ground_truth[i].claimed_value,
+                1e-9)
+        << c.name << " claim " << i;
+  }
+}
+
+/// Ground-truth queries must be valid and their recorded true values must
+/// re-evaluate identically.
+void ExpectGroundTruthConsistency(const CorpusCase& c) {
+  db::QueryExecutor exec(&c.database);
+  for (size_t i = 0; i < c.ground_truth.size(); ++i) {
+    const auto& g = c.ground_truth[i];
+    auto r = exec.Execute(g.query);
+    ASSERT_TRUE(r.ok()) << c.name << " claim " << i << ": "
+                        << r.status().ToString();
+    ASSERT_TRUE(r->has_value()) << c.name << " claim " << i;
+    EXPECT_NEAR(**r, g.true_value, 1e-6) << c.name << " claim " << i;
+    // The erroneous flag must agree with the rounding semantics.
+    EXPECT_EQ(g.is_erroneous,
+              !rounding::RoundsTo(g.true_value, g.claimed_value))
+        << c.name << " claim " << i;
+  }
+}
+
+TEST(EmbeddedArticlesTest, NflCaseAligned) {
+  auto c = MakeNflCase();
+  EXPECT_EQ(c.ground_truth.size(), 11u);
+  EXPECT_EQ(c.NumErroneous(), 2u);
+  ExpectDetectorAlignment(c);
+  ExpectGroundTruthConsistency(c);
+}
+
+TEST(EmbeddedArticlesTest, EtiquetteCaseAligned) {
+  auto c = MakeEtiquetteCase();
+  EXPECT_EQ(c.ground_truth.size(), 8u);
+  EXPECT_EQ(c.NumErroneous(), 1u);
+  ExpectDetectorAlignment(c);
+  ExpectGroundTruthConsistency(c);
+}
+
+TEST(EmbeddedArticlesTest, DeveloperSurveyReproducesTable9Error) {
+  auto c = MakeDeveloperSurveyCase();
+  EXPECT_EQ(c.ground_truth.size(), 8u);
+  ExpectDetectorAlignment(c);
+  ExpectGroundTruthConsistency(c);
+  // The self-taught claim: true 13.6%, claimed 13% — erroneous.
+  const auto& self_taught = c.ground_truth[2];
+  EXPECT_NEAR(self_taught.true_value, 13.6, 0.01);
+  EXPECT_TRUE(self_taught.is_erroneous);
+}
+
+class GeneratedCaseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratedCaseTest, AlignedAndConsistent) {
+  GeneratorOptions options;
+  auto c = GenerateCase(GetParam(), options);
+  ASSERT_GE(c.ground_truth.size(), 3u) << c.name;
+  ExpectDetectorAlignment(c);
+  ExpectGroundTruthConsistency(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeneratedCases, GeneratedCaseTest,
+                         ::testing::Range(size_t{0}, size_t{50}));
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorOptions options;
+  auto a = GenerateCase(7, options);
+  auto b = GenerateCase(7, options);
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (size_t i = 0; i < a.ground_truth.size(); ++i) {
+    EXPECT_EQ(a.ground_truth[i].query.CanonicalKey(),
+              b.ground_truth[i].query.CanonicalKey());
+    EXPECT_DOUBLE_EQ(a.ground_truth[i].claimed_value,
+                     b.ground_truth[i].claimed_value);
+  }
+  // A different seed changes the case.
+  GeneratorOptions other;
+  other.seed = 137;
+  auto d = GenerateCase(7, other);
+  bool differs = d.ground_truth.size() != a.ground_truth.size();
+  for (size_t i = 0; !differs && i < a.ground_truth.size(); ++i) {
+    differs = !(a.ground_truth[i].query == d.ground_truth[i].query) ||
+              a.ground_truth[i].claimed_value !=
+                  d.ground_truth[i].claimed_value;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FullCorpusTest, ShapeMatchesPaper) {
+  auto corpus = FullCorpus();
+  EXPECT_EQ(corpus.size(), 53u);
+  auto stats = ComputeStatistics(corpus);
+  // ~392 claims in the paper; our generator lands in the same ballpark.
+  EXPECT_GT(stats.num_claims, 250u);
+  EXPECT_LT(stats.num_claims, 600u);
+  // ~12% of claims erroneous, 17/53 cases with at least one error.
+  double error_rate = static_cast<double>(stats.num_erroneous) /
+                      static_cast<double>(stats.num_claims);
+  EXPECT_GT(error_rate, 0.05);
+  EXPECT_LT(error_rate, 0.25);
+  EXPECT_GT(stats.cases_with_errors, 8u);
+  // Predicate mix near 17/61/23 (Figure 9(c)).
+  EXPECT_GT(stats.one_pred_share, stats.zero_pred_share);
+  EXPECT_GT(stats.one_pred_share, stats.two_pred_share);
+  // Theme concentration (Figure 9(b)): top-3 characteristics cover most
+  // claims per document.
+  EXPECT_GT(stats.topn_function_coverage[2], 75.0);
+  EXPECT_GT(stats.topn_predicate_coverage[2], 60.0);
+  // Coverage curves are monotone.
+  for (size_t n = 1; n < stats.topn_column_coverage.size(); ++n) {
+    EXPECT_GE(stats.topn_column_coverage[n],
+              stats.topn_column_coverage[n - 1]);
+  }
+}
+
+TEST(FullCorpusTest, StudyArticleSelection) {
+  auto corpus = FullCorpus();
+  auto picks = StudyArticleIndices(corpus);
+  ASSERT_EQ(picks.size(), 6u);
+  EXPECT_GT(corpus[picks[0]].ground_truth.size(), 15u);
+  EXPECT_GT(corpus[picks[1]].ground_truth.size(), 15u);
+  for (size_t i = 2; i < 6; ++i) {
+    EXPECT_GE(corpus[picks[i]].ground_truth.size(), 5u);
+    EXPECT_LE(corpus[picks[i]].ground_truth.size(), 10u);
+  }
+}
+
+TEST(MetricsTest, ErrorDetectionMath) {
+  ErrorDetectionMetrics m;
+  m.true_positives = 3;
+  m.false_positives = 1;
+  m.false_negatives = 1;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.75);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.75);
+
+  ErrorDetectionMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 1.0);  // no erroneous claims to find
+  ErrorDetectionMetrics merged = m;
+  merged.Merge(m);
+  EXPECT_EQ(merged.true_positives, 6u);
+}
+
+TEST(MetricsTest, CoverageMergeAndAccessors) {
+  CoverageMetrics a(5), b(5);
+  a.total = 2;
+  a.hits[0] = 1;
+  a.hits[4] = 2;
+  b.total = 2;
+  b.hits[0] = 2;
+  b.hits[4] = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 4u);
+  EXPECT_DOUBLE_EQ(a.TopK(1), 75.0);
+  EXPECT_DOUBLE_EQ(a.TopK(5), 100.0);
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace aggchecker

@@ -1,0 +1,156 @@
+#include "db/joined_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "db/cube.h"
+#include "db/executor.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace aggchecker {
+namespace db {
+namespace {
+
+using testing_fixtures::MakeOrdersDatabase;
+
+TEST(JoinedRelationTest, SingleTablePassThrough) {
+  auto database = testing_fixtures::MakeNflDatabase();
+  auto rel = JoinedRelation::Build(database, {"nflsuspensions"});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 10u);
+  auto h = rel->ResolveColumn({"nflsuspensions", "Team"});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(rel->at(0, *h).ToString(), "ARI");
+  EXPECT_EQ(rel->base_row(7, *h), 7u);
+}
+
+TEST(JoinedRelationTest, InnerJoinDropsDanglingRows) {
+  auto database = MakeOrdersDatabase();
+  auto rel = JoinedRelation::Build(database, {"orders", "customers"});
+  ASSERT_TRUE(rel.ok());
+  // 5 orders, 1 dangling (customer 9): 4 joined rows.
+  EXPECT_EQ(rel->num_rows(), 4u);
+}
+
+TEST(JoinedRelationTest, JoinedColumnsAlign) {
+  auto database = MakeOrdersDatabase();
+  auto rel = JoinedRelation::Build(database, {"orders", "customers"});
+  ASSERT_TRUE(rel.ok());
+  auto cust = rel->ResolveColumn({"orders", "customer_id"});
+  auto id = rel->ResolveColumn({"customers", "id"});
+  ASSERT_TRUE(cust.ok());
+  ASSERT_TRUE(id.ok());
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    EXPECT_EQ(rel->at(r, *cust), rel->at(r, *id)) << "row " << r;
+  }
+}
+
+TEST(JoinedRelationTest, ColumnFromUnjoinedTableRejected) {
+  auto database = MakeOrdersDatabase();
+  auto rel = JoinedRelation::Build(database, {"orders"});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_FALSE(rel->ResolveColumn({"customers", "region"}).ok());
+  EXPECT_FALSE(rel->ResolveColumn({"orders", "nope"}).ok());
+}
+
+TEST(JoinedRelationTest, ThreeTableChain) {
+  auto database = MakeOrdersDatabase();
+  Table items("items");
+  (void)items.AddColumn("order_id", ValueType::kLong);
+  (void)items.AddColumn("sku", ValueType::kString);
+  // Two items for order 10, one for order 12, one dangling.
+  (void)items.AddRow({Value(int64_t{10}), Value(std::string("apple"))});
+  (void)items.AddRow({Value(int64_t{10}), Value(std::string("pear"))});
+  (void)items.AddRow({Value(int64_t{12}), Value(std::string("plum"))});
+  (void)items.AddRow({Value(int64_t{99}), Value(std::string("ghost"))});
+  ASSERT_TRUE(database.AddTable(std::move(items)).ok());
+  ASSERT_TRUE(
+      database.AddForeignKey({"items", "order_id"}, {"orders", "id"}).ok());
+
+  auto rel = JoinedRelation::Build(database,
+                                   {"items", "customers", "orders"});
+  ASSERT_TRUE(rel.ok());
+  // items joined to orders joined to customers: 3 item rows with live
+  // orders, all of whose customers exist.
+  EXPECT_EQ(rel->num_rows(), 3u);
+  auto region = rel->ResolveColumn({"customers", "region"});
+  ASSERT_TRUE(region.ok());
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    EXPECT_FALSE(rel->at(r, *region).is_null());
+  }
+}
+
+TEST(JoinedRelationTest, OneToManyMultipliesRows) {
+  // Joining from the PK side: each customer row fans out to its orders.
+  auto database = MakeOrdersDatabase();
+  auto rel = JoinedRelation::Build(database, {"customers", "orders"});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 4u);  // same join, order of tables irrelevant
+}
+
+// Property: a 3-dimension cube answers every conjunctive count exactly as
+// the naive executor, across randomized data.
+class ThreeDimCubeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreeDimCubeTest, CubeMatchesNaiveOnAllCells) {
+  Rng rng(GetParam());
+  Database database("d");
+  Table t("t");
+  (void)t.AddColumn("a", ValueType::kString);
+  (void)t.AddColumn("b", ValueType::kString);
+  (void)t.AddColumn("c", ValueType::kString);
+  const char* kVals[] = {"x", "y", "z"};
+  int rows = static_cast<int>(rng.NextInt(10, 120));
+  for (int r = 0; r < rows; ++r) {
+    (void)t.AddRow({Value(std::string(kVals[rng.NextBounded(3)])),
+                    Value(std::string(kVals[rng.NextBounded(3)])),
+                    Value(std::string(kVals[rng.NextBounded(3)]))});
+  }
+  (void)database.AddTable(std::move(t));
+
+  std::vector<ColumnRef> dims = {{"t", "a"}, {"t", "b"}, {"t", "c"}};
+  std::vector<Value> lits = {Value(std::string("x")),
+                             Value(std::string("y"))};
+  CubeAggregate count_star;
+  count_star.column.table = "t";
+  auto cube = ExecuteCube(database, dims, {lits, lits, lits}, {count_star});
+  ASSERT_TRUE(cube.ok());
+
+  QueryExecutor exec(&database);
+  // Every combination of {x, y, ALL} per dimension.
+  const Value options[] = {Value(std::string("x")), Value(std::string("y"))};
+  for (int ai = -1; ai < 2; ++ai) {
+    for (int bi = -1; bi < 2; ++bi) {
+      for (int ci = -1; ci < 2; ++ci) {
+        SimpleAggregateQuery q;
+        q.agg_column = {"t", ""};
+        std::vector<int16_t> key(3, kAllBucket);
+        if (ai >= 0) {
+          q.predicates.push_back({{"t", "a"}, options[ai]});
+          key[0] = static_cast<int16_t>(ai);
+        }
+        if (bi >= 0) {
+          q.predicates.push_back({{"t", "b"}, options[bi]});
+          key[1] = static_cast<int16_t>(bi);
+        }
+        if (ci >= 0) {
+          q.predicates.push_back({{"t", "c"}, options[ci]});
+          key[2] = static_cast<int16_t>(ci);
+        }
+        auto naive = exec.Execute(q);
+        ASSERT_TRUE(naive.ok());
+        double expected = naive->value_or(0.0);
+        double from_cube = (*cube)->Lookup(key, 0).value_or(0.0);
+        EXPECT_DOUBLE_EQ(from_cube, expected)
+            << "a=" << ai << " b=" << bi << " c=" << ci;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeDimCubeTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{112}));
+
+}  // namespace
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,159 @@
+#include "db/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "test_fixtures.h"
+
+namespace aggchecker {
+namespace db {
+namespace {
+
+using testing_fixtures::MakeNflDatabase;
+using testing_fixtures::MakeOrdersDatabase;
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() : nfl_(MakeNflDatabase()), shop_(MakeOrdersDatabase()) {}
+
+  SimpleAggregateQuery Parse(const std::string& sql,
+                             const Database& database) {
+    auto q = ParseSql(sql, database);
+    EXPECT_TRUE(q.ok()) << sql << ": " << q.status().ToString();
+    return q.ok() ? *q : SimpleAggregateQuery{};
+  }
+
+  Database nfl_;
+  Database shop_;
+};
+
+TEST_F(SqlParserTest, CountStarWithPredicate) {
+  auto q = Parse(
+      "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'", nfl_);
+  EXPECT_EQ(q.fn, AggFn::kCount);
+  EXPECT_TRUE(q.is_star());
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].column.column, "Games");
+  EXPECT_EQ(q.predicates[0].value.ToString(), "indef");
+  // Executes correctly end to end.
+  QueryExecutor exec(&nfl_);
+  EXPECT_DOUBLE_EQ(exec.Execute(q)->value(), 4.0);
+}
+
+TEST_F(SqlParserTest, CaseInsensitiveKeywordsAndNames) {
+  auto q = Parse("select COUNT(*) from NFLSUSPENSIONS where games = 'indef'",
+                 nfl_);
+  EXPECT_EQ(q.predicates[0].column.table, "nflsuspensions");
+  EXPECT_EQ(q.predicates[0].column.column, "Games");  // canonical casing
+}
+
+TEST_F(SqlParserTest, MultiplePredicatesWithAnd) {
+  auto q = Parse(
+      "SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef' AND "
+      "Category = 'gambling'",
+      nfl_);
+  ASSERT_EQ(q.predicates.size(), 2u);
+}
+
+TEST_F(SqlParserTest, AggregateFunctions) {
+  EXPECT_EQ(Parse("SELECT Sum(amount) FROM orders", shop_).fn, AggFn::kSum);
+  EXPECT_EQ(Parse("SELECT Avg(amount) FROM orders", shop_).fn, AggFn::kAvg);
+  EXPECT_EQ(Parse("SELECT Average(amount) FROM orders", shop_).fn,
+            AggFn::kAvg);
+  EXPECT_EQ(Parse("SELECT Min(amount) FROM orders", shop_).fn, AggFn::kMin);
+  EXPECT_EQ(Parse("SELECT Max(amount) FROM orders", shop_).fn, AggFn::kMax);
+  EXPECT_EQ(Parse("SELECT Percentage(region) FROM customers", shop_).fn,
+            AggFn::kPercentage);
+}
+
+TEST_F(SqlParserTest, CountDistinctSpellings) {
+  auto a = Parse("SELECT CountDistinct(Team) FROM nflsuspensions", nfl_);
+  auto b = Parse("SELECT Count(DISTINCT Team) FROM nflsuspensions", nfl_);
+  EXPECT_EQ(a.fn, AggFn::kCountDistinct);
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(SqlParserTest, NumericLiterals) {
+  auto q = Parse("SELECT Count(*) FROM orders WHERE customer_id = 2", shop_);
+  EXPECT_EQ(q.predicates[0].value, Value(int64_t{2}));
+  QueryExecutor exec(&shop_);
+  EXPECT_DOUBLE_EQ(exec.Execute(q)->value(), 1.0);
+}
+
+TEST_F(SqlParserTest, QualifiedAndJoinedColumns) {
+  auto q = Parse(
+      "SELECT Sum(orders.amount) FROM orders E-JOIN customers WHERE "
+      "customers.region = 'east'",
+      shop_);
+  EXPECT_EQ(q.agg_column.table, "orders");
+  EXPECT_EQ(q.predicates[0].column.table, "customers");
+  QueryExecutor exec(&shop_);
+  EXPECT_DOUBLE_EQ(exec.Execute(q)->value(), 22.5);
+}
+
+TEST_F(SqlParserTest, UnqualifiedColumnResolvedAcrossTables) {
+  auto q = Parse("SELECT Count(*) FROM orders WHERE region = 'west'", shop_);
+  EXPECT_EQ(q.predicates[0].column.table, "customers");
+}
+
+TEST_F(SqlParserTest, EscapedQuoteInLiteral) {
+  auto q = ParseSql(
+      "SELECT Count(*) FROM nflsuspensions WHERE Name = 'O''Brien'", nfl_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicates[0].value.ToString(), "O'Brien");
+}
+
+TEST_F(SqlParserTest, RoundTripWithToSql) {
+  // Every query our executor supports renders via ToSql() and parses back
+  // to an equal query.
+  struct Case {
+    std::string sql;
+    const Database* database;
+  };
+  std::vector<Case> cases = {
+      {"SELECT Count(*) FROM nflsuspensions WHERE Games = 'indef'", &nfl_},
+      {"SELECT CountDistinct(Team) FROM nflsuspensions", &nfl_},
+      {"SELECT Average(amount) FROM orders WHERE region = 'east'", &shop_},
+  };
+  for (const auto& c : cases) {
+    auto q = Parse(c.sql, *c.database);
+    auto reparsed = ParseSql(q.ToSql(), *c.database);
+    ASSERT_TRUE(reparsed.ok()) << q.ToSql() << ": "
+                               << reparsed.status().ToString();
+    EXPECT_TRUE(*reparsed == q) << q.ToSql();
+  }
+}
+
+TEST_F(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("", nfl_).ok());
+  EXPECT_FALSE(ParseSql("DELETE FROM nflsuspensions", nfl_).ok());
+  EXPECT_FALSE(ParseSql("SELECT Wat(*) FROM nflsuspensions", nfl_).ok());
+  EXPECT_FALSE(ParseSql("SELECT Count(*) FROM nope", nfl_).ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT Count(*) FROM nflsuspensions WHERE nope = 'x'",
+               nfl_).ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT Count(*) FROM nflsuspensions WHERE Games = ", nfl_)
+          .ok());
+  EXPECT_FALSE(ParseSql(
+                   "SELECT Count(*) FROM nflsuspensions WHERE Games = 'x",
+                   nfl_)
+                   .ok());
+  EXPECT_FALSE(ParseSql("SELECT Count(*) FROM nflsuspensions extra", nfl_)
+                   .ok());
+  // Ambiguous unqualified column (id exists in both shop tables).
+  EXPECT_FALSE(
+      ParseSql("SELECT Count(*) FROM orders WHERE id = 1", shop_).ok());
+  // DISTINCT with a non-count function.
+  EXPECT_FALSE(
+      ParseSql("SELECT Sum(DISTINCT amount) FROM orders", shop_).ok());
+}
+
+TEST_F(SqlParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(
+      ParseSql("SELECT Count(*) FROM nflsuspensions;", nfl_).ok());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace aggchecker

@@ -1,0 +1,100 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace aggchecker {
+namespace db {
+namespace {
+
+TEST(TableTest, FromCsvInfersTypes) {
+  auto data = csv::Parse("name,games,score\nA,3,1.5\nB,7,2\n");
+  auto table = Table::FromCsv("t", *data);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->FindColumn("name")->type(), ValueType::kString);
+  EXPECT_EQ(table->FindColumn("games")->type(), ValueType::kLong);
+  // 1.5 and 2 mixed -> DOUBLE; the long 2 is coerced.
+  EXPECT_EQ(table->FindColumn("score")->type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(table->FindColumn("score")->at(1).AsDoubleExact(), 2.0);
+}
+
+TEST(TableTest, MixedNumericAndTextIsString) {
+  auto data = csv::Parse("games\n16\nindef\n4\n");
+  auto table = Table::FromCsv("t", *data);
+  ASSERT_TRUE(table.ok());
+  const Column* col = table->FindColumn("games");
+  EXPECT_EQ(col->type(), ValueType::kString);
+  // Numeric-looking cells keep their text rendering in a string column.
+  EXPECT_EQ(col->at(0).AsString(), "16");
+  EXPECT_EQ(col->at(1).AsString(), "indef");
+}
+
+TEST(TableTest, NullsCountedPerColumn) {
+  auto data = csv::Parse("x\n1\n\n3\n\n");
+  auto table = Table::FromCsv("t", *data);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->FindColumn("x")->null_count(), 2u);
+  EXPECT_EQ(table->FindColumn("x")->type(), ValueType::kLong);
+}
+
+TEST(TableTest, ColumnLookupCaseInsensitive) {
+  auto database = testing_fixtures::MakeNflDatabase();
+  const Table* t = database.FindTable("NFLSUSPENSIONS");
+  ASSERT_NE(t, nullptr);
+  EXPECT_NE(t->FindColumn("GAMES"), nullptr);
+  EXPECT_NE(t->FindColumn("games"), nullptr);
+  EXPECT_EQ(t->FindColumn("nope"), nullptr);
+  EXPECT_EQ(t->ColumnIndex("Category"), 3);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kLong).ok());
+  EXPECT_FALSE(t.AddColumn("A", ValueType::kLong).ok());
+}
+
+TEST(TableTest, AddColumnAfterRowsRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kLong).ok());
+  ASSERT_TRUE(t.AddRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(t.AddColumn("b", ValueType::kLong).ok());
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kLong).ok());
+  ASSERT_TRUE(t.AddColumn("b", ValueType::kLong).ok());
+  EXPECT_FALSE(t.AddRow({Value(int64_t{1})}).ok());
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  csv::CsvData data;
+  EXPECT_FALSE(Table::FromCsv("t", data).ok());
+}
+
+TEST(ColumnTest, DistinctValuesInAppearanceOrder) {
+  auto database = testing_fixtures::MakeNflDatabase();
+  const Column* games =
+      database.FindTable("nflsuspensions")->FindColumn("Games");
+  const auto& distinct = games->DistinctValues();
+  ASSERT_EQ(distinct.size(), 6u);  // indef, 16, 8, 4, 2, 1
+  EXPECT_EQ(distinct[0].ToString(), "indef");
+  EXPECT_EQ(games->DistinctIndexOf(Value(std::string("indef"))), 0);
+  EXPECT_EQ(games->DistinctIndexOf(Value(std::string("nope"))), -1);
+}
+
+TEST(ColumnTest, DictionaryInvalidatedByAppend) {
+  Column c("c", ValueType::kLong);
+  c.Append(Value(int64_t{1}));
+  EXPECT_EQ(c.DistinctValues().size(), 1u);
+  c.Append(Value(int64_t{2}));
+  EXPECT_EQ(c.DistinctValues().size(), 2u);
+  c.Append(Value(int64_t{2}));
+  EXPECT_EQ(c.DistinctValues().size(), 2u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace aggchecker

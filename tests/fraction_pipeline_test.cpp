@@ -1,0 +1,91 @@
+// End-to-end checks for fraction-phrase claims ("half of", "one in five"):
+// the detector reads them as percentage claims and the checker matches them
+// against Percentage / ConditionalProbability candidates.
+
+#include <gtest/gtest.h>
+
+#include "claims/claim_detector.h"
+#include "core/aggchecker.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace {
+
+db::Database MakeSurveyDb(int yes_rows, int no_rows) {
+  db::Database database("survey");
+  db::Table t("answers");
+  (void)t.AddColumn("Respondent", db::ValueType::kLong);
+  (void)t.AddColumn("Reply", db::ValueType::kString);
+  int64_t id = 0;
+  for (int i = 0; i < yes_rows; ++i) {
+    (void)t.AddRow({db::Value(++id), db::Value(std::string("yes"))});
+  }
+  for (int i = 0; i < no_rows; ++i) {
+    (void)t.AddRow({db::Value(++id), db::Value(std::string("no"))});
+  }
+  (void)database.AddTable(std::move(t));
+  return database;
+}
+
+TEST(FractionPipelineTest, HalfOfVerifiesWhenTrue) {
+  auto database = MakeSurveyDb(50, 50);
+  auto doc = text::ParseDocument(
+      "<h1>Survey replies</h1>\n"
+      "<p>Half of the respondents gave the reply yes.</p>\n");
+  ASSERT_TRUE(doc.ok());
+  auto detected = claims::ClaimDetector().Detect(*doc);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_TRUE(detected[0].is_percent());
+  EXPECT_DOUBLE_EQ(detected[0].claimed_value(), 50);
+
+  auto checker = core::AggChecker::Create(&database);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->verdicts.size(), 1u);
+  EXPECT_FALSE(report->verdicts[0].likely_erroneous)
+      << report->verdicts[0].best()->query.ToSql();
+}
+
+TEST(FractionPipelineTest, HalfOfFlaggedWhenFalse) {
+  // Only 23% said yes; "half" must be flagged. (130 rows, so no incidental
+  // aggregate — e.g. the average respondent id — lands near 50.)
+  auto database = MakeSurveyDb(30, 100);
+  auto doc = text::ParseDocument(
+      "<h1>Survey replies</h1>\n"
+      "<p>Half of the respondents gave the reply yes.</p>\n");
+  auto checker = core::AggChecker::Create(&database);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->verdicts.size(), 1u);
+  EXPECT_TRUE(report->verdicts[0].likely_erroneous);
+}
+
+TEST(FractionPipelineTest, OneInFiveAsPercentage) {
+  auto database = MakeSurveyDb(20, 80);
+  auto doc = text::ParseDocument(
+      "<h1>Survey replies</h1>\n"
+      "<p>One in five respondents gave the reply yes.</p>\n");
+  auto detected = claims::ClaimDetector().Detect(*doc);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_DOUBLE_EQ(detected[0].claimed_value(), 20);
+  auto checker = core::AggChecker::Create(&database);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->verdicts[0].likely_erroneous);
+}
+
+TEST(FractionPipelineTest, RoundingAbsorbsNearMisses) {
+  // 48% reads as "half" under significant-digit rounding (50 has one
+  // significant digit; 48.0 rounds to 50).
+  auto database = MakeSurveyDb(48, 52);
+  auto doc = text::ParseDocument(
+      "<h1>Survey replies</h1>\n"
+      "<p>Half of the respondents gave the reply yes.</p>\n");
+  auto checker = core::AggChecker::Create(&database);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->verdicts[0].likely_erroneous);
+}
+
+}  // namespace
+}  // namespace aggchecker

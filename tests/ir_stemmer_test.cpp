@@ -1,0 +1,56 @@
+#include "ir/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace aggchecker {
+namespace ir {
+namespace {
+
+TEST(PorterStemmerTest, Plurals) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("caress"), "caress");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("suspensions"), PorterStem("suspension"));
+}
+
+TEST(PorterStemmerTest, PastTenseAndGerunds) {
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("donated"), PorterStem("donate"));
+  EXPECT_EQ(PorterStem("donating"), PorterStem("donation"));
+}
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("probability"), "probabl");
+  EXPECT_EQ(PorterStem("verification"), "verif");
+  EXPECT_EQ(PorterStem("verify"), "verifi");
+}
+
+TEST(PorterStemmerTest, DomainVocabularyCollapses) {
+  EXPECT_EQ(PorterStem("candidates"), PorterStem("candidate"));
+  EXPECT_EQ(PorterStem("respondents"), PorterStem("respondent"));
+  EXPECT_EQ(PorterStem("gambling"), PorterStem("gambling"));
+  EXPECT_EQ(PorterStem("bans"), PorterStem("ban"));
+}
+
+TEST(PorterStemmerTest, ShortAndNonAlphaUnchanged) {
+  EXPECT_EQ(PorterStem("as"), "as");
+  EXPECT_EQ(PorterStem("13.6"), "13.6");
+  EXPECT_EQ(PorterStem("don't"), "don't");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, StemIsIdempotentOnCommonWords) {
+  for (const char* w : {"running", "flies", "happiness", "national",
+                        "triplicate", "generalization", "oscillators"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace aggchecker

@@ -1,0 +1,71 @@
+#include "ir/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace aggchecker {
+namespace ir {
+namespace {
+
+TEST(TokenizerTest, BasicWordsLowercased) {
+  EXPECT_EQ(Tokenize("Hello World"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(Tokenize("bans - three were for abuse, one for gambling."),
+            (std::vector<std::string>{"bans", "three", "were", "for",
+                                      "abuse", "one", "for", "gambling"}));
+}
+
+TEST(TokenizerTest, ApostropheKept) {
+  EXPECT_EQ(Tokenize("don't stop"),
+            (std::vector<std::string>{"don't", "stop"}));
+}
+
+TEST(TokenizerTest, DecimalAndThousandsKeptTogether) {
+  EXPECT_EQ(Tokenize("13.6 percent of 1,200 responses"),
+            (std::vector<std::string>{"13.6", "percent", "of", "1,200",
+                                      "responses"}));
+}
+
+TEST(TokenizerTest, CommaBetweenWordsSeparates) {
+  EXPECT_EQ(Tokenize("alpha,beta"),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string s = "The 41 percent";
+  auto tokens = TokenizeWithOffsets(s);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "41");
+  EXPECT_EQ(s.substr(tokens[1].offset, 2), "41");
+  EXPECT_EQ(tokens[2].offset, 7u);
+}
+
+TEST(TokenizerTest, EmptyAndPunctOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, IsNumericToken) {
+  EXPECT_TRUE(IsNumericToken("42"));
+  EXPECT_TRUE(IsNumericToken("13.6"));
+  EXPECT_TRUE(IsNumericToken("1,200"));
+  EXPECT_TRUE(IsNumericToken("-7"));
+  EXPECT_FALSE(IsNumericToken("abc"));
+  EXPECT_FALSE(IsNumericToken("12abc"));
+  EXPECT_FALSE(IsNumericToken("1.2.3"));
+  EXPECT_FALSE(IsNumericToken(""));
+  EXPECT_FALSE(IsNumericToken("-"));
+}
+
+TEST(TokenizerTest, StopWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("of"));
+  EXPECT_FALSE(IsStopWord("gambling"));
+  EXPECT_FALSE(IsStopWord("percent"));
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace aggchecker

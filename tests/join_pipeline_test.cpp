@@ -1,0 +1,107 @@
+// End-to-end pipeline test across a PK-FK join: the campaign-donations
+// case requires candidates generated over two tables and cube execution
+// over the joined relation.
+
+#include <gtest/gtest.h>
+
+#include "claims/claim_detector.h"
+#include "core/aggchecker.h"
+#include "corpus/embedded_articles.h"
+#include "corpus/metrics.h"
+#include "db/executor.h"
+#include "util/rounding.h"
+
+namespace aggchecker {
+namespace {
+
+class JoinPipelineTest : public ::testing::Test {
+ protected:
+  static const corpus::CorpusCase& Case() {
+    static const corpus::CorpusCase* kCase =
+        new corpus::CorpusCase(corpus::MakeDonationsJoinCase());
+    return *kCase;
+  }
+};
+
+TEST_F(JoinPipelineTest, GroundTruthConsistent) {
+  const auto& c = Case();
+  db::QueryExecutor exec(&c.database);
+  for (size_t i = 0; i < c.ground_truth.size(); ++i) {
+    const auto& g = c.ground_truth[i];
+    auto r = exec.Execute(g.query);
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    ASSERT_TRUE(r->has_value()) << i;
+    EXPECT_NEAR(**r, g.true_value, 1e-9) << g.query.ToSql();
+    EXPECT_EQ(g.is_erroneous,
+              !rounding::RoundsTo(g.true_value, g.claimed_value))
+        << i;
+  }
+  // The specific joined values.
+  EXPECT_DOUBLE_EQ(c.ground_truth[2].true_value, 25);  // democratic gifts
+  EXPECT_DOUBLE_EQ(c.ground_truth[3].true_value, 500);
+  EXPECT_DOUBLE_EQ(c.ground_truth[5].true_value, 4);   // vermont gifts
+}
+
+TEST_F(JoinPipelineTest, DetectorAligned) {
+  const auto& c = Case();
+  auto detected = claims::ClaimDetector().Detect(c.document);
+  ASSERT_EQ(detected.size(), c.ground_truth.size());
+  for (size_t i = 0; i < detected.size(); ++i) {
+    EXPECT_NEAR(detected[i].claimed_value(),
+                c.ground_truth[i].claimed_value, 1e-9)
+        << i;
+  }
+}
+
+TEST_F(JoinPipelineTest, CatalogSpansBothTables) {
+  const auto& c = Case();
+  auto catalog = fragments::FragmentCatalog::Build(c.database);
+  ASSERT_TRUE(catalog.ok());
+  // Star fragments for both tables plus all 8 columns.
+  EXPECT_EQ(catalog->fragments(fragments::FragmentType::kAggColumn).size(),
+            2u + 8u);
+  // A predicate fragment on the candidates side exists.
+  EXPECT_GE(catalog->PredicateColumnIndex({"candidates", "Party"}), 0);
+  EXPECT_GE(catalog->PredicateColumnIndex({"gifts", "DonorSector"}), 0);
+}
+
+TEST_F(JoinPipelineTest, CheckerResolvesJoinClaims) {
+  const auto& c = Case();
+  core::CheckOptions options;
+  options.report_top_k = 20;
+  auto checker = core::AggChecker::Create(&c.database, options);
+  ASSERT_TRUE(checker.ok());
+  auto report = checker->Check(c.document);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->verdicts.size(), c.ground_truth.size());
+
+  auto coverage = corpus::ScoreCoverage(c, *report);
+  // The joined claims must be translatable: the right query within top-10
+  // for most claims of this document.
+  EXPECT_GE(coverage.TopK(10), 60.0);
+
+  // The erroneous vermont claim is flagged; the correct joined claims
+  // (democratic count, republican average) are not.
+  auto detection = corpus::ScoreErrorDetection(c, *report);
+  EXPECT_GE(detection.Recall(), 1.0);  // the single error is found
+  EXPECT_FALSE(report->verdicts[2].likely_erroneous)
+      << report->verdicts[2].best()->query.ToSql();
+}
+
+TEST_F(JoinPipelineTest, BestJoinQueryActuallyJoins) {
+  const auto& c = Case();
+  core::CheckOptions options;
+  options.report_top_k = 20;
+  auto checker = core::AggChecker::Create(&c.database, options);
+  auto report = checker->Check(c.document);
+  ASSERT_TRUE(report.ok());
+  // Claim "25 democratic donations": ground truth references both tables.
+  size_t rank =
+      corpus::GroundTruthRank(c.ground_truth[2], report->verdicts[2]);
+  EXPECT_GE(rank, 1u);
+  EXPECT_LE(rank, 10u);
+  EXPECT_EQ(c.ground_truth[2].query.ReferencedTables().size(), 2u);
+}
+
+}  // namespace
+}  // namespace aggchecker

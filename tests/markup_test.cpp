@@ -1,0 +1,115 @@
+// Dedicated markup tests: character-span arithmetic with several claims in
+// one sentence, mixed word/digit/percent forms, and all three styles.
+
+#include "core/markup.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggchecker.h"
+#include "text/document.h"
+
+namespace aggchecker {
+namespace core {
+namespace {
+
+struct MarkupFixture {
+  MarkupFixture() {
+    db::Table t("stats");
+    (void)t.AddColumn("Kind", db::ValueType::kString);
+    (void)t.AddColumn("Score", db::ValueType::kLong);
+    for (int i = 0; i < 4; ++i) {
+      (void)t.AddRow({db::Value(std::string(i < 3 ? "red" : "blue")),
+                      db::Value(static_cast<int64_t>(10 * (i + 1)))});
+    }
+    (void)database.AddTable(std::move(t));
+  }
+  db::Database database{"markup"};
+};
+
+CheckReport Check(const db::Database& database,
+                  const text::TextDocument& doc) {
+  auto checker = AggChecker::Create(&database);
+  auto report = checker->Check(doc);
+  EXPECT_TRUE(report.ok());
+  return std::move(*report);
+}
+
+TEST(MarkupSpanTest, MultipleClaimsInOneSentenceWrapIndependently) {
+  MarkupFixture f;
+  // Three claims in one sentence: "4" (correct count), "three" (correct
+  // red count), "one" (correct blue count).
+  auto doc = text::ParseDocument(
+      "The stats table lists 4 rows, of which three are red and one is "
+      "blue.");
+  ASSERT_TRUE(doc.ok());
+  auto report = Check(f.database, *doc);
+  ASSERT_EQ(report.verdicts.size(), 3u);
+  std::string plain = RenderMarkup(*doc, report, MarkupStyle::kPlain);
+  // Each claim wrapped exactly once and spans don't corrupt each other.
+  size_t wraps = 0;
+  for (size_t pos = plain.find("[OK "); pos != std::string::npos;
+       pos = plain.find("[OK ", pos + 1)) {
+    ++wraps;
+  }
+  size_t bad_wraps = 0;
+  for (size_t pos = plain.find("[?? "); pos != std::string::npos;
+       pos = plain.find("[?? ", pos + 1)) {
+    ++bad_wraps;
+  }
+  EXPECT_EQ(wraps + bad_wraps, 3u);
+  // The raw words survive inside the wrappers.
+  EXPECT_NE(plain.find("three"), std::string::npos);
+  EXPECT_NE(plain.find("one"), std::string::npos);
+}
+
+TEST(MarkupSpanTest, PercentClaimSpanCoversNumberOnly) {
+  MarkupFixture f;
+  auto doc = text::ParseDocument(
+      "Exactly 75 percent of the rows have a kind of red.");
+  ASSERT_TRUE(doc.ok());
+  auto report = Check(f.database, *doc);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  std::string html = RenderMarkup(*doc, report, MarkupStyle::kHtml);
+  // The span wraps "75", not the word "percent".
+  EXPECT_NE(html.find(">75</span> percent"), std::string::npos) << html;
+}
+
+TEST(MarkupSpanTest, MultiTokenNumberFullyWrapped) {
+  MarkupFixture f;
+  auto doc = text::ParseDocument(
+      "The total score reached 100 across all rows.");
+  ASSERT_TRUE(doc.ok());
+  auto report = Check(f.database, *doc);
+  std::string plain = RenderMarkup(*doc, report, MarkupStyle::kPlain);
+  EXPECT_TRUE(plain.find("[OK 100]") != std::string::npos ||
+              plain.find("[?? 100]") != std::string::npos)
+      << plain;
+}
+
+TEST(MarkupSpanTest, StylesShareStructure) {
+  MarkupFixture f;
+  auto doc = text::ParseDocument("The table lists 4 rows in total.");
+  auto report = Check(f.database, *doc);
+  std::string plain = RenderMarkup(*doc, report, MarkupStyle::kPlain);
+  std::string ansi = RenderMarkup(*doc, report, MarkupStyle::kAnsi);
+  std::string html = RenderMarkup(*doc, report, MarkupStyle::kHtml);
+  // Stripped of wrappers, all three styles carry the same sentence.
+  EXPECT_NE(plain.find("rows in total"), std::string::npos);
+  EXPECT_NE(ansi.find("rows in total"), std::string::npos);
+  EXPECT_NE(html.find("rows in total"), std::string::npos);
+}
+
+TEST(MarkupSpanTest, FlaggedAppendixListsBestQuery) {
+  MarkupFixture f;
+  auto doc = text::ParseDocument("The stats table lists 9 rows in total.");
+  auto report = Check(f.database, *doc);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_TRUE(report.verdicts[0].likely_erroneous);
+  std::string plain = RenderMarkup(*doc, report, MarkupStyle::kPlain);
+  EXPECT_NE(plain.find("!! claim"), std::string::npos);
+  EXPECT_NE(plain.find("best query:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aggchecker

@@ -1,0 +1,81 @@
+#include "core/report_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/embedded_articles.h"
+
+namespace aggchecker {
+namespace core {
+namespace {
+
+struct ReportFixture {
+  ReportFixture() : test_case(corpus::MakeNflCase()) {
+    auto checker = AggChecker::Create(&test_case.database);
+    auto r = checker->Check(test_case.document);
+    report = std::move(*r);
+  }
+  corpus::CorpusCase test_case;
+  CheckReport report;
+};
+
+const ReportFixture& Fixture() {
+  static const ReportFixture* kFixture = new ReportFixture();
+  return *kFixture;
+}
+
+TEST(ReportWriterTest, ProducesStandaloneHtml) {
+  const auto& f = Fixture();
+  std::string html = WriteHtmlReport(f.test_case.document, f.report);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  // Title and headings present (apostrophes pass through unescaped).
+  EXPECT_NE(html.find("The NFL's Uneven History"), std::string::npos);
+  EXPECT_NE(html.find("<h2>"), std::string::npos);
+}
+
+TEST(ReportWriterTest, ClaimsWrappedAndDetailed) {
+  const auto& f = Fixture();
+  std::string html = WriteHtmlReport(f.test_case.document, f.report);
+  EXPECT_NE(html.find("class=\"verified\""), std::string::npos);
+  // The NFL case has two erroneous claims; at least one should be flagged.
+  EXPECT_NE(html.find("class=\"flagged\""), std::string::npos);
+  EXPECT_NE(html.find("LIKELY ERRONEOUS"), std::string::npos);
+  EXPECT_NE(html.find("claim-card"), std::string::npos);
+  // Per-claim SQL appears.
+  EXPECT_NE(html.find("SELECT"), std::string::npos);
+  // One card per claim.
+  size_t cards = 0;
+  for (size_t pos = html.find("claim-card"); pos != std::string::npos;
+       pos = html.find("claim-card", pos + 1)) {
+    ++cards;
+  }
+  // One CSS rule mention + one per claim (class attribute), conservative:
+  EXPECT_GE(cards, f.report.verdicts.size());
+}
+
+TEST(ReportWriterTest, EscapesHtmlInContent) {
+  db::Database database("x");
+  db::Table t("data<b>");
+  (void)t.AddColumn("col", db::ValueType::kString);
+  (void)t.AddRow({db::Value(std::string("<script>alert(1)</script>"))});
+  (void)t.AddRow({db::Value(std::string("plain"))});
+  (void)database.AddTable(std::move(t));
+  auto doc = text::ParseDocument("The data lists 2 rows in total.");
+  auto checker = AggChecker::Create(&database);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  std::string html = WriteHtmlReport(*doc, *report);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+}
+
+TEST(ReportWriterTest, TitleNoteIncluded) {
+  const auto& f = Fixture();
+  std::string html =
+      WriteHtmlReport(f.test_case.document, f.report, "review draft #2");
+  EXPECT_NE(html.find("review draft #2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aggchecker

@@ -1,0 +1,80 @@
+#include "model/scope.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggchecker.h"
+#include "corpus/generator.h"
+#include "test_fixtures.h"
+
+namespace aggchecker {
+namespace model {
+namespace {
+
+TEST(PickScopeTest, DisabledUsesMaxBudget) {
+  auto database = testing_fixtures::MakeNflDatabase();
+  ModelOptions options;
+  options.adaptive_scope = false;
+  auto budget = PickScope(database, 10, options);
+  EXPECT_EQ(budget.eval_per_claim, options.max_eval_per_claim);
+}
+
+TEST(PickScopeTest, SmallDataGetsFullBudget) {
+  auto database = testing_fixtures::MakeNflDatabase();  // 10 rows
+  ModelOptions options;
+  options.adaptive_scope = true;
+  auto budget = PickScope(database, 10, options);
+  EXPECT_EQ(budget.eval_per_claim, options.max_eval_per_claim);
+}
+
+TEST(PickScopeTest, LargeDataShrinksScope) {
+  corpus::GeneratorOptions gen;
+  gen.row_scale = 400;  // tens of thousands of rows
+  auto big = corpus::GenerateCase(3, gen);
+  ModelOptions options;
+  options.adaptive_scope = true;
+  size_t claims = 10;
+  auto budget = PickScope(big.database, claims, options);
+  EXPECT_LT(budget.eval_per_claim, options.max_eval_per_claim);
+  EXPECT_GE(budget.eval_per_claim, options.min_eval_per_claim);
+  // The estimate respects the target up to clamping.
+  if (budget.eval_per_claim > options.min_eval_per_claim) {
+    EXPECT_LE(budget.estimated_row_scans, options.target_row_scans * 1.5);
+  }
+}
+
+TEST(PickScopeTest, MoreClaimsSplitTheBudget) {
+  corpus::GeneratorOptions gen;
+  gen.row_scale = 100;
+  auto big = corpus::GenerateCase(3, gen);
+  ModelOptions options;
+  options.adaptive_scope = true;
+  auto few = PickScope(big.database, 4, options);
+  auto many = PickScope(big.database, 64, options);
+  EXPECT_GE(few.eval_per_claim, many.eval_per_claim);
+}
+
+TEST(PickScopeTest, ClampsToMinimum) {
+  corpus::GeneratorOptions gen;
+  gen.row_scale = 2000;
+  auto huge = corpus::GenerateCase(0, gen);
+  ModelOptions options;
+  options.adaptive_scope = true;
+  auto budget = PickScope(huge.database, 100, options);
+  EXPECT_EQ(budget.eval_per_claim, options.min_eval_per_claim);
+}
+
+TEST(PickScopeTest, AdaptiveCheckStillWorks) {
+  // End-to-end with adaptive scope on a normal case: quality holds.
+  auto c = corpus::GenerateCase(5, corpus::GeneratorOptions{});
+  core::CheckOptions options;
+  options.model.adaptive_scope = true;
+  auto checker = core::AggChecker::Create(&c.database, options);
+  ASSERT_TRUE(checker.ok());
+  auto report = checker->Check(c.document);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdicts.size(), c.ground_truth.size());
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace aggchecker

@@ -1,0 +1,66 @@
+// Property tests over the whole corpus: every ground-truth query
+// round-trips through both serializations (SQL text and canonical key),
+// and the natural-language describer covers every query without falling
+// back to generic phrasing.
+
+#include <gtest/gtest.h>
+
+#include "core/query_describer.h"
+#include "corpus/corpus.h"
+#include "db/sql_parser.h"
+
+namespace aggchecker {
+namespace {
+
+class CorpusQueriesTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static const std::vector<corpus::CorpusCase>& Corpus() {
+    static const std::vector<corpus::CorpusCase>* kCorpus =
+        new std::vector<corpus::CorpusCase>(corpus::FullCorpus());
+    return *kCorpus;
+  }
+};
+
+TEST_P(CorpusQueriesTest, GroundTruthSqlRoundTrips) {
+  const corpus::CorpusCase& c = Corpus()[GetParam()];
+  for (const auto& g : c.ground_truth) {
+    auto parsed = db::ParseSql(g.query.ToSql(), c.database);
+    ASSERT_TRUE(parsed.ok())
+        << c.name << ": " << g.query.ToSql() << " -> "
+        << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == g.query) << g.query.ToSql();
+  }
+}
+
+TEST_P(CorpusQueriesTest, GroundTruthCanonicalKeyRoundTrips) {
+  const corpus::CorpusCase& c = Corpus()[GetParam()];
+  for (const auto& g : c.ground_truth) {
+    auto parsed =
+        db::SimpleAggregateQuery::FromCanonicalKey(g.query.CanonicalKey());
+    ASSERT_TRUE(parsed.ok()) << c.name << ": " << g.query.CanonicalKey();
+    EXPECT_TRUE(*parsed == g.query) << g.query.CanonicalKey();
+    EXPECT_EQ(parsed->CanonicalKey(), g.query.CanonicalKey());
+  }
+}
+
+TEST_P(CorpusQueriesTest, DescriberCoversEveryGroundTruthQuery) {
+  const corpus::CorpusCase& c = Corpus()[GetParam()];
+  for (const auto& g : c.ground_truth) {
+    std::string description = core::DescribeQuery(g.query);
+    EXPECT_GT(description.size(), 10u) << g.query.ToSql();
+    EXPECT_EQ(description.find("The value was"), std::string::npos)
+        << "generic fallback for " << g.query.ToSql();
+    // Every predicate value appears in the description.
+    for (const auto& p : g.query.predicates) {
+      if (g.query.fn == db::AggFn::kConditionalProbability) continue;
+      EXPECT_NE(description.find(p.value.ToString()), std::string::npos)
+          << description;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, CorpusQueriesTest,
+                         ::testing::Range(size_t{0}, size_t{53}));
+
+}  // namespace
+}  // namespace aggchecker

@@ -1,0 +1,168 @@
+#include "text/document.h"
+
+#include <gtest/gtest.h>
+
+#include "text/dependency_proxy.h"
+
+namespace aggchecker {
+namespace text {
+namespace {
+
+constexpr const char* kSampleHtml = R"(
+<h1>The NFL's Uneven History Of Punishing Domestic Violence</h1>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database. Three were
+for repeated substance abuse, one was for gambling.</p>
+<h3>Details</h3>
+<p>The gambling ban dates back decades.</p>
+<h2>Shorter suspensions</h2>
+<p>Most suspensions were shorter. The typical ban was 4 games.</p>
+)";
+
+TEST(DocumentParserTest, HtmlStructure) {
+  auto doc = ParseDocument(kSampleHtml);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->title(),
+            "The NFL's Uneven History Of Punishing Domestic Violence");
+  ASSERT_EQ(doc->sections().size(), 3u);
+  EXPECT_EQ(doc->section(0).headline, "Lifetime bans");
+  EXPECT_EQ(doc->section(1).headline, "Details");
+  EXPECT_EQ(doc->section(1).parent, 0);
+  EXPECT_EQ(doc->section(2).headline, "Shorter suspensions");
+  EXPECT_EQ(doc->section(2).parent, -1);
+  ASSERT_EQ(doc->paragraphs().size(), 3u);
+  EXPECT_EQ(doc->paragraph(0).section, 0);
+  EXPECT_EQ(doc->paragraph(1).section, 1);
+  EXPECT_EQ(doc->paragraph(2).section, 2);
+}
+
+TEST(DocumentParserTest, SentencesSplitAndTokenized) {
+  auto doc = ParseDocument(kSampleHtml);
+  ASSERT_TRUE(doc.ok());
+  const auto& para0 = doc->paragraph(0);
+  ASSERT_EQ(para0.sentence_indices.size(), 2u);
+  const Sentence& s0 = doc->sentence(para0.sentence_indices[0]);
+  EXPECT_EQ(s0.index_in_paragraph, 0);
+  EXPECT_FALSE(s0.tokens.empty());
+  EXPECT_EQ(s0.tokens[0].text, "there");
+}
+
+TEST(DocumentParserTest, MarkdownHeadings) {
+  auto doc = ParseDocument(
+      "# Title\n\n## Section A\nBody text here. More text.\n\n### Sub\n"
+      "Sub body.\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->title(), "Title");
+  ASSERT_EQ(doc->sections().size(), 2u);
+  EXPECT_EQ(doc->section(1).parent, 0);
+}
+
+TEST(DocumentParserTest, PlainParagraphsSplitOnBlankLines) {
+  auto doc = ParseDocument("First para one. First para two.\n\nSecond.\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->paragraphs().size(), 2u);
+  EXPECT_EQ(doc->paragraph(0).sentence_indices.size(), 2u);
+  EXPECT_EQ(doc->paragraph(0).section, -1);
+}
+
+TEST(DocumentParserTest, MultiLineParagraphJoined) {
+  auto doc = ParseDocument("Line one continues\nhere in line two.\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->sentences().size(), 1u);
+  EXPECT_EQ(doc->sentence(0).text, "Line one continues here in line two.");
+}
+
+TEST(DocumentParserTest, EmptyDocumentRejected) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("<h1>Only a title</h1>\n").ok());
+}
+
+TEST(DocumentNavigationTest, PreviousAndFirstSentence) {
+  auto doc = ParseDocument(kSampleHtml);
+  ASSERT_TRUE(doc.ok());
+  const auto& para0 = doc->paragraph(0);
+  int first = para0.sentence_indices[0];
+  int second = para0.sentence_indices[1];
+  EXPECT_EQ(doc->PreviousSentenceInParagraph(second), first);
+  EXPECT_EQ(doc->PreviousSentenceInParagraph(first), -1);
+  EXPECT_EQ(doc->ParagraphFirstSentence(second), first);
+}
+
+TEST(DocumentNavigationTest, EnclosingSectionsChain) {
+  auto doc = ParseDocument(kSampleHtml);
+  ASSERT_TRUE(doc.ok());
+  // Sentence in the <h3> paragraph: chain = [Details, Lifetime bans].
+  int s = doc->paragraph(1).sentence_indices[0];
+  auto chain = doc->EnclosingSections(s);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(doc->section(chain[0]).headline, "Details");
+  EXPECT_EQ(doc->section(chain[1]).headline, "Lifetime bans");
+  // Root-level paragraph has no chain.
+  auto parsed = ParseDocument("Loose paragraph here.");
+  EXPECT_TRUE(parsed->EnclosingSections(0).empty());
+}
+
+TEST(DependencyProxyTest, SameClauseCloserThanAcrossClauses) {
+  // The paper's Example 3: 'gambling' must be closer to 'one' than to
+  // 'three'.
+  DependencyProxy proxy(
+      "Three were for repeated substance abuse, one was for gambling.");
+  const auto& tokens = proxy.tokens();
+  size_t three = 0, one = 0, gambling = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == "three") three = i;
+    if (tokens[i].text == "one") one = i;
+    if (tokens[i].text == "gambling") gambling = i;
+  }
+  EXPECT_LT(proxy.TreeDistance(one, gambling),
+            proxy.TreeDistance(three, gambling));
+  // And symmetrically 'substance' is closer to 'three' than to 'one'.
+  size_t substance = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == "substance") substance = i;
+  }
+  EXPECT_LT(proxy.TreeDistance(three, substance),
+            proxy.TreeDistance(one, substance));
+}
+
+TEST(DependencyProxyTest, IdentityAndSymmetry) {
+  DependencyProxy proxy("Simple words in one clause here.");
+  EXPECT_EQ(proxy.TreeDistance(2, 2), 0);
+  EXPECT_EQ(proxy.TreeDistance(1, 4), proxy.TreeDistance(4, 1));
+  EXPECT_GE(proxy.TreeDistance(0, 1), 1);
+}
+
+TEST(DependencyProxyTest, ClauseSegmentation) {
+  DependencyProxy proxy("First part here, second part there.");
+  const auto& tokens = proxy.tokens();
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(proxy.clause_of(0), proxy.clause_of(2));
+  EXPECT_NE(proxy.clause_of(0), proxy.clause_of(3));
+}
+
+TEST(DependencyProxyTest, HyphenJoinedWordsStaySameClause) {
+  DependencyProxy proxy("The self-taught developers answered.");
+  const auto& tokens = proxy.tokens();
+  // "self" and "taught" tokens remain in the same clause.
+  size_t self_idx = 0, taught_idx = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == "self") self_idx = i;
+    if (tokens[i].text == "taught") taught_idx = i;
+  }
+  EXPECT_EQ(proxy.clause_of(self_idx), proxy.clause_of(taught_idx));
+}
+
+TEST(DependencyProxyTest, ConjunctionOpensClause) {
+  DependencyProxy proxy("He donated money and she received votes.");
+  const auto& tokens = proxy.tokens();
+  size_t donated = 0, received = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == "donated") donated = i;
+    if (tokens[i].text == "received") received = i;
+  }
+  EXPECT_NE(proxy.clause_of(donated), proxy.clause_of(received));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace aggchecker

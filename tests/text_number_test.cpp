@@ -1,0 +1,158 @@
+#include "text/number_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aggchecker {
+namespace text {
+namespace {
+
+std::vector<ParsedNumber> Parse(const std::string& sentence) {
+  return FindNumbers(sentence, ir::TokenizeWithOffsets(sentence));
+}
+
+TEST(NumberParserTest, DigitLiterals) {
+  auto nums = Parse("There were 64 candidates and 1,200 donors.");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 64);
+  EXPECT_DOUBLE_EQ(nums[1].value, 1200);
+  EXPECT_FALSE(nums[0].is_percent);
+  EXPECT_FALSE(nums[0].from_words);
+}
+
+TEST(NumberParserTest, DecimalsAndPercentSign) {
+  auto nums = Parse("Exactly 13.6% said yes.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 13.6);
+  EXPECT_TRUE(nums[0].is_percent);
+}
+
+TEST(NumberParserTest, PercentWord) {
+  auto nums = Parse("About 41 percent of fliers agreed.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 41);
+  EXPECT_TRUE(nums[0].is_percent);
+}
+
+TEST(NumberParserTest, NumberWords) {
+  auto nums = Parse("There were only four previous lifetime bans.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 4);
+  EXPECT_TRUE(nums[0].from_words);
+}
+
+TEST(NumberParserTest, MultipleWordsInOneSentence) {
+  auto nums = Parse("Three were for substance abuse, one was for gambling.");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 3);
+  EXPECT_DOUBLE_EQ(nums[1].value, 1);
+}
+
+TEST(NumberParserTest, CompoundNumberWords) {
+  auto nums = Parse("twenty-one players and two hundred fans");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 21);
+  EXPECT_DOUBLE_EQ(nums[1].value, 200);
+}
+
+TEST(NumberParserTest, ScaleWords) {
+  auto nums = Parse("They spent 1.5 million dollars and three thousand.");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 1.5e6);
+  EXPECT_DOUBLE_EQ(nums[1].value, 3000);
+}
+
+TEST(NumberParserTest, YearsFlagged) {
+  auto nums = Parse("In 2016 there were 12 bans.");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_TRUE(nums[0].looks_like_year);
+  EXPECT_FALSE(nums[1].looks_like_year);
+}
+
+TEST(NumberParserTest, OrdinalsFlagged) {
+  auto nums = Parse("The 3rd time and the fourth attempt.");
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_TRUE(nums[0].is_ordinal);
+  EXPECT_TRUE(nums[1].is_ordinal);
+}
+
+TEST(NumberParserTest, TokenSpansCorrect) {
+  std::string s = "Only four bans happened.";
+  auto tokens = ir::TokenizeWithOffsets(s);
+  auto nums = FindNumbers(s, tokens);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(tokens[nums[0].token_begin].text, "four");
+  EXPECT_EQ(nums[0].token_end, nums[0].token_begin + 1);
+}
+
+TEST(NumberParserTest, NoNumbers) {
+  EXPECT_TRUE(Parse("No numeric content here at all.").empty());
+}
+
+TEST(NumberParserTest, ScaleWordAloneNotANumber) {
+  EXPECT_TRUE(Parse("A hundred reasons?").empty() ||
+              Parse("A hundred reasons?").size() == 0u);
+  // "millions of fans" — plural scale word is not parsed as a value.
+  EXPECT_TRUE(Parse("millions of fans").empty());
+}
+
+TEST(ParseNumericLiteralTest, Basics) {
+  EXPECT_DOUBLE_EQ(*ParseNumericLiteral("1,200"), 1200.0);
+  EXPECT_DOUBLE_EQ(*ParseNumericLiteral("13.6"), 13.6);
+  EXPECT_FALSE(ParseNumericLiteral("abc").has_value());
+  EXPECT_FALSE(ParseNumericLiteral("12ab").has_value());
+}
+
+
+TEST(NumberParserTest, FractionPhrases) {
+  auto nums = Parse("Half of the fliers agreed.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 50);
+  EXPECT_TRUE(nums[0].is_percent);
+  EXPECT_TRUE(nums[0].is_fraction);
+
+  nums = Parse("About a third of respondents are self-taught.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 33);
+
+  nums = Parse("Two-thirds of the donations came from ohio.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 67);
+
+  nums = Parse("A quarter of all songs were jazz.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 25);
+}
+
+TEST(NumberParserTest, RatioPhrases) {
+  auto nums = Parse("One in five developers works remote.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 20);
+  EXPECT_TRUE(nums[0].is_percent);
+  EXPECT_TRUE(nums[0].is_fraction);
+
+  nums = Parse("one in 10 responses mentioned pay");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 10);
+}
+
+TEST(NumberParserTest, OrdinalsNotMistakenForFractions) {
+  // "the third attempt" has no "of": stays an ordinal.
+  auto nums = Parse("The third attempt failed.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_TRUE(nums[0].is_ordinal);
+  EXPECT_FALSE(nums[0].is_fraction);
+  // "the third of May" is date-ish but rare; the "of" reading wins and the
+  // detector's percent context sorts it out downstream.
+}
+
+TEST(NumberParserTest, CardinalBeforeOfNotAFraction) {
+  auto nums = Parse("Four of the suspensions were long.");
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_DOUBLE_EQ(nums[0].value, 4);
+  EXPECT_FALSE(nums[0].is_fraction);
+  EXPECT_FALSE(nums[0].is_percent);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace aggchecker

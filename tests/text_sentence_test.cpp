@@ -1,0 +1,71 @@
+#include "text/sentence_splitter.h"
+
+#include <gtest/gtest.h>
+
+namespace aggchecker {
+namespace text {
+namespace {
+
+TEST(SentenceSplitterTest, BasicSplit) {
+  auto s = SplitSentences("First sentence. Second sentence. Third one!");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "First sentence.");
+  EXPECT_EQ(s[2], "Third one!");
+}
+
+TEST(SentenceSplitterTest, DecimalNotSplit) {
+  auto s = SplitSentences("The share was 13.6 percent. It rose later.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "The share was 13.6 percent.");
+}
+
+TEST(SentenceSplitterTest, AbbreviationsNotSplit) {
+  auto s = SplitSentences("Mr. Smith met Dr. Jones. They talked.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Mr. Smith met Dr. Jones.");
+}
+
+TEST(SentenceSplitterTest, InitialsNotSplit) {
+  auto s = SplitSentences("J. Smith was elected. The margin was small.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, QuestionAndExclamation) {
+  auto s = SplitSentences("Really? Yes! Indeed.");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SentenceSplitterTest, TrailingTextWithoutPeriod) {
+  auto s = SplitSentences("Complete sentence. And a fragment");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "And a fragment");
+}
+
+TEST(SentenceSplitterTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   ").empty());
+}
+
+TEST(SentenceSplitterTest, ClosingQuoteAfterPeriod) {
+  auto s = SplitSentences("He said \"it works.\" Then he left.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "Then he left.");
+}
+
+TEST(SentenceSplitterTest, NumberStartsNextSentence) {
+  auto s = SplitSentences("The total was large. 41 percent agreed.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "41 percent agreed.");
+}
+
+TEST(SentenceSplitterTest, PaperExamplePassage) {
+  auto s = SplitSentences(
+      "There were only four previous lifetime bans in my database - three "
+      "were for repeated substance abuse, one was for gambling. The rest "
+      "were shorter.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace aggchecker

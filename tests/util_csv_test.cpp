@@ -1,0 +1,78 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace aggchecker {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  auto data = csv::Parse("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(data->rows.size(), 2u);
+  EXPECT_EQ(data->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(data->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto data = csv::Parse("name,comment\nalice,\"hello, world\"\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rows[0][1], "hello, world");
+}
+
+TEST(CsvTest, ParseEmbeddedQuotesAndNewlines) {
+  auto data = csv::Parse("a,b\n\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rows[0][0], "say \"hi\"");
+  EXPECT_EQ(data->rows[0][1], "line1\nline2");
+}
+
+TEST(CsvTest, ShortRowsPadded) {
+  auto data = csv::Parse("a,b,c\n1,2\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rows[0], (std::vector<std::string>{"1", "2", ""}));
+}
+
+TEST(CsvTest, LongRowsRejected) {
+  auto data = csv::Parse("a,b\n1,2,3\n");
+  EXPECT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, MissingFinalNewlineOk) {
+  auto data = csv::Parse("a,b\n1,2");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->rows.size(), 1u);
+  EXPECT_EQ(data->rows[0][1], "2");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto data = csv::Parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rows[0][0], "1");
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(csv::Parse("").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(csv::Parse("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  csv::CsvData data;
+  data.header = {"name", "note"};
+  data.rows = {{"a", "plain"}, {"b", "with, comma"}, {"c", "with \"quote\""}};
+  auto reparsed = csv::Parse(csv::Write(data));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, data.header);
+  EXPECT_EQ(reparsed->rows, data.rows);
+}
+
+TEST(CsvTest, ReadFileNotFound) {
+  EXPECT_FALSE(csv::ReadFile("/nonexistent/path.csv").ok());
+}
+
+}  // namespace
+}  // namespace aggchecker
