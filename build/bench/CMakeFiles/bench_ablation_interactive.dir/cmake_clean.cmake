@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interactive.dir/bench_ablation_interactive.cpp.o"
+  "CMakeFiles/bench_ablation_interactive.dir/bench_ablation_interactive.cpp.o.d"
+  "bench_ablation_interactive"
+  "bench_ablation_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

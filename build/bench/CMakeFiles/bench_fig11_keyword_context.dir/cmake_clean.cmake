@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_keyword_context.dir/bench_fig11_keyword_context.cpp.o"
+  "CMakeFiles/bench_fig11_keyword_context.dir/bench_fig11_keyword_context.cpp.o.d"
+  "bench_fig11_keyword_context"
+  "bench_fig11_keyword_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_keyword_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

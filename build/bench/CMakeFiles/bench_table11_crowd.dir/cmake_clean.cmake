@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_crowd.dir/bench_table11_crowd.cpp.o"
+  "CMakeFiles/bench_table11_crowd.dir/bench_table11_crowd.cpp.o.d"
+  "bench_table11_crowd"
+  "bench_table11_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_priors.dir/bench_table2_priors.cpp.o"
+  "CMakeFiles/bench_table2_priors.dir/bench_table2_priors.cpp.o.d"
+  "bench_table2_priors"
+  "bench_table2_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_baselines.dir/bench_table5_baselines.cpp.o"
+  "CMakeFiles/bench_table5_baselines.dir/bench_table5_baselines.cpp.o.d"
+  "bench_table5_baselines"
+  "bench_table5_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

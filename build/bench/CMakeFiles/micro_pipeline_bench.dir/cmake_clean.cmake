@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pipeline_bench.dir/micro_pipeline_bench.cpp.o"
+  "CMakeFiles/micro_pipeline_bench.dir/micro_pipeline_bench.cpp.o.d"
+  "micro_pipeline_bench"
+  "micro_pipeline_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pipeline_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_files.dir/check_files.cpp.o"
+  "CMakeFiles/check_files.dir/check_files.cpp.o.d"
+  "check_files"
+  "check_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_repl.dir/review_repl.cpp.o"
+  "CMakeFiles/review_repl.dir/review_repl.cpp.o.d"
+  "review_repl"
+  "review_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

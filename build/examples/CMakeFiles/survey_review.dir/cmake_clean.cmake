@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_review.dir/survey_review.cpp.o"
+  "CMakeFiles/survey_review.dir/survey_review.cpp.o.d"
+  "survey_review"
+  "survey_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_baselines.dir/claimbuster_fm.cc.o"
+  "CMakeFiles/agg_baselines.dir/claimbuster_fm.cc.o.d"
+  "CMakeFiles/agg_baselines.dir/margot.cc.o"
+  "CMakeFiles/agg_baselines.dir/margot.cc.o.d"
+  "CMakeFiles/agg_baselines.dir/nalir.cc.o"
+  "CMakeFiles/agg_baselines.dir/nalir.cc.o.d"
+  "libagg_baselines.a"
+  "libagg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/claims/claim_detector.cc" "src/claims/CMakeFiles/agg_claims.dir/claim_detector.cc.o" "gcc" "src/claims/CMakeFiles/agg_claims.dir/claim_detector.cc.o.d"
+  "/root/repo/src/claims/keyword_extractor.cc" "src/claims/CMakeFiles/agg_claims.dir/keyword_extractor.cc.o" "gcc" "src/claims/CMakeFiles/agg_claims.dir/keyword_extractor.cc.o.d"
+  "/root/repo/src/claims/relevance_scorer.cc" "src/claims/CMakeFiles/agg_claims.dir/relevance_scorer.cc.o" "gcc" "src/claims/CMakeFiles/agg_claims.dir/relevance_scorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/agg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragments/CMakeFiles/agg_fragments.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/agg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/agg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_claims.dir/claim_detector.cc.o"
+  "CMakeFiles/agg_claims.dir/claim_detector.cc.o.d"
+  "CMakeFiles/agg_claims.dir/keyword_extractor.cc.o"
+  "CMakeFiles/agg_claims.dir/keyword_extractor.cc.o.d"
+  "CMakeFiles/agg_claims.dir/relevance_scorer.cc.o"
+  "CMakeFiles/agg_claims.dir/relevance_scorer.cc.o.d"
+  "libagg_claims.a"
+  "libagg_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

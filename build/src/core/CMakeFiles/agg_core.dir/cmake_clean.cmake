@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_core.dir/aggchecker.cc.o"
+  "CMakeFiles/agg_core.dir/aggchecker.cc.o.d"
+  "CMakeFiles/agg_core.dir/interactive_session.cc.o"
+  "CMakeFiles/agg_core.dir/interactive_session.cc.o.d"
+  "CMakeFiles/agg_core.dir/markup.cc.o"
+  "CMakeFiles/agg_core.dir/markup.cc.o.d"
+  "CMakeFiles/agg_core.dir/query_describer.cc.o"
+  "CMakeFiles/agg_core.dir/query_describer.cc.o.d"
+  "CMakeFiles/agg_core.dir/report_writer.cc.o"
+  "CMakeFiles/agg_core.dir/report_writer.cc.o.d"
+  "libagg_core.a"
+  "libagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

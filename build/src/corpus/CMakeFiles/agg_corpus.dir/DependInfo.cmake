@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/agg_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/embedded_articles.cc" "src/corpus/CMakeFiles/agg_corpus.dir/embedded_articles.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/embedded_articles.cc.o.d"
+  "/root/repo/src/corpus/export.cc" "src/corpus/CMakeFiles/agg_corpus.dir/export.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/export.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/agg_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/harness.cc" "src/corpus/CMakeFiles/agg_corpus.dir/harness.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/harness.cc.o.d"
+  "/root/repo/src/corpus/metrics.cc" "src/corpus/CMakeFiles/agg_corpus.dir/metrics.cc.o" "gcc" "src/corpus/CMakeFiles/agg_corpus.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/agg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/claims/CMakeFiles/agg_claims.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/agg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragments/CMakeFiles/agg_fragments.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/agg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/agg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_corpus.dir/corpus.cc.o"
+  "CMakeFiles/agg_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/agg_corpus.dir/embedded_articles.cc.o"
+  "CMakeFiles/agg_corpus.dir/embedded_articles.cc.o.d"
+  "CMakeFiles/agg_corpus.dir/export.cc.o"
+  "CMakeFiles/agg_corpus.dir/export.cc.o.d"
+  "CMakeFiles/agg_corpus.dir/generator.cc.o"
+  "CMakeFiles/agg_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/agg_corpus.dir/harness.cc.o"
+  "CMakeFiles/agg_corpus.dir/harness.cc.o.d"
+  "CMakeFiles/agg_corpus.dir/metrics.cc.o"
+  "CMakeFiles/agg_corpus.dir/metrics.cc.o.d"
+  "libagg_corpus.a"
+  "libagg_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_db.dir/aggregate.cc.o"
+  "CMakeFiles/agg_db.dir/aggregate.cc.o.d"
+  "CMakeFiles/agg_db.dir/column.cc.o"
+  "CMakeFiles/agg_db.dir/column.cc.o.d"
+  "CMakeFiles/agg_db.dir/cube.cc.o"
+  "CMakeFiles/agg_db.dir/cube.cc.o.d"
+  "CMakeFiles/agg_db.dir/database.cc.o"
+  "CMakeFiles/agg_db.dir/database.cc.o.d"
+  "CMakeFiles/agg_db.dir/eval_engine.cc.o"
+  "CMakeFiles/agg_db.dir/eval_engine.cc.o.d"
+  "CMakeFiles/agg_db.dir/executor.cc.o"
+  "CMakeFiles/agg_db.dir/executor.cc.o.d"
+  "CMakeFiles/agg_db.dir/joined_relation.cc.o"
+  "CMakeFiles/agg_db.dir/joined_relation.cc.o.d"
+  "CMakeFiles/agg_db.dir/query.cc.o"
+  "CMakeFiles/agg_db.dir/query.cc.o.d"
+  "CMakeFiles/agg_db.dir/sql_parser.cc.o"
+  "CMakeFiles/agg_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/agg_db.dir/table.cc.o"
+  "CMakeFiles/agg_db.dir/table.cc.o.d"
+  "CMakeFiles/agg_db.dir/value.cc.o"
+  "CMakeFiles/agg_db.dir/value.cc.o.d"
+  "libagg_db.a"
+  "libagg_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

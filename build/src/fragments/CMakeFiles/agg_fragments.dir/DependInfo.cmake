@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fragments/catalog.cc" "src/fragments/CMakeFiles/agg_fragments.dir/catalog.cc.o" "gcc" "src/fragments/CMakeFiles/agg_fragments.dir/catalog.cc.o.d"
+  "/root/repo/src/fragments/data_dictionary.cc" "src/fragments/CMakeFiles/agg_fragments.dir/data_dictionary.cc.o" "gcc" "src/fragments/CMakeFiles/agg_fragments.dir/data_dictionary.cc.o.d"
+  "/root/repo/src/fragments/fragment.cc" "src/fragments/CMakeFiles/agg_fragments.dir/fragment.cc.o" "gcc" "src/fragments/CMakeFiles/agg_fragments.dir/fragment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/agg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/agg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_fragments.dir/catalog.cc.o"
+  "CMakeFiles/agg_fragments.dir/catalog.cc.o.d"
+  "CMakeFiles/agg_fragments.dir/data_dictionary.cc.o"
+  "CMakeFiles/agg_fragments.dir/data_dictionary.cc.o.d"
+  "CMakeFiles/agg_fragments.dir/fragment.cc.o"
+  "CMakeFiles/agg_fragments.dir/fragment.cc.o.d"
+  "libagg_fragments.a"
+  "libagg_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

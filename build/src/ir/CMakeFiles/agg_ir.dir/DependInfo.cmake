@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/inverted_index.cc" "src/ir/CMakeFiles/agg_ir.dir/inverted_index.cc.o" "gcc" "src/ir/CMakeFiles/agg_ir.dir/inverted_index.cc.o.d"
+  "/root/repo/src/ir/porter_stemmer.cc" "src/ir/CMakeFiles/agg_ir.dir/porter_stemmer.cc.o" "gcc" "src/ir/CMakeFiles/agg_ir.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/ir/synonyms.cc" "src/ir/CMakeFiles/agg_ir.dir/synonyms.cc.o" "gcc" "src/ir/CMakeFiles/agg_ir.dir/synonyms.cc.o.d"
+  "/root/repo/src/ir/tokenizer.cc" "src/ir/CMakeFiles/agg_ir.dir/tokenizer.cc.o" "gcc" "src/ir/CMakeFiles/agg_ir.dir/tokenizer.cc.o.d"
+  "/root/repo/src/ir/word_splitter.cc" "src/ir/CMakeFiles/agg_ir.dir/word_splitter.cc.o" "gcc" "src/ir/CMakeFiles/agg_ir.dir/word_splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_ir.dir/inverted_index.cc.o"
+  "CMakeFiles/agg_ir.dir/inverted_index.cc.o.d"
+  "CMakeFiles/agg_ir.dir/porter_stemmer.cc.o"
+  "CMakeFiles/agg_ir.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/agg_ir.dir/synonyms.cc.o"
+  "CMakeFiles/agg_ir.dir/synonyms.cc.o.d"
+  "CMakeFiles/agg_ir.dir/tokenizer.cc.o"
+  "CMakeFiles/agg_ir.dir/tokenizer.cc.o.d"
+  "CMakeFiles/agg_ir.dir/word_splitter.cc.o"
+  "CMakeFiles/agg_ir.dir/word_splitter.cc.o.d"
+  "libagg_ir.a"
+  "libagg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

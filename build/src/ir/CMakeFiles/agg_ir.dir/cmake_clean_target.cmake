@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagg_ir.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_model.dir/candidate_space.cc.o"
+  "CMakeFiles/agg_model.dir/candidate_space.cc.o.d"
+  "CMakeFiles/agg_model.dir/priors.cc.o"
+  "CMakeFiles/agg_model.dir/priors.cc.o.d"
+  "CMakeFiles/agg_model.dir/scope.cc.o"
+  "CMakeFiles/agg_model.dir/scope.cc.o.d"
+  "CMakeFiles/agg_model.dir/translator.cc.o"
+  "CMakeFiles/agg_model.dir/translator.cc.o.d"
+  "libagg_model.a"
+  "libagg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

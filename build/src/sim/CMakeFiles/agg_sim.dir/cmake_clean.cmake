@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_sim.dir/crowd_study.cc.o"
+  "CMakeFiles/agg_sim.dir/crowd_study.cc.o.d"
+  "CMakeFiles/agg_sim.dir/user_study.cc.o"
+  "CMakeFiles/agg_sim.dir/user_study.cc.o.d"
+  "libagg_sim.a"
+  "libagg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/dependency_proxy.cc" "src/text/CMakeFiles/agg_text.dir/dependency_proxy.cc.o" "gcc" "src/text/CMakeFiles/agg_text.dir/dependency_proxy.cc.o.d"
+  "/root/repo/src/text/document.cc" "src/text/CMakeFiles/agg_text.dir/document.cc.o" "gcc" "src/text/CMakeFiles/agg_text.dir/document.cc.o.d"
+  "/root/repo/src/text/number_parser.cc" "src/text/CMakeFiles/agg_text.dir/number_parser.cc.o" "gcc" "src/text/CMakeFiles/agg_text.dir/number_parser.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/text/CMakeFiles/agg_text.dir/sentence_splitter.cc.o" "gcc" "src/text/CMakeFiles/agg_text.dir/sentence_splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/agg_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_text.dir/dependency_proxy.cc.o"
+  "CMakeFiles/agg_text.dir/dependency_proxy.cc.o.d"
+  "CMakeFiles/agg_text.dir/document.cc.o"
+  "CMakeFiles/agg_text.dir/document.cc.o.d"
+  "CMakeFiles/agg_text.dir/number_parser.cc.o"
+  "CMakeFiles/agg_text.dir/number_parser.cc.o.d"
+  "CMakeFiles/agg_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/agg_text.dir/sentence_splitter.cc.o.d"
+  "libagg_text.a"
+  "libagg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

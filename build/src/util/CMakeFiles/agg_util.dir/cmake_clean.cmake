@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_util.dir/csv.cc.o"
+  "CMakeFiles/agg_util.dir/csv.cc.o.d"
+  "CMakeFiles/agg_util.dir/rng.cc.o"
+  "CMakeFiles/agg_util.dir/rng.cc.o.d"
+  "CMakeFiles/agg_util.dir/rounding.cc.o"
+  "CMakeFiles/agg_util.dir/rounding.cc.o.d"
+  "CMakeFiles/agg_util.dir/status.cc.o"
+  "CMakeFiles/agg_util.dir/status.cc.o.d"
+  "CMakeFiles/agg_util.dir/strings.cc.o"
+  "CMakeFiles/agg_util.dir/strings.cc.o.d"
+  "libagg_util.a"
+  "libagg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

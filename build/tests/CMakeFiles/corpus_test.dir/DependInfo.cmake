@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/corpus_test.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/corpus_test.dir/corpus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/agg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/agg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/claims/CMakeFiles/agg_claims.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragments/CMakeFiles/agg_fragments.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/agg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/agg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_cube_test.dir/db_cube_test.cpp.o"
+  "CMakeFiles/db_cube_test.dir/db_cube_test.cpp.o.d"
+  "db_cube_test"
+  "db_cube_test.pdb"
+  "db_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_eval_engine_test.dir/db_eval_engine_test.cpp.o"
+  "CMakeFiles/db_eval_engine_test.dir/db_eval_engine_test.cpp.o.d"
+  "db_eval_engine_test"
+  "db_eval_engine_test.pdb"
+  "db_eval_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_eval_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

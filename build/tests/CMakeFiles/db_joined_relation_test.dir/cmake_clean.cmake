@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_joined_relation_test.dir/db_joined_relation_test.cpp.o"
+  "CMakeFiles/db_joined_relation_test.dir/db_joined_relation_test.cpp.o.d"
+  "db_joined_relation_test"
+  "db_joined_relation_test.pdb"
+  "db_joined_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_joined_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_sql_parser_test.dir/db_sql_parser_test.cpp.o"
+  "CMakeFiles/db_sql_parser_test.dir/db_sql_parser_test.cpp.o.d"
+  "db_sql_parser_test"
+  "db_sql_parser_test.pdb"
+  "db_sql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_sql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraction_pipeline_test.dir/fraction_pipeline_test.cpp.o"
+  "CMakeFiles/fraction_pipeline_test.dir/fraction_pipeline_test.cpp.o.d"
+  "fraction_pipeline_test"
+  "fraction_pipeline_test.pdb"
+  "fraction_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraction_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

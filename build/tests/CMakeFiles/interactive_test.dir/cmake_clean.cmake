@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_test.dir/interactive_test.cpp.o"
+  "CMakeFiles/interactive_test.dir/interactive_test.cpp.o.d"
+  "interactive_test"
+  "interactive_test.pdb"
+  "interactive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

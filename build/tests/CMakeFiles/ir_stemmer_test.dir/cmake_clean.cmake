@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_stemmer_test.dir/ir_stemmer_test.cpp.o"
+  "CMakeFiles/ir_stemmer_test.dir/ir_stemmer_test.cpp.o.d"
+  "ir_stemmer_test"
+  "ir_stemmer_test.pdb"
+  "ir_stemmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tokenizer_test.dir/ir_tokenizer_test.cpp.o"
+  "CMakeFiles/ir_tokenizer_test.dir/ir_tokenizer_test.cpp.o.d"
+  "ir_tokenizer_test"
+  "ir_tokenizer_test.pdb"
+  "ir_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

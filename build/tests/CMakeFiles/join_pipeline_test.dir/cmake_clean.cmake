@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_pipeline_test.dir/join_pipeline_test.cpp.o"
+  "CMakeFiles/join_pipeline_test.dir/join_pipeline_test.cpp.o.d"
+  "join_pipeline_test"
+  "join_pipeline_test.pdb"
+  "join_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

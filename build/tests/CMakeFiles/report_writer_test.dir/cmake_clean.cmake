@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_writer_test.dir/report_writer_test.cpp.o"
+  "CMakeFiles/report_writer_test.dir/report_writer_test.cpp.o.d"
+  "report_writer_test"
+  "report_writer_test.pdb"
+  "report_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_number_test.dir/text_number_test.cpp.o"
+  "CMakeFiles/text_number_test.dir/text_number_test.cpp.o.d"
+  "text_number_test"
+  "text_number_test.pdb"
+  "text_number_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_number_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
