@@ -7,6 +7,7 @@
 #include "corpus/generator.h"
 #include "db/eval_engine.h"
 #include "db/joined_relation.h"
+#include "util/resource_governor.h"
 
 namespace aggchecker {
 namespace {
@@ -61,6 +62,39 @@ void BM_MergedBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_MergedBatch);
+
+// Governed variants: identical work under an attached (unlimited) resource
+// governor. Comparing these against the ungoverned twins measures the
+// cooperative-cancellation overhead, which must stay within the noise
+// (<= 2%): scan loops charge the governor once per
+// ResourceGovernor::kCheckIntervalRows rows, not per row.
+void BM_NaiveBatchGoverned(benchmark::State& state) {
+  const auto& db = BenchDatabase();
+  auto batch = MakeBatch(db);
+  ResourceGovernor governor;
+  for (auto _ : state) {
+    db::EvalEngine engine(&db, db::EvalStrategy::kNaive);
+    engine.SetGovernor(&governor);
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_NaiveBatchGoverned);
+
+void BM_MergedBatchGoverned(benchmark::State& state) {
+  const auto& db = BenchDatabase();
+  auto batch = MakeBatch(db);
+  ResourceGovernor governor;
+  for (auto _ : state) {
+    db::EvalEngine engine(&db, db::EvalStrategy::kMerged);
+    engine.SetGovernor(&governor);
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_MergedBatchGoverned);
 
 void BM_CachedRepeatBatch(benchmark::State& state) {
   const auto& db = BenchDatabase();

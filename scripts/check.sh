@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1+ gate: builds the Release and ASan+UBSan presets and runs the full
+# test suite under both. Any test failure or sanitizer report fails the
+# script (sanitizers are built with -fno-sanitize-recover, so a report
+# aborts the offending test). Run from the repository root:
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # just the Release preset
+#   scripts/check.sh asan-ubsan # just the sanitizer preset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+presets=("${@:-default}")
+if [[ $# -eq 0 ]]; then
+  presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "==> all presets green"

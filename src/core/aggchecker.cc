@@ -1,5 +1,6 @@
 #include "core/aggchecker.h"
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace aggchecker {
@@ -18,7 +19,14 @@ std::vector<ClaimVerdict> AssembleVerdicts(
     for (const auto& cand : dist.ranked) {
       if (cand.matches) verdict.correctness_probability += cand.probability;
     }
-    verdict.likely_erroneous = dist.ranked.empty() || !dist.ranked[0].matches;
+    verdict.partial =
+        i < translation.partial.size() && translation.partial[i];
+    // A partial claim is "gave up", never "wrong": the budget ran out
+    // before its candidates could be evaluated, so a non-matching (or
+    // missing) top candidate is not evidence of an error.
+    verdict.likely_erroneous =
+        !verdict.partial &&
+        (dist.ranked.empty() || !dist.ranked[0].matches);
     size_t keep = std::min(top_k, dist.ranked.size());
     verdict.top_queries.assign(dist.ranked.begin(),
                                dist.ranked.begin() + keep);
@@ -43,9 +51,35 @@ Result<AggChecker> AggChecker::Create(const db::Database* db,
   return checker;
 }
 
+namespace {
+
+/// Detaches a run-scoped governor from the (longer-lived) engine on every
+/// exit path, so the engine never holds a dangling pointer.
+class GovernorScope {
+ public:
+  GovernorScope(db::EvalEngine* engine, const ResourceGovernor* governor)
+      : engine_(engine) {
+    engine_->SetGovernor(governor);
+  }
+  ~GovernorScope() { engine_->SetGovernor(nullptr); }
+  GovernorScope(const GovernorScope&) = delete;
+  GovernorScope& operator=(const GovernorScope&) = delete;
+
+ private:
+  db::EvalEngine* engine_;
+};
+
+}  // namespace
+
 Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
+  AGG_FAULT_POINT("check.run");
   Timer timer;
   CheckReport report;
+
+  // Per-run resource governor: the deadline clock starts here and every
+  // evaluation below (naive scans, cubes, EM) charges it via the engine.
+  ResourceGovernor governor(options_.governor);
+  GovernorScope governor_scope(engine_.get(), &governor);
 
   // Claim detection (§3) and keyword matching (Algorithm 1).
   claims::ClaimDetector detector(options_.detector);
@@ -61,6 +95,7 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   model::Translator translator(db_, catalog_.get(), options_.model);
   model::TranslationResult translation =
       translator.Translate(detected, relevance, engine_.get());
+  if (!translation.status.ok()) return translation.status;
 
   report.verdicts =
       AssembleVerdicts(detected, translation, options_.report_top_k);
@@ -69,6 +104,7 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   report.em_iterations = translation.em_iterations;
   report.total_candidates = translation.total_candidates;
   report.queries_evaluated = translation.queries_evaluated;
+  report.governor_usage = governor.usage();
   report.total_seconds = timer.ElapsedSeconds();
   return report;
 }

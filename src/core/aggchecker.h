@@ -11,6 +11,7 @@
 #include "fragments/catalog.h"
 #include "model/translator.h"
 #include "text/document.h"
+#include "util/resource_governor.h"
 #include "util/status.h"
 
 namespace aggchecker {
@@ -25,6 +26,12 @@ struct CheckOptions {
   fragments::CatalogOptions catalog;
   /// Candidates kept per claim in the report (the UI shows top-5/top-10).
   size_t report_top_k = 10;
+  /// Per-run resource limits (wall-clock deadline, row-scan budget,
+  /// cube-group budget). Defaults enforce nothing; with limits set, a run
+  /// that exhausts them still completes, marking unfinished claims
+  /// `partial` instead of erroneous (see DESIGN.md "Failure-handling
+  /// contract").
+  GovernorLimits governor;
 };
 
 /// \brief The verdict for one claim: its ranked query candidates and the
@@ -43,6 +50,10 @@ struct ClaimVerdict {
   /// The user dismissed this detection as not-a-claim (spurious match);
   /// it carries no translation and is never marked up.
   bool dismissed = false;
+  /// The resource budget ran out before this claim's candidates were fully
+  /// evaluated. The verdict is best-effort: top_queries may be incomplete
+  /// and the claim is never flagged erroneous ("gave up" ≠ "wrong").
+  bool partial = false;
 
   const model::RankedCandidate* best() const {
     return top_queries.empty() ? nullptr : &top_queries[0];
@@ -57,10 +68,21 @@ struct CheckReport {
   int em_iterations = 0;
   size_t total_candidates = 0;
   size_t queries_evaluated = 0;
+  /// Resource consumption of this run's governor (rows scanned, cube groups
+  /// materialized, whether a limit tripped and which code stopped the run).
+  /// Lets callers distinguish "verified clean" from "gave up on a budget".
+  GovernorUsage governor_usage;
 
   size_t NumFlagged() const {
     size_t n = 0;
     for (const auto& v : verdicts) n += v.likely_erroneous ? 1 : 0;
+    return n;
+  }
+
+  /// Claims whose verification was cut short by the resource budget.
+  size_t NumPartial() const {
+    size_t n = 0;
+    for (const auto& v : verdicts) n += v.partial ? 1 : 0;
     return n;
   }
 };

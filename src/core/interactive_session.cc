@@ -33,6 +33,10 @@ Result<InteractiveSession> InteractiveSession::Start(
 
 Status InteractiveSession::Translate() {
   Timer timer;
+  // Per-refresh governor: each interactive re-translation gets a fresh
+  // budget, so a run that tripped once does not poison later refreshes.
+  ResourceGovernor governor(checker_->options().governor);
+  checker_->engine().SetGovernor(&governor);
   // Dismissed claims drop out of translation (and of the priors' claim
   // pool) entirely.
   std::vector<claims::Claim> active;
@@ -51,6 +55,8 @@ Status InteractiveSession::Translate() {
                                checker_->options().model);
   model::TranslationResult translation = translator.Translate(
       active, active_relevance, &checker_->engine(), &active_pins);
+  checker_->engine().SetGovernor(nullptr);
+  if (!translation.status.ok()) return translation.status;
   std::vector<ClaimVerdict> active_verdicts = AssembleVerdicts(
       active, translation, checker_->options().report_top_k);
 
@@ -68,6 +74,7 @@ Status InteractiveSession::Translate() {
   report_.em_iterations = translation.em_iterations;
   report_.total_candidates = translation.total_candidates;
   report_.queries_evaluated = translation.queries_evaluated;
+  report_.governor_usage = governor.usage();
   report_.total_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }

@@ -22,6 +22,8 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
     result.queries_evaluated += report->queries_evaluated;
     result.cube_queries += report->eval_stats.cube_queries;
     result.cache_hits += report->eval_stats.cache_hits;
+    result.num_partial += report->NumPartial();
+    result.cases_exhausted += report->governor_usage.exhausted ? 1 : 0;
     result.detection.Merge(ScoreErrorDetection(test_case, *report));
     result.coverage.Merge(ScoreCoverage(test_case, *report, 20));
     result.reports.push_back(std::move(*report));

@@ -20,6 +20,8 @@ struct CorpusRunResult {
   size_t queries_evaluated = 0;
   size_t cube_queries = 0;
   size_t cache_hits = 0;
+  size_t num_partial = 0;      ///< claims cut short by the resource governor
+  size_t cases_exhausted = 0;  ///< cases whose governor tripped a limit
 
   CorpusRunResult() : coverage(20) {}
 };

@@ -1,5 +1,7 @@
 #include "db/aggregate.h"
 
+#include <cmath>
+
 namespace aggchecker {
 namespace db {
 
@@ -109,16 +111,20 @@ void Aggregator::Add(const Value& v) {
       break;
     case AggFn::kSum:
     case AggFn::kAvg: {
-      sum_ += v.ToDouble();
+      double d = v.ToDouble();
+      if (!std::isfinite(d)) poisoned_ = true;
+      sum_ += d;
       break;
     }
     case AggFn::kMin: {
       double d = v.ToDouble();
+      if (!std::isfinite(d)) poisoned_ = true;
       if (!min_ || d < *min_) min_ = d;
       break;
     }
     case AggFn::kMax: {
       double d = v.ToDouble();
+      if (!std::isfinite(d)) poisoned_ = true;
       if (!max_ || d > *max_) max_ = d;
       break;
     }
@@ -133,17 +139,24 @@ std::optional<double> Aggregator::Finish() const {
       return static_cast<double>(count_);
     case AggFn::kCountDistinct:
       return static_cast<double>(distinct_.size());
-    case AggFn::kSum:
+    case AggFn::kSum: {
       // SQL semantics: SUM over zero rows is NULL (also keeps cube lookups,
       // where empty groups are absent, consistent with naive execution).
-      if (count_ == 0) return std::nullopt;
+      if (count_ == 0 || poisoned_) return std::nullopt;
+      // A finite input stream can still overflow to +-Inf; a verdict based
+      // on an overflowed sum would be wrong either way, so it is undefined.
+      if (!std::isfinite(sum_)) return std::nullopt;
       return sum_;
+    }
     case AggFn::kAvg:
-      if (count_ == 0) return std::nullopt;
+      if (count_ == 0 || poisoned_) return std::nullopt;
+      if (!std::isfinite(sum_)) return std::nullopt;
       return sum_ / static_cast<double>(count_);
     case AggFn::kMin:
+      if (poisoned_) return std::nullopt;
       return min_;
     case AggFn::kMax:
+      if (poisoned_) return std::nullopt;
       return max_;
     default:
       return std::nullopt;

@@ -58,7 +58,12 @@ class Aggregator {
   /// Count(*) which the caller feeds with non-null placeholders).
   void Add(const Value& v);
 
-  /// Final aggregate; nullopt when undefined (e.g. Avg of no rows).
+  /// Final aggregate; nullopt when undefined. Undefined covers Avg/Sum of
+  /// no rows, but also any Sum/Avg/Min/Max that saw a NaN/Inf input or
+  /// whose running sum overflowed to +-Inf: a claim verdict must never be
+  /// decided by IEEE saturation artifacts, so poisoned aggregates are
+  /// treated exactly like empty ones. (Count cannot overflow: it advances
+  /// once per row and int64 outlives any materializable relation.)
   std::optional<double> Finish() const;
 
   int64_t count() const { return count_; }
@@ -67,6 +72,7 @@ class Aggregator {
   AggFn fn_;
   int64_t count_ = 0;
   double sum_ = 0;
+  bool poisoned_ = false;  ///< saw a non-finite input value
   std::optional<double> min_;
   std::optional<double> max_;
   std::unordered_set<Value, ValueHasher> distinct_;

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "db/joined_relation.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -38,7 +39,9 @@ void CubeResult::Set(const std::vector<int16_t>& key, size_t agg_idx,
 Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const Database& db, const std::vector<ColumnRef>& dims,
     const std::vector<std::vector<Value>>& relevant_literals,
-    const std::vector<CubeAggregate>& aggregates, ScanStats* stats) {
+    const std::vector<CubeAggregate>& aggregates, ScanStats* stats,
+    const ResourceGovernor* governor) {
+  AGG_FAULT_POINT("cube.materialize");
   if (dims.size() != relevant_literals.size()) {
     return Status::InvalidArgument("dims/literals size mismatch");
   }
@@ -138,7 +141,14 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
   int16_t row_buckets[4] = {0, 0, 0, 0};
   int16_t key_buckets[4] = {0, 0, 0, 0};
 
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
+  const size_t num_rows = rel.num_rows();
+  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (governor != nullptr && (r % kBlock) == 0) {
+      Status charge =
+          governor->ChargeRows(std::min<uint64_t>(kBlock, num_rows - r));
+      if (!charge.ok()) return charge;
+    }
     for (size_t i = 0; i < d; ++i) {
       size_t base = rel.base_row(r, dim_handles[i]);
       int32_t code = (*access[i].codes)[base];
@@ -153,6 +163,7 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
       // demand) the 2^d groups it contributes to.
       std::vector<uint32_t> fanout;
       fanout.reserve(num_subsets);
+      uint64_t new_groups = 0;
       for (size_t mask = 0; mask < num_subsets; ++mask) {
         for (size_t i = 0; i < d; ++i) {
           key_buckets[i] = (mask & (1u << i)) ? row_buckets[i] : kAllBucket;
@@ -165,10 +176,17 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
           for (const CubeAggregate& a : aggregates) accs.emplace_back(a.fn);
           groups.push_back(std::move(accs));
           group_keys.emplace_back(key_buckets, key_buckets + d);
+          ++new_groups;
         }
         fanout.push_back(it->second);
       }
       combo_groups.push_back(std::move(fanout));
+      if (governor != nullptr && new_groups > 0) {
+        // Group materialization is the cube-explosion lever; charge it
+        // separately from row scans so a budget can bound it directly.
+        Status charge = governor->ChargeCubeGroups(new_groups);
+        if (!charge.ok()) return charge;
+      }
     }
     for (uint32_t group : combo_groups[combo_it->second]) {
       for (size_t a = 0; a < aggregates.size(); ++a) {

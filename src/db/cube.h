@@ -110,10 +110,16 @@ class CubeResult {
 /// Computes every aggregate in `aggregates` for every combination of bucket
 /// codes over `dims` — including rollups (kAllBucket) for each dimension
 /// subset — in a single scan of the joined relation.
+///
+/// When `governor` is non-null, the scan charges rows in amortized blocks
+/// and every newly materialized group charges the cube-group budget; a
+/// tripped limit aborts the cube with the governor's Status (nothing is
+/// returned, so callers never cache a partial cube).
 Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const Database& db, const std::vector<ColumnRef>& dims,
     const std::vector<std::vector<Value>>& relevant_literals,
-    const std::vector<CubeAggregate>& aggregates, ScanStats* stats = nullptr);
+    const std::vector<CubeAggregate>& aggregates, ScanStats* stats = nullptr,
+    const ResourceGovernor* governor = nullptr);
 
 }  // namespace db
 }  // namespace aggchecker

@@ -91,11 +91,34 @@ std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
   results.reserve(queries.size());
   ScanStats scan;
   for (const auto& q : queries) {
-    auto r = executor_.Execute(q, &scan);
+    if (governor_ != nullptr && governor_->exhausted()) {
+      results.push_back(std::nullopt);
+      ++stats_.queries_aborted;
+      continue;
+    }
+    auto r = executor_.Execute(q, &scan, governor_);
+    if (!r.ok()) {
+      if (r.status().IsResourceExhausted()) {
+        ++stats_.queries_aborted;
+      } else {
+        NoteHardError(r.status());
+      }
+    }
     results.push_back(r.ok() ? *r : std::nullopt);
   }
   stats_.rows_scanned += scan.rows_scanned;
   return results;
+}
+
+void EvalEngine::NoteHardError(const Status& status) {
+  // Query-shape failures are an expected nullopt ("this candidate is not
+  // answerable on this schema"), not a reason to abort the run.
+  if (status.code() == StatusCode::kInvalidArgument ||
+      status.code() == StatusCode::kNotFound ||
+      status.code() == StatusCode::kUnsupported) {
+    return;
+  }
+  if (hard_error_.ok()) hard_error_ = status;
 }
 
 std::optional<double> EvalEngine::AnswerFromCube(
@@ -241,7 +264,14 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     if (normalized[i].unsatisfiable) {
       // Rare degenerate case: fall back to the reference executor so all
       // strategies agree on semantics.
-      auto r = executor_.Execute(q, &scan);
+      auto r = executor_.Execute(q, &scan, governor_);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) {
+          ++stats_.queries_aborted;
+        } else {
+          NoteHardError(r.status());
+        }
+      }
       results[i] = r.ok() ? *r : std::nullopt;
       continue;
     }
@@ -261,6 +291,13 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
 
   for (auto& [group_key, group] : groups) {
     (void)group_key;
+    if (governor_ != nullptr && governor_->exhausted()) {
+      // Budget spent: remaining groups are skipped, their queries stay
+      // nullopt and are reported as aborted (the claim layer marks their
+      // owners partial).
+      stats_.queries_aborted += group.query_indices.size();
+      continue;
+    }
     // Base aggregates needed by this group (ratio fns need a Count).
     std::vector<CubeAggregate> needed;
     auto add_needed = [&needed](CubeAggregate agg) {
@@ -319,8 +356,15 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
             needed_literals[strings::ToLower(d.ToString())]);
       }
       auto cube = ExecuteCube(*db_, group.dims, dim_literals, to_execute,
-                              &scan);
+                              &scan, governor_);
       ++stats_.cube_queries;
+      if (!cube.ok()) {
+        if (cube.status().IsResourceExhausted()) {
+          stats_.queries_aborted += group.query_indices.size();
+        } else {
+          NoteHardError(cube.status());
+        }
+      }
       if (cube.ok()) {
         for (size_t a = 0; a < to_execute.size(); ++a) {
           sources[to_execute[a].Key()] = {*cube, a};

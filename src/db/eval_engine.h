@@ -31,6 +31,9 @@ struct EvalStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t rows_scanned = 0;
+  /// Queries left unanswered because the resource governor tripped; their
+  /// results surface as nullopt and the owning claims become partial.
+  size_t queries_aborted = 0;
   double query_seconds = 0.0;
 
   void Reset() { *this = EvalStats{}; }
@@ -61,6 +64,28 @@ class EvalEngine {
   void ResetStats() { stats_.Reset(); }
   void ClearCache() { cache_.clear(); }
   EvalStrategy strategy() const { return strategy_; }
+
+  /// Attaches a resource governor for subsequent evaluations (nullptr
+  /// detaches). Not owned; the caller scopes it to one checking run. When a
+  /// governor limit trips mid-batch, remaining queries return nullopt and
+  /// are counted in EvalStats::queries_aborted; failed scans are never
+  /// cached, so a later unbudgeted run recomputes them correctly.
+  void SetGovernor(const ResourceGovernor* governor) { governor_ = governor; }
+  const ResourceGovernor* governor() const { return governor_; }
+
+  /// Returns (and clears) the first *unexpected* execution error since the
+  /// last call. Expected failures stay out of this channel: query-shape
+  /// errors (kInvalidArgument / kNotFound / kUnsupported) mean "this
+  /// candidate is not answerable" and surface as nullopt, and governor
+  /// stops degrade to aborted queries. Anything else — an I/O fault, an
+  /// internal invariant break — must NOT silently become an "undefined
+  /// result" (which the verdict layer could misread as evidence of an
+  /// erroneous claim), so the translator aborts the run on it.
+  Status ConsumeHardError() {
+    Status error = hard_error_;
+    hard_error_ = Status::OK();
+    return error;
+  }
 
   /// Canonical key of the relation a query runs over (its sorted
   /// referenced-table set). Queries may share cubes and cache entries only
@@ -111,10 +136,17 @@ class EvalEngine {
 
   static std::string DimSetKey(const std::vector<ColumnRef>& dims);
 
+  /// Records `status` as the run's hard error unless it is an expected
+  /// query-shape failure (kInvalidArgument/kNotFound/kUnsupported). First
+  /// error wins; resource-exhausted statuses never reach this.
+  void NoteHardError(const Status& status);
+
   const Database* db_;
   EvalStrategy strategy_;
   QueryExecutor executor_;
   EvalStats stats_;
+  const ResourceGovernor* governor_ = nullptr;
+  Status hard_error_;  ///< first unexpected error; see ConsumeHardError()
   // Cache key: aggregate key + "|" + sorted dim-set key.
   std::unordered_map<std::string, CacheEntry> cache_;
 };

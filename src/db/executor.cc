@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "db/joined_relation.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -10,14 +11,34 @@ namespace db {
 
 namespace {
 
+/// Scan loops charge the governor once per this many rows (matches the
+/// governor's own amortized inspection interval).
+constexpr size_t kGovernorBlockRows = ResourceGovernor::kCheckIntervalRows;
+
+/// Charges the governor for the block of rows starting at `r`; called at
+/// block boundaries inside scan loops. Returns the governor's stop Status
+/// when a limit trips.
+inline Status ChargeScanBlock(const ResourceGovernor* governor, size_t r,
+                              size_t num_rows) {
+  if (governor == nullptr || (r % kGovernorBlockRows) != 0) {
+    return Status::OK();
+  }
+  return governor->ChargeRows(
+      std::min<uint64_t>(kGovernorBlockRows, num_rows - r));
+}
+
 /// Counts joined rows that satisfy the given predicates, counting rows whose
 /// aggregation column is non-null (or all rows for "*").
 Result<std::optional<double>> CountWithPredicates(
     const JoinedRelation& rel, const ColumnRef& agg_column, bool star,
     const std::vector<Predicate>& predicates,
-    const std::vector<int>& pred_handles, int agg_handle, ScanStats* stats) {
+    const std::vector<int>& pred_handles, int agg_handle, ScanStats* stats,
+    const ResourceGovernor* governor) {
   int64_t count = 0;
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
+  const size_t num_rows = rel.num_rows();
+  for (size_t r = 0; r < num_rows; ++r) {
+    Status charge = ChargeScanBlock(governor, r, num_rows);
+    if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < predicates.size(); ++p) {
       const Value& cell = rel.at(r, pred_handles[p]);
@@ -79,7 +100,9 @@ Status QueryExecutor::Validate(const SimpleAggregateQuery& query) const {
 }
 
 Result<std::optional<double>> QueryExecutor::Execute(
-    const SimpleAggregateQuery& query, ScanStats* stats) const {
+    const SimpleAggregateQuery& query, ScanStats* stats,
+    const ResourceGovernor* governor) const {
+  AGG_FAULT_POINT("executor.execute");
   Status valid = Validate(query);
   if (!valid.ok()) return valid;
 
@@ -107,7 +130,7 @@ Result<std::optional<double>> QueryExecutor::Execute(
       query.fn == AggFn::kConditionalProbability) {
     auto num = CountWithPredicates(rel, query.agg_column, query.is_star(),
                                    query.predicates, pred_handles, agg_handle,
-                                   stats);
+                                   stats, governor);
     if (!num.ok()) return num.status();
 
     std::vector<Predicate> denom_preds;
@@ -130,7 +153,7 @@ Result<std::optional<double>> QueryExecutor::Execute(
     }
     auto den = CountWithPredicates(rel, query.agg_column, query.is_star(),
                                    denom_preds, denom_handles, agg_handle,
-                                   stats);
+                                   stats, governor);
     if (!den.ok()) return den.status();
     double d = den->value_or(0.0);
     if (d == 0.0) return std::optional<double>(std::nullopt);
@@ -139,7 +162,10 @@ Result<std::optional<double>> QueryExecutor::Execute(
 
   Aggregator agg(query.fn);
   const Value star_placeholder(static_cast<int64_t>(1));
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
+  const size_t num_rows = rel.num_rows();
+  for (size_t r = 0; r < num_rows; ++r) {
+    Status charge = ChargeScanBlock(governor, r, num_rows);
+    if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < query.predicates.size(); ++p) {
       const Value& cell = rel.at(r, pred_handles[p]);

@@ -4,6 +4,7 @@
 
 #include "db/database.h"
 #include "db/query.h"
+#include "util/resource_governor.h"
 #include "util/status.h"
 
 namespace aggchecker {
@@ -27,8 +28,14 @@ class QueryExecutor {
   /// is undefined (empty input for Avg/Min/Max, zero denominator for ratio
   /// aggregates); returns an error Status for malformed queries (unknown
   /// columns, non-numeric Sum target, unreachable join).
-  Result<std::optional<double>> Execute(const SimpleAggregateQuery& query,
-                                        ScanStats* stats = nullptr) const;
+  ///
+  /// When `governor` is non-null, scan loops charge it in
+  /// ResourceGovernor::kCheckIntervalRows blocks and the call returns the
+  /// governor's kDeadlineExceeded / kBudgetExhausted Status when a limit
+  /// trips mid-scan (cooperative cancellation).
+  Result<std::optional<double>> Execute(
+      const SimpleAggregateQuery& query, ScanStats* stats = nullptr,
+      const ResourceGovernor* governor = nullptr) const;
 
   /// Validates a query against the schema without executing it.
   Status Validate(const SimpleAggregateQuery& query) const;

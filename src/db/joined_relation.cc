@@ -1,5 +1,6 @@
 #include "db/joined_relation.h"
 
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -7,6 +8,7 @@ namespace db {
 
 Result<JoinedRelation> JoinedRelation::Build(
     const Database& db, const std::vector<std::string>& tables) {
+  AGG_FAULT_POINT("join.materialize");
   JoinedRelation rel;
   rel.db_ = &db;
 

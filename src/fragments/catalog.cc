@@ -4,6 +4,7 @@
 
 #include "ir/tokenizer.h"
 #include "ir/word_splitter.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -36,6 +37,7 @@ void AddTextKeywords(const std::string& text, double weight,
 
 Result<FragmentCatalog> FragmentCatalog::Build(const db::Database& db,
                                                const CatalogOptions& options) {
+  AGG_FAULT_POINT("catalog.build");
   if (db.num_tables() == 0) {
     return Status::InvalidArgument("database has no tables");
   }

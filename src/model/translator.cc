@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "model/scope.h"
+#include "util/fault_injection.h"
 #include "util/rounding.h"
 
 namespace aggchecker {
@@ -154,7 +155,12 @@ TranslationResult Translator::Translate(
     const {
   TranslationResult result;
   const size_t n = claims.size();
+  result.partial.assign(n, false);
   if (n == 0) return result;
+
+  // Cooperative cancellation: the governor (if any) is scoped to this run
+  // by the caller and shared with the evaluation engine.
+  const ResourceGovernor* governor = engine->governor();
 
   auto is_pinned = [&](size_t i) {
     return pinned != nullptr && i < pinned->size() && (*pinned)[i].has_value();
@@ -170,6 +176,13 @@ TranslationResult Translator::Translate(
         rounding::Matches(*value, claims[i].claimed_value(),
                           options_.rounding_mode,
                           options_.rounding_tolerance);
+  }
+  {
+    Status pinned_error = engine->ConsumeHardError();
+    if (!pinned_error.ok()) {
+      result.status = pinned_error;
+      return result;
+    }
   }
 
   // Build one candidate space per claim.
@@ -191,6 +204,16 @@ TranslationResult Translator::Translate(
   const int max_iters = options_.use_priors ? options_.max_em_iterations : 1;
 
   for (int iter = 0; iter < max_iters; ++iter) {
+    Status injected;
+    AGG_FAULT_POINT_STATUS("em.iterate", injected);
+    if (!injected.ok()) {
+      result.status = injected;
+      return result;
+    }
+    // Deadline/budget check between iterations: a tripped governor ends
+    // refinement; whatever was evaluated so far feeds the final
+    // distributions and un-evaluated claims become partial.
+    if (governor != nullptr && !governor->CheckPoint().ok()) break;
     ++result.em_iterations;
 
     // E-step part 1: per-claim candidate selection under current priors.
@@ -221,6 +244,14 @@ TranslationResult Translator::Translate(
     if (!batch.empty()) {
       result.queries_evaluated += batch.size();
       auto results = engine->EvaluateBatch(batch);
+      // An unexpected engine error (not exhaustion, not a malformed
+      // candidate) aborts the run: its nullopt results must not masquerade
+      // as "undefined aggregate" and flip verdicts.
+      Status batch_error = engine->ConsumeHardError();
+      if (!batch_error.ok()) {
+        result.status = batch_error;
+        return result;
+      }
       for (size_t b = 0; b < batch.size(); ++b) {
         auto [claim_idx, key] = batch_owner[b];
         EvalOutcome& outcome = outcomes[claim_idx][key];
@@ -233,6 +264,10 @@ TranslationResult Translator::Translate(
                               options_.rounding_tolerance);
       }
     }
+
+    // Stop refining once the budget is spent — the M-step would maximize
+    // over aborted (nullopt) evaluations and corrupt the priors.
+    if (governor != nullptr && governor->exhausted()) break;
 
     if (!options_.use_priors) break;
 
@@ -267,6 +302,31 @@ TranslationResult Translator::Translate(
     priors = next;
     if (options_.trace_priors) result.prior_trace.push_back(priors);
     if (delta < options_.convergence_tol) break;
+  }
+
+  // Graceful degradation: under an exhausted governor, any claim whose
+  // selected candidates were not all evaluated to a concrete result is
+  // partial. (A nullopt outcome in an exhausted run is indistinguishable
+  // from an aborted scan, so the marking is conservative — partial, never
+  // erroneous.)
+  if (governor != nullptr && governor->exhausted()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (is_pinned(i)) {
+        if (!pinned_outcomes[i].result.has_value()) result.partial[i] = true;
+        continue;
+      }
+      if (selections[i].empty()) {
+        result.partial[i] = true;
+        continue;
+      }
+      for (const ScoredTriple& t : selections[i]) {
+        auto it = outcomes[i].find(TripleKey(t.f, t.c, t.s));
+        if (it == outcomes[i].end() || !it->second.result.has_value()) {
+          result.partial[i] = true;
+          break;
+        }
+      }
+    }
   }
 
   // Final distributions from the last selection round.

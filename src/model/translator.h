@@ -45,6 +45,15 @@ struct TranslationResult {
   /// Θ snapshots when ModelOptions::trace_priors is set: the uniform
   /// initialization followed by the priors after each M-step (Table 2).
   std::vector<Priors> prior_trace;
+  /// Non-OK when translation aborted on a hard error (e.g. an injected
+  /// fault); distributions are then incomplete and callers must propagate
+  /// the status instead of the result. Governor stops do NOT set this —
+  /// they degrade into per-claim `partial` flags.
+  Status status;
+  /// One flag per claim: true when the evaluation budget ran out before the
+  /// claim's candidates were (fully) evaluated. Partial claims keep their
+  /// best-effort distribution but must never be flagged erroneous.
+  std::vector<bool> partial;
 };
 
 /// \brief Implements Algorithm 3 (QueryAndLearn): learns document-specific

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -10,14 +11,23 @@ namespace csv {
 
 namespace {
 
+/// One raw record plus the 1-based input line it started on, so parse
+/// errors can point at the offending line instead of a record index.
+struct RawRecord {
+  std::vector<std::string> fields;
+  size_t line = 0;
+};
+
 /// Splits raw CSV text into records of fields, honoring quotes.
-Result<std::vector<std::vector<std::string>>> Tokenize(
-    const std::string& text) {
-  std::vector<std::vector<std::string>> records;
+Result<std::vector<RawRecord>> Tokenize(const std::string& text) {
+  std::vector<RawRecord> records;
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;         // current input line (quoted newlines count)
+  size_t record_line = 1;  // line the current record started on
+  size_t quote_line = 0;   // line an open quote started on
 
   auto end_field = [&] {
     fields.push_back(field);
@@ -26,7 +36,7 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
   };
   auto end_record = [&] {
     end_field();
-    records.push_back(std::move(fields));
+    records.push_back({std::move(fields), record_line});
     fields.clear();
   };
 
@@ -41,6 +51,7 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
       continue;
@@ -48,9 +59,11 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
     switch (c) {
       case '"':
         if (!field.empty()) {
-          return Status::ParseError("quote in unquoted field");
+          return Status::ParseError(strings::Format(
+              "line %zu: quote in unquoted field", line));
         }
         in_quotes = true;
+        quote_line = line;
         field_started = true;
         break;
       case ',':
@@ -60,6 +73,8 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
         break;  // tolerate CRLF
       case '\n':
         end_record();
+        ++line;
+        record_line = line;
         break;
       default:
         field.push_back(c);
@@ -67,7 +82,10 @@ Result<std::vector<std::vector<std::string>>> Tokenize(
         break;
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (in_quotes) {
+    return Status::ParseError(strings::Format(
+        "line %zu: unterminated quoted field", quote_line));
+  }
   if (!field.empty() || field_started || !fields.empty()) end_record();
   return records;
 }
@@ -84,21 +102,26 @@ Result<CsvData> Parse(const std::string& text) {
   if (records->empty()) return Status::ParseError("empty CSV input");
 
   CsvData data;
-  data.header = (*records)[0];
+  data.header = (*records)[0].fields;
   const size_t width = data.header.size();
   for (size_t r = 1; r < records->size(); ++r) {
-    auto& row = (*records)[r];
+    AGG_FAULT_POINT("csv.row");
+    RawRecord& rec = (*records)[r];
+    auto& row = rec.fields;
     // Skip stray blank lines — but only for multi-column tables; in a
     // single-column table an empty line is a legitimate NULL row.
     if (width > 1 && row.size() == 1 && strings::Trim(row[0]).empty()) {
       continue;
     }
-    if (row.size() > width) {
+    // A wrong field count means the file is corrupt (missing delimiter,
+    // truncated write, mis-quoted field). Padding short rows would load
+    // fabricated NULLs and silently shift every verdict computed from
+    // them, so both directions are hard errors.
+    if (row.size() != width) {
       return Status::ParseError(
-          strings::Format("row %zu has %zu fields, header has %zu", r,
-                          row.size(), width));
+          strings::Format("line %zu: row has %zu fields, header has %zu",
+                          rec.line, row.size(), width));
     }
-    row.resize(width);
     data.rows.push_back(std::move(row));
   }
   return data;
@@ -109,7 +132,11 @@ Result<CsvData> ReadFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Parse(buf.str());
+  auto data = Parse(buf.str());
+  if (!data.ok()) {
+    return Status::ParseError(path + ": " + data.status().message());
+  }
+  return data;
 }
 
 std::string Write(const CsvData& data) {

@@ -17,8 +17,13 @@ struct CsvData {
 /// \brief Parses RFC-4180-ish CSV text.
 ///
 /// Supports quoted fields with embedded commas/newlines and doubled quotes.
-/// The first record is treated as the header. Rows shorter than the header
-/// are padded with empty strings; longer rows are an error.
+/// The first record is treated as the header. Malformed input is a
+/// `Status::ParseError` naming the offending (1-based) line: any data row
+/// whose field count differs from the header's (short rows are NOT padded —
+/// fabricated NULLs would silently corrupt verdicts), an unterminated
+/// quoted field, or a stray quote inside an unquoted field. Blank lines
+/// between records are skipped in multi-column tables (in a single-column
+/// table an empty line is a legitimate NULL row).
 Result<CsvData> Parse(const std::string& text);
 
 /// Reads a CSV file from disk and parses it.

@@ -1,0 +1,102 @@
+#include "util/fault_injection.h"
+
+#include <map>
+#include <mutex>
+
+namespace aggchecker {
+namespace fault_injection {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct PointState {
+  bool armed = false;
+  FaultSpec spec;
+  uint64_t hits = 0;  ///< hits since last Arm (only counted while armed)
+};
+
+std::mutex& Mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+/// Leaked singleton so fault points in static destructors stay safe.
+std::map<std::string, PointState>& Points() {
+  static std::map<std::string, PointState>* points =
+      new std::map<std::string, PointState>;
+  return *points;
+}
+
+}  // namespace
+
+bool Register(const char* point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Points().emplace(point, PointState{});
+  return true;
+}
+
+Status Trip(const char* point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(point);
+  if (it == Points().end() || !it->second.armed) return Status::OK();
+  PointState& state = it->second;
+  ++state.hits;
+  const bool fires = state.spec.every_hit
+                         ? state.hits >= state.spec.trigger_on_hit
+                         : state.hits == state.spec.trigger_on_hit;
+  if (!fires) return Status::OK();
+  std::string message = state.spec.message.empty()
+                            ? "injected fault at " + std::string(point)
+                            : state.spec.message;
+  return Status(state.spec.code, std::move(message));
+}
+
+void Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState& state = Points()[point];
+  if (!state.armed) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.armed = true;
+  state.spec = std::move(spec);
+  state.hits = 0;
+}
+
+void Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(point);
+  if (it == Points().end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.hits = 0;
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  for (auto& [name, state] : Points()) {
+    if (!state.armed) continue;
+    state.armed = false;
+    state.hits = 0;
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> RegisteredPoints() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<std::string> names;
+  names.reserve(Points().size());
+  for (const auto& [name, state] : Points()) names.push_back(name);
+  return names;
+}
+
+uint64_t HitCount(const std::string& point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Points().find(point);
+  return it == Points().end() ? 0 : it->second.hits;
+}
+
+}  // namespace fault_injection
+}  // namespace aggchecker

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aggchecker {
+namespace fault_injection {
+
+/// \brief What an armed fault point injects and when it fires.
+struct FaultSpec {
+  /// Injected error; defaults to kInternal so chaos runs exercise the
+  /// generic-error path. Message defaults to "injected fault at <point>".
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  /// 1-based hit index on which the fault first fires (deterministic
+  /// nth-hit injection; 1 = first hit).
+  uint64_t trigger_on_hit = 1;
+  /// Fire on every hit from `trigger_on_hit` on, or exactly once.
+  bool every_hit = true;
+};
+
+/// Registers a fault point name (idempotent). Called once per call site via
+/// the AGG_FAULT_POINT macro's function-local static; the registry is how
+/// chaos tests enumerate every point on an executed code path.
+bool Register(const char* point);
+
+/// Hot-path gate: true iff at least one fault point is currently armed.
+/// A relaxed atomic load — the only cost fault points add in production.
+bool AnyArmed();
+
+/// Cold path: consults the registry for `point`, counts the hit, and returns
+/// the injected Status if the point is armed and its trigger condition is
+/// met; OK otherwise. Only called when AnyArmed().
+Status Trip(const char* point);
+
+/// Arms `point` (registering it if needed) with `spec` and resets its hit
+/// counter. Test-only; production code never arms anything.
+void Arm(const std::string& point, FaultSpec spec = {});
+
+/// Disarms one point / every point.
+void Disarm(const std::string& point);
+void DisarmAll();
+
+/// Every fault point registered so far (i.e. on code paths that have
+/// executed at least once), sorted by name.
+std::vector<std::string> RegisteredPoints();
+
+/// Hits recorded at `point` since it was last armed (0 when disarmed).
+uint64_t HitCount(const std::string& point);
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+}  // namespace internal
+
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace fault_injection
+}  // namespace aggchecker
+
+/// Declares a named fault point in a function returning Status (or any type
+/// implicitly constructible from Status, e.g. Result<T>). Compiles to a
+/// single branch on a cold atomic when no faults are armed.
+#define AGG_FAULT_POINT(point)                                               \
+  do {                                                                       \
+    static const bool agg_fi_registered_ =                                   \
+        ::aggchecker::fault_injection::Register(point);                      \
+    (void)agg_fi_registered_;                                                \
+    if (::aggchecker::fault_injection::AnyArmed()) {                         \
+      ::aggchecker::Status agg_fi_status_ =                                  \
+          ::aggchecker::fault_injection::Trip(point);                        \
+      if (!agg_fi_status_.ok()) return agg_fi_status_;                       \
+    }                                                                        \
+  } while (0)
+
+/// Variant for functions that cannot return Status directly: writes the
+/// injected Status (or OK) into `status_out` for the caller to route.
+#define AGG_FAULT_POINT_STATUS(point, status_out)                            \
+  do {                                                                       \
+    static const bool agg_fi_registered_ =                                   \
+        ::aggchecker::fault_injection::Register(point);                      \
+    (void)agg_fi_registered_;                                                \
+    if (::aggchecker::fault_injection::AnyArmed()) {                         \
+      (status_out) = ::aggchecker::fault_injection::Trip(point);             \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,54 @@
+#include "util/resource_governor.h"
+
+#include "util/strings.h"
+
+namespace aggchecker {
+
+void ResourceGovernor::Reset() {
+  rows_ = 0;
+  rows_since_check_ = 0;
+  cube_groups_ = 0;
+  checkpoints_ = 0;
+  tripped_ = false;
+  stop_code_ = StatusCode::kOk;
+  stop_message_.clear();
+  enforce_deadline_ = limits_.deadline_seconds > 0.0;
+  if (enforce_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(limits_.deadline_seconds));
+  }
+}
+
+Status ResourceGovernor::Inspect() const {
+  ++checkpoints_;
+  if (limits_.max_row_scans != 0 && rows_ >= limits_.max_row_scans) {
+    tripped_ = true;
+    stop_code_ = StatusCode::kBudgetExhausted;
+    stop_message_ = strings::Format(
+        "row-scan budget exhausted (%llu of %llu rows scanned)",
+        static_cast<unsigned long long>(rows_),
+        static_cast<unsigned long long>(limits_.max_row_scans));
+    return StopStatus();
+  }
+  if (limits_.max_cube_groups != 0 &&
+      cube_groups_ >= limits_.max_cube_groups) {
+    tripped_ = true;
+    stop_code_ = StatusCode::kBudgetExhausted;
+    stop_message_ = strings::Format(
+        "cube-group budget exhausted (%llu of %llu groups materialized)",
+        static_cast<unsigned long long>(cube_groups_),
+        static_cast<unsigned long long>(limits_.max_cube_groups));
+    return StopStatus();
+  }
+  if (enforce_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    tripped_ = true;
+    stop_code_ = StatusCode::kDeadlineExceeded;
+    stop_message_ = strings::Format("deadline of %.3fs exceeded",
+                                    limits_.deadline_seconds);
+    return StopStatus();
+  }
+  return Status::OK();
+}
+
+}  // namespace aggchecker

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace aggchecker {
+
+/// \brief Hard resource limits for one checking run (or one interactive
+/// Refresh). A zero/negative limit means "unlimited" — the default-constructed
+/// limits enforce nothing and a governor built from them never trips.
+struct GovernorLimits {
+  /// Wall-clock deadline for the whole run, measured from governor
+  /// construction (or the last Reset()).
+  double deadline_seconds = 0.0;
+  /// Total rows the evaluation backend may scan (naive scans + cube scans).
+  uint64_t max_row_scans = 0;
+  /// Total cube groups the CUBE operator may materialize — bounds
+  /// cube-explosion on high-cardinality dimension combinations.
+  uint64_t max_cube_groups = 0;
+
+  bool unlimited() const {
+    return deadline_seconds <= 0.0 && max_row_scans == 0 &&
+           max_cube_groups == 0;
+  }
+};
+
+/// \brief Consumption counters exposed to reports, snapshot of a governor.
+struct GovernorUsage {
+  uint64_t rows_charged = 0;        ///< rows scanned under this governor
+  uint64_t cube_groups_charged = 0; ///< cube groups materialized
+  uint64_t checkpoints = 0;         ///< budget/deadline inspections performed
+  bool exhausted = false;           ///< a limit tripped during the run
+  /// kOk, or the code that stopped the run (kDeadlineExceeded /
+  /// kBudgetExhausted).
+  StatusCode stop_code = StatusCode::kOk;
+};
+
+/// \brief Cooperative cancellation token threaded through the evaluation
+/// stack (executor scans, cube materialization, the EM loop).
+///
+/// Hot loops charge work in blocks (`ChargeRows`) or at structural points
+/// (`ChargeCubeGroups`, `CheckPoint`); when a limit trips, the charge call
+/// returns kDeadlineExceeded / kBudgetExhausted and the caller unwinds with
+/// that Status. Layers above translate the stop into partial results rather
+/// than errors (ClaimVerdict::partial).
+///
+/// Cost model: charge calls only *inspect* limits (read the clock, compare
+/// budgets) once per kCheckIntervalRows charged rows, so per-row overhead is
+/// amortized to a counter add. Scan loops additionally call ChargeRows once
+/// per kCheckIntervalRows-row block rather than per row, making governor
+/// overhead on the unbounded path unmeasurable (see micro_engine_bench's
+/// *Governed variants).
+///
+/// Counters are mutable so a `const ResourceGovernor*` can be plumbed through
+/// const evaluation paths. The governor is NOT thread-safe: one governor per
+/// single-threaded checking run (the whole pipeline is single-threaded).
+class ResourceGovernor {
+ public:
+  /// Amortized inspection interval, in charged rows. Documented contract:
+  /// a run overshoots its row budget by at most this many rows.
+  static constexpr uint64_t kCheckIntervalRows = 4096;
+
+  /// Unlimited governor: counts usage but never trips.
+  ResourceGovernor() { Reset(); }
+  explicit ResourceGovernor(GovernorLimits limits) : limits_(limits) {
+    Reset();
+  }
+
+  /// Charges `n` scanned rows. Amortized: inspects limits only when the
+  /// rows charged since the last inspection reach kCheckIntervalRows.
+  /// Returns non-OK (sticky) once a limit has tripped.
+  Status ChargeRows(uint64_t n) const {
+    rows_ += n;
+    if (tripped_) return StopStatus();
+    rows_since_check_ += n;
+    if (rows_since_check_ < kCheckIntervalRows) return Status::OK();
+    rows_since_check_ = 0;
+    return Inspect();
+  }
+
+  /// Charges `n` materialized cube groups; inspected immediately (group
+  /// creation is orders of magnitude rarer than row scans).
+  Status ChargeCubeGroups(uint64_t n) const {
+    cube_groups_ += n;
+    if (tripped_) return StopStatus();
+    return Inspect();
+  }
+
+  /// Forced inspection of all limits (deadline included). Structural
+  /// call sites — per EM iteration, per batch — use this.
+  Status CheckPoint() const {
+    if (tripped_) return StopStatus();
+    return Inspect();
+  }
+
+  /// True once any limit has tripped. Sticky until Reset().
+  bool exhausted() const { return tripped_; }
+
+  const GovernorLimits& limits() const { return limits_; }
+
+  GovernorUsage usage() const {
+    GovernorUsage u;
+    u.rows_charged = rows_;
+    u.cube_groups_charged = cube_groups_;
+    u.checkpoints = checkpoints_;
+    u.exhausted = tripped_;
+    u.stop_code = stop_code_;
+    return u;
+  }
+
+  /// Clears counters and the tripped state and restarts the deadline clock.
+  void Reset();
+
+ private:
+  Status Inspect() const;
+  Status StopStatus() const { return Status(stop_code_, stop_message_); }
+
+  GovernorLimits limits_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool enforce_deadline_ = false;
+
+  mutable uint64_t rows_ = 0;
+  mutable uint64_t rows_since_check_ = 0;
+  mutable uint64_t cube_groups_ = 0;
+  mutable uint64_t checkpoints_ = 0;
+  mutable bool tripped_ = false;
+  mutable StatusCode stop_code_ = StatusCode::kOk;
+  mutable std::string stop_message_;
+};
+
+}  // namespace aggchecker

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
   }
   return "Unknown";
 }

@@ -16,6 +16,12 @@ enum class StatusCode {
   kParseError,
   kUnsupported,
   kInternal,
+  /// The resource governor's wall-clock deadline passed (see
+  /// util/resource_governor.h); the operation was cancelled cooperatively.
+  kDeadlineExceeded,
+  /// A governor work budget (row scans, cube groups) was spent; the
+  /// operation was cancelled cooperatively and may carry partial results.
+  kBudgetExhausted,
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -47,8 +53,21 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for the cooperative-cancellation codes issued by the resource
+  /// governor. Callers that degrade gracefully (partial results) treat these
+  /// differently from hard errors.
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kBudgetExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -68,6 +68,74 @@ TEST(AggCheckerTest, FlagsErroneousClaim) {
   EXPECT_EQ(report->NumFlagged(), 1u);
 }
 
+TEST(AggCheckerTest, StarvedBudgetDegradesToPartialVerdicts) {
+  auto database = MakeNflDatabase();
+  CheckOptions options;
+  options.governor.max_row_scans = 1;  // trips on the first inspection
+  auto checker = AggChecker::Create(&database, options);
+  ASSERT_TRUE(checker.ok());
+  auto doc = text::ParseDocument(kCorrectArticle);
+  auto report = checker->Check(*doc);
+  // Exhausting the budget is NOT an error: the run completes with
+  // best-effort verdicts.
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verdicts.size(), 3u);
+  EXPECT_GT(report->NumPartial(), 0u);
+  for (const auto& v : report->verdicts) {
+    if (v.partial) {
+      EXPECT_FALSE(v.likely_erroneous) << v.claim.id;
+    }
+  }
+  EXPECT_TRUE(report->governor_usage.exhausted);
+  EXPECT_EQ(report->governor_usage.stop_code, StatusCode::kBudgetExhausted);
+}
+
+TEST(AggCheckerTest, UnlimitedGovernorMatchesDefaultRun) {
+  auto database = MakeNflDatabase();
+  auto doc = text::ParseDocument(kCorrectArticle);
+
+  auto baseline = AggChecker::Create(&database);
+  ASSERT_TRUE(baseline.ok());
+  auto baseline_report = baseline->Check(*doc);
+  ASSERT_TRUE(baseline_report.ok());
+
+  CheckOptions options;
+  options.governor.max_row_scans = 0;  // explicit unlimited
+  options.governor.deadline_seconds = 0;
+  auto governed = AggChecker::Create(&database, options);
+  ASSERT_TRUE(governed.ok());
+  auto governed_report = governed->Check(*doc);
+  ASSERT_TRUE(governed_report.ok());
+
+  // An unlimited governor only counts; verdicts are bit-identical.
+  ASSERT_EQ(governed_report->verdicts.size(),
+            baseline_report->verdicts.size());
+  for (size_t i = 0; i < baseline_report->verdicts.size(); ++i) {
+    const auto& a = baseline_report->verdicts[i];
+    const auto& b = governed_report->verdicts[i];
+    EXPECT_EQ(a.likely_erroneous, b.likely_erroneous);
+    EXPECT_FALSE(b.partial);
+    EXPECT_DOUBLE_EQ(a.correctness_probability, b.correctness_probability);
+  }
+  EXPECT_EQ(governed_report->NumPartial(), 0u);
+  EXPECT_FALSE(governed_report->governor_usage.exhausted);
+  EXPECT_GT(governed_report->governor_usage.rows_charged, 0u);
+}
+
+TEST(AggCheckerTest, DeadlineStopIsReportedInUsage) {
+  auto database = MakeNflDatabase();
+  CheckOptions options;
+  options.governor.deadline_seconds = 1e-9;  // already expired
+  auto checker = AggChecker::Create(&database, options);
+  ASSERT_TRUE(checker.ok());
+  auto doc = text::ParseDocument(kCorrectArticle);
+  auto report = checker->Check(*doc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->governor_usage.exhausted);
+  EXPECT_EQ(report->governor_usage.stop_code, StatusCode::kDeadlineExceeded);
+  EXPECT_GT(report->NumPartial(), 0u);
+}
+
 TEST(AggCheckerTest, TopQueriesCappedByOption) {
   auto database = MakeNflDatabase();
   CheckOptions options;

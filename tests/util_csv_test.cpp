@@ -27,16 +27,31 @@ TEST(CsvTest, ParseEmbeddedQuotesAndNewlines) {
   EXPECT_EQ(data->rows[0][1], "line1\nline2");
 }
 
-TEST(CsvTest, ShortRowsPadded) {
-  auto data = csv::Parse("a,b,c\n1,2\n");
-  ASSERT_TRUE(data.ok());
-  EXPECT_EQ(data->rows[0], (std::vector<std::string>{"1", "2", ""}));
+TEST(CsvTest, ShortRowsRejected) {
+  // Padding short rows would fabricate NULLs; a wrong field count is a
+  // corrupt file and must fail loudly, naming the offending line.
+  auto data = csv::Parse("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+  EXPECT_NE(data.status().message().find("line 3"), std::string::npos)
+      << data.status().message();
 }
 
 TEST(CsvTest, LongRowsRejected) {
   auto data = csv::Parse("a,b\n1,2,3\n");
-  EXPECT_FALSE(data.ok());
+  ASSERT_FALSE(data.ok());
   EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+  EXPECT_NE(data.status().message().find("line 2"), std::string::npos)
+      << data.status().message();
+}
+
+TEST(CsvTest, ErrorLineNumbersCountQuotedNewlines) {
+  // The record starting on line 2 spans lines 2-3 (quoted newline); the
+  // short row after it is physical line 4.
+  auto data = csv::Parse("a,b\n\"x\ny\",1\n2\n");
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().message().find("line 4"), std::string::npos)
+      << data.status().message();
 }
 
 TEST(CsvTest, MissingFinalNewlineOk) {
@@ -57,7 +72,22 @@ TEST(CsvTest, EmptyInputRejected) {
 }
 
 TEST(CsvTest, UnterminatedQuoteRejected) {
-  EXPECT_FALSE(csv::Parse("a\n\"oops\n").ok());
+  auto data = csv::Parse("a\n\"oops\n");
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+  EXPECT_NE(data.status().message().find("line 2"), std::string::npos)
+      << data.status().message();
+}
+
+TEST(CsvTest, MalformedFileReportsPathAndLine) {
+  auto data = csv::ReadFile(std::string(AGG_TEST_DATA_DIR) +
+                            "/malformed.csv");
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kParseError);
+  EXPECT_NE(data.status().message().find("malformed.csv"), std::string::npos)
+      << data.status().message();
+  EXPECT_NE(data.status().message().find("line 5"), std::string::npos)
+      << data.status().message();
 }
 
 TEST(CsvTest, WriteRoundTrip) {

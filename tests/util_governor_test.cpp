@@ -1,0 +1,120 @@
+#include "util/resource_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace aggchecker {
+namespace {
+
+TEST(ResourceGovernorTest, DefaultLimitsAreUnlimited) {
+  GovernorLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  limits.max_row_scans = 1;
+  EXPECT_FALSE(limits.unlimited());
+}
+
+TEST(ResourceGovernorTest, UnlimitedGovernorNeverTrips) {
+  ResourceGovernor governor;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(governor.ChargeRows(100000).ok());
+  }
+  EXPECT_TRUE(governor.ChargeCubeGroups(1 << 20).ok());
+  EXPECT_TRUE(governor.CheckPoint().ok());
+  EXPECT_FALSE(governor.exhausted());
+  GovernorUsage usage = governor.usage();
+  EXPECT_EQ(usage.rows_charged, 100u * 100000u);
+  EXPECT_EQ(usage.cube_groups_charged, uint64_t{1} << 20);
+  EXPECT_FALSE(usage.exhausted);
+  EXPECT_EQ(usage.stop_code, StatusCode::kOk);
+}
+
+TEST(ResourceGovernorTest, RowBudgetTrips) {
+  GovernorLimits limits;
+  limits.max_row_scans = 10000;
+  ResourceGovernor governor(limits);
+  Status status = Status::OK();
+  uint64_t charged = 0;
+  while (status.ok() && charged < 10 * limits.max_row_scans) {
+    status = governor.ChargeRows(1000);
+    charged += 1000;
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_TRUE(governor.exhausted());
+  // Amortized inspection: the overshoot is bounded by the check interval.
+  EXPECT_LE(governor.usage().rows_charged,
+            limits.max_row_scans + ResourceGovernor::kCheckIntervalRows);
+}
+
+TEST(ResourceGovernorTest, TrippedStateIsSticky) {
+  GovernorLimits limits;
+  limits.max_row_scans = 1;
+  ResourceGovernor governor(limits);
+  ASSERT_FALSE(governor.ChargeRows(ResourceGovernor::kCheckIntervalRows).ok());
+  // Every later charge keeps failing with the same code, even tiny ones.
+  EXPECT_EQ(governor.ChargeRows(1).code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(governor.ChargeCubeGroups(1).code(),
+            StatusCode::kBudgetExhausted);
+  EXPECT_EQ(governor.CheckPoint().code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(governor.usage().stop_code, StatusCode::kBudgetExhausted);
+}
+
+TEST(ResourceGovernorTest, SmallChargesAreAmortized) {
+  GovernorLimits limits;
+  limits.max_row_scans = 10;
+  ResourceGovernor governor(limits);
+  // Over budget, but below the inspection interval: not yet noticed...
+  EXPECT_TRUE(governor.ChargeRows(100).ok());
+  // ...until a forced checkpoint inspects the limits.
+  EXPECT_EQ(governor.CheckPoint().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(ResourceGovernorTest, CubeGroupBudgetTripsImmediately) {
+  // A limit of N trips once N units have been charged (>=, not >): cube
+  // charges are inspected on every call, with no amortization window.
+  GovernorLimits limits;
+  limits.max_cube_groups = 100;
+  ResourceGovernor governor(limits);
+  EXPECT_TRUE(governor.ChargeCubeGroups(99).ok());
+  Status status = governor.ChargeCubeGroups(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(ResourceGovernorTest, DeadlineTrips) {
+  GovernorLimits limits;
+  limits.deadline_seconds = 1e-6;
+  ResourceGovernor governor(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Status status = governor.CheckPoint();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(governor.usage().stop_code, StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceGovernorTest, ResetClearsTripAndCountersAndRestartsClock) {
+  GovernorLimits limits;
+  limits.max_row_scans = 100;
+  ResourceGovernor governor(limits);
+  ASSERT_FALSE(governor.ChargeRows(ResourceGovernor::kCheckIntervalRows).ok());
+  ASSERT_TRUE(governor.exhausted());
+  governor.Reset();
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_EQ(governor.usage().rows_charged, 0u);
+  EXPECT_EQ(governor.usage().stop_code, StatusCode::kOk);
+  EXPECT_TRUE(governor.ChargeRows(10).ok());
+}
+
+TEST(ResourceGovernorTest, UsageCountsCheckpoints) {
+  ResourceGovernor governor;
+  EXPECT_TRUE(governor.CheckPoint().ok());
+  EXPECT_TRUE(governor.CheckPoint().ok());
+  EXPECT_EQ(governor.usage().checkpoints, 2u);
+}
+
+}  // namespace
+}  // namespace aggchecker
