@@ -1,6 +1,8 @@
 // Reproduces Table 6: run time for fact-checking all test cases under the
 // three evaluation strategies — naive per-candidate execution, merged cube
-// queries, and cubes plus the cross-claim/cross-iteration result cache.
+// queries, and cubes plus the cross-claim/cross-iteration result cache —
+// plus a thread-count sweep over the best strategy. Results are written to
+// BENCH_table6.json for cross-run tracking.
 
 #include "bench_common.h"
 #include "corpus/embedded_articles.h"
@@ -45,6 +47,7 @@ int main() {
     options.strategy = row.strategy;
     options.model.max_eval_per_claim = 800;
     options.model.lucene_hits = 30;
+    options.model.num_threads = 1;  // serial baseline; sweep below
     auto result = corpus::RunOnCorpus(scaled, options);
     row.total = result.total_seconds;
     row.query = result.query_seconds;
@@ -57,5 +60,52 @@ int main() {
               "accumulated x%.1f (paper: x61.9, x2.1, x129.9)\n",
               rows[0].query / rows[1].query, rows[1].query / rows[2].query,
               rows[0].query / rows[2].query);
+
+  // Thread-count sweep over the best strategy (cube execution and
+  // per-claim candidate work run on a worker pool; results bit-identical).
+  // Speedup only materializes with real cores — on a single-core host this
+  // column tracks the pool/sharded-governor overhead instead.
+  std::printf("\nthread sweep (+ Caching strategy, identical results):\n");
+  struct SweepResult {
+    size_t threads;
+    double total = 0, query = 0;
+  };
+  std::vector<SweepResult> sweep;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    core::CheckOptions options;
+    options.strategy = db::EvalStrategy::kMergedCached;
+    options.model.max_eval_per_claim = 800;
+    options.model.lucene_hits = 30;
+    options.model.num_threads = threads;
+    auto result = corpus::RunOnCorpus(scaled, options);
+    sweep.push_back({threads, result.total_seconds, result.query_seconds});
+    std::printf("  threads=%zu  total=%7.2fs  query=%7.2fs  speedup=x%.2f\n",
+                threads, result.total_seconds, result.query_seconds,
+                sweep[0].query / result.query_seconds);
+  }
+
+  // Machine-readable tracking (compared across commits by eye/scripts).
+  if (FILE* out = std::fopen("BENCH_table6.json", "w")) {
+    std::fprintf(out, "{\n  \"strategies\": [\n");
+    for (size_t i = 0; i < 3; ++i) {
+      std::fprintf(out,
+                   "    {\"label\": \"%s\", \"total_seconds\": %.4f, "
+                   "\"query_seconds\": %.4f}%s\n",
+                   rows[i].label, rows[i].total, rows[i].query,
+                   i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"thread_sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"threads\": %zu, \"total_seconds\": %.4f, "
+                   "\"query_seconds\": %.4f, \"speedup\": %.4f}%s\n",
+                   sweep[i].threads, sweep[i].total, sweep[i].query,
+                   sweep[0].query / sweep[i].query,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_table6.json\n");
+  }
   return 0;
 }

@@ -1,6 +1,9 @@
 // Micro-benchmarks of the query-evaluation backend (google-benchmark):
 // naive scans vs merged cube execution vs cached lookups — the mechanisms
-// behind Table 6 — plus join materialization.
+// behind Table 6 — plus join materialization and threaded twins of the
+// batch benchmarks. Track across commits with
+//   micro_engine_bench --benchmark_out_format=json
+//                      --benchmark_out=BENCH_micro_engine.json
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +11,7 @@
 #include "db/eval_engine.h"
 #include "db/joined_relation.h"
 #include "util/resource_governor.h"
+#include "util/thread_pool.h"
 
 namespace aggchecker {
 namespace {
@@ -95,6 +99,58 @@ void BM_MergedBatchGoverned(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_MergedBatchGoverned);
+
+// Threaded twins: the same batches with a worker pool attached, swept over
+// thread counts (->Arg(n)). Results are bit-identical to the serial twins
+// (asserted by parallel_determinism_test); these twins track the speedup —
+// and, at 1 thread vs the pool-free baseline, the coordination overhead.
+// On a single-core host the sweep degenerates to overhead measurement.
+void BM_NaiveBatchParallel(benchmark::State& state) {
+  const auto& db = BenchDatabase();
+  auto batch = MakeBatch(db);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    db::EvalEngine engine(&db, db::EvalStrategy::kNaive);
+    engine.SetThreadPool(&pool);
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_NaiveBatchParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MergedBatchParallel(benchmark::State& state) {
+  const auto& db = BenchDatabase();
+  auto batch = MakeBatch(db);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    db::EvalEngine engine(&db, db::EvalStrategy::kMerged);
+    engine.SetThreadPool(&pool);
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_MergedBatchParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// Parallel + governed: cube workers charge per-thread governor shards that
+// fold into the shared atomics every kCheckIntervalRows rows. The delta
+// against BM_MergedBatchParallel is the sharded-accounting overhead.
+void BM_MergedBatchParallelGoverned(benchmark::State& state) {
+  const auto& db = BenchDatabase();
+  auto batch = MakeBatch(db);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  ResourceGovernor governor;
+  for (auto _ : state) {
+    db::EvalEngine engine(&db, db::EvalStrategy::kMerged);
+    engine.SetThreadPool(&pool);
+    engine.SetGovernor(&governor);
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_MergedBatchParallelGoverned)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_CachedRepeatBatch(benchmark::State& state) {
   const auto& db = BenchDatabase();

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1+ gate: builds the Release and ASan+UBSan presets and runs the full
-# test suite under both. Any test failure or sanitizer report fails the
-# script (sanitizers are built with -fno-sanitize-recover, so a report
-# aborts the offending test). Run from the repository root:
+# test suite under both, then builds the TSan preset and runs the
+# `concurrency`-labeled subset (thread pool, governor, eval engine,
+# parallel determinism) under ThreadSanitizer. Any test failure or
+# sanitizer report fails the script (sanitizers are built with
+# -fno-sanitize-recover, so a report aborts the offending test). Run from
+# the repository root:
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # all three presets
 #   scripts/check.sh default    # just the Release preset
 #   scripts/check.sh asan-ubsan # just the sanitizer preset
+#   scripts/check.sh tsan       # just the TSan concurrency subset
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,7 +18,7 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}")
 if [[ $# -eq 0 ]]; then
-  presets=(default asan-ubsan)
+  presets=(default asan-ubsan tsan)
 fi
 
 for preset in "${presets[@]}"; do

@@ -126,6 +126,11 @@ class AggChecker {
   const db::Database* db_;
   CheckOptions options_;
   std::shared_ptr<fragments::FragmentCatalog> catalog_;
+  /// Worker pool sized by ModelOptions::num_threads, shared with the engine
+  /// (and through it the translator) for the instance's lifetime. Null when
+  /// num_threads == 1 — the fully serial path. Declared before engine_ so
+  /// the engine (which holds a raw pointer to it) is destroyed first.
+  std::shared_ptr<ThreadPool> pool_;
   std::shared_ptr<db::EvalEngine> engine_;
 };
 

@@ -41,8 +41,19 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const std::vector<std::vector<Value>>& relevant_literals,
     const std::vector<CubeAggregate>& aggregates, ScanStats* stats,
     const ResourceGovernor* governor) {
+  auto result =
+      std::make_shared<CubeResult>(dims, relevant_literals, aggregates);
+  Status status = ExecuteCubeInto(db, *result, stats, governor);
+  if (!status.ok()) return status;
+  return result;
+}
+
+Status ExecuteCubeInto(const Database& db, CubeResult& result,
+                       ScanStats* stats, const ResourceGovernor* governor) {
   AGG_FAULT_POINT("cube.materialize");
-  if (dims.size() != relevant_literals.size()) {
+  const std::vector<ColumnRef>& dims = result.dims();
+  const std::vector<CubeAggregate>& aggregates = result.aggregates();
+  if (dims.size() != result.literals().size()) {
     return Status::InvalidArgument("dims/literals size mismatch");
   }
   if (aggregates.empty()) {
@@ -86,9 +97,6 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
     agg_handles[i] = *h;
   }
 
-  auto result = std::make_shared<CubeResult>(dims, relevant_literals,
-                                             aggregates);
-
   const size_t d = dims.size();
   const size_t num_subsets = static_cast<size_t>(1) << d;
   const Value star_placeholder(static_cast<int64_t>(1));
@@ -106,7 +114,7 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const auto& distinct = column->DistinctValues();
     access[i].code_to_bucket.resize(distinct.size());
     for (size_t c = 0; c < distinct.size(); ++c) {
-      access[i].code_to_bucket[c] = result->BucketOf(i, distinct[c]);
+      access[i].code_to_bucket[c] = result.BucketOf(i, distinct[c]);
     }
   }
 
@@ -141,12 +149,15 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
   int16_t row_buckets[4] = {0, 0, 0, 0};
   int16_t key_buckets[4] = {0, 0, 0, 0};
 
+  // Per-call charge shard: scan blocks fold into the governor's atomics at
+  // kCheckIntervalRows granularity, group charges pass through immediately.
+  ResourceGovernor::Shard shard(governor);
   const size_t num_rows = rel.num_rows();
   constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
   for (size_t r = 0; r < num_rows; ++r) {
-    if (governor != nullptr && (r % kBlock) == 0) {
+    if ((r % kBlock) == 0) {
       Status charge =
-          governor->ChargeRows(std::min<uint64_t>(kBlock, num_rows - r));
+          shard.ChargeRows(std::min<uint64_t>(kBlock, num_rows - r));
       if (!charge.ok()) return charge;
     }
     for (size_t i = 0; i < d; ++i) {
@@ -181,10 +192,10 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
         fanout.push_back(it->second);
       }
       combo_groups.push_back(std::move(fanout));
-      if (governor != nullptr && new_groups > 0) {
+      if (new_groups > 0) {
         // Group materialization is the cube-explosion lever; charge it
         // separately from row scans so a budget can bound it directly.
-        Status charge = governor->ChargeCubeGroups(new_groups);
+        Status charge = shard.ChargeCubeGroups(new_groups);
         if (!charge.ok()) return charge;
       }
     }
@@ -202,10 +213,10 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
   for (size_t g = 0; g < groups.size(); ++g) {
     for (size_t a = 0; a < groups[g].size(); ++a) {
       std::optional<double> v = groups[g][a].Finish();
-      if (v.has_value()) result->Set(group_keys[g], a, *v);
+      if (v.has_value()) result.Set(group_keys[g], a, *v);
     }
   }
-  return result;
+  return Status::OK();
 }
 
 }  // namespace db

@@ -121,5 +121,18 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const std::vector<CubeAggregate>& aggregates, ScanStats* stats = nullptr,
     const ResourceGovernor* governor = nullptr);
 
+/// \brief Materializes into a pre-built (empty) CubeResult shell.
+///
+/// `result` must have been constructed with the cube's dims/literals/
+/// aggregates and carry no cells yet. This split lets a planner build and
+/// publish shells serially (e.g. as shared cache entries) and fill them from
+/// worker threads — each shell is written by exactly one worker, readers
+/// wait at the fold barrier. Charges go through a local governor shard, so
+/// concurrent cubes under one governor are safe. On error the shell's cells
+/// are left untouched (possibly empty) and the caller must discard it.
+Status ExecuteCubeInto(const Database& db, CubeResult& result,
+                       ScanStats* stats = nullptr,
+                       const ResourceGovernor* governor = nullptr);
+
 }  // namespace db
 }  // namespace aggchecker

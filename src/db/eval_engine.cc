@@ -85,28 +85,56 @@ std::optional<double> EvalEngine::Evaluate(const SimpleAggregateQuery& query) {
   return EvaluateBatch({query})[0];
 }
 
+void EvalEngine::RunIndexed(size_t n, const std::function<void(size_t)>& body) {
+  if (pool_ != nullptr && pool_->num_threads() > 1 && n > 1) {
+    pool_->ParallelFor(0, n, body);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) body(i);
+}
+
 std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
     const std::vector<SimpleAggregateQuery>& queries) {
-  std::vector<std::optional<double>> results;
-  results.reserve(queries.size());
-  ScanStats scan;
-  for (const auto& q : queries) {
+  const size_t n = queries.size();
+  std::vector<std::optional<double>> results(n);
+
+  // Execute phase: each query scans independently into its own slot; with
+  // one thread this runs inline in index order (today's exact path).
+  struct Slot {
+    std::optional<double> value;
+    Status status = Status::OK();
+    ScanStats scan;
+    bool skipped = false;
+  };
+  std::vector<Slot> slots(n);
+  RunIndexed(n, [&](size_t i) {
+    Slot& slot = slots[i];
     if (governor_ != nullptr && governor_->exhausted()) {
-      results.push_back(std::nullopt);
+      slot.skipped = true;  // budget spent before this query started
+      return;
+    }
+    auto r = executor_.Execute(queries[i], &slot.scan, governor_);
+    if (r.ok()) {
+      slot.value = *r;
+    } else {
+      slot.status = r.status();
+    }
+  });
+
+  // Fold phase (serial, index order): counters and the hard-error channel
+  // update deterministically regardless of execution interleaving.
+  for (size_t i = 0; i < n; ++i) {
+    stats_.rows_scanned += slots[i].scan.rows_scanned;
+    if (slots[i].skipped || slots[i].status.IsResourceExhausted()) {
       ++stats_.queries_aborted;
       continue;
     }
-    auto r = executor_.Execute(q, &scan, governor_);
-    if (!r.ok()) {
-      if (r.status().IsResourceExhausted()) {
-        ++stats_.queries_aborted;
-      } else {
-        NoteHardError(r.status());
-      }
+    if (!slots[i].status.ok()) {
+      NoteHardError(slots[i].status);
+      continue;
     }
-    results.push_back(r.ok() ? *r : std::nullopt);
+    results[i] = slots[i].value;
   }
-  stats_.rows_scanned += scan.rows_scanned;
   return results;
 }
 
@@ -118,6 +146,7 @@ void EvalEngine::NoteHardError(const Status& status) {
       status.code() == StatusCode::kUnsupported) {
     return;
   }
+  std::lock_guard<std::mutex> lock(hard_error_mu_);
   if (hard_error_.ok()) hard_error_ = status;
 }
 
@@ -226,6 +255,15 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     const std::vector<SimpleAggregateQuery>& queries, bool use_cache) {
   std::vector<std::optional<double>> results(queries.size());
 
+  // ---- Plan phase (serial) -------------------------------------------
+  // Everything that touches shared state — grouping, cache lookups and
+  // insertions, stats for hits/misses — happens here, in a deterministic
+  // order, before any worker runs. Cubes that must be executed are planned
+  // as jobs whose result shells are built (and, in cached mode, published
+  // to the cache) up front; the shells' shape is fixed at construction, so
+  // later cache-coverage checks within this same plan behave exactly as if
+  // the cubes had already been filled.
+
   // Global relevant-literal map: the union of predicate values per column
   // across the whole batch (the paper's "literals with non-zero marginal
   // probability for any claim").
@@ -252,7 +290,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
   };
   std::map<std::string, Group> groups;
   std::vector<NormalizedPreds> normalized(queries.size());
-  ScanStats scan;
+  ScanStats serial_scan;
 
   for (size_t i = 0; i < queries.size(); ++i) {
     const auto& q = queries[i];
@@ -264,7 +302,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     if (normalized[i].unsatisfiable) {
       // Rare degenerate case: fall back to the reference executor so all
       // strategies agree on semantics.
-      auto r = executor_.Execute(q, &scan, governor_);
+      auto r = executor_.Execute(q, &serial_scan, governor_);
       if (!r.ok()) {
         if (r.status().IsResourceExhausted()) {
           ++stats_.queries_aborted;
@@ -289,15 +327,34 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     group.query_indices.push_back(i);
   }
 
+  /// One cube to materialize: fills `shell` on a worker. `cache_keys` are
+  /// the cache entries published for it at plan time, withdrawn on failure.
+  struct CubeJob {
+    std::shared_ptr<CubeResult> shell;
+    std::vector<std::string> cache_keys;
+    Status status = Status::OK();
+    ScanStats scan;
+  };
+  /// Where a query's aggregate comes from: a cube (cached or this batch's
+  /// shell) and, if the cube is filled by this batch, its job index.
+  struct Source {
+    std::shared_ptr<CubeResult> cube;
+    size_t agg_idx = 0;
+    int job = -1;
+  };
+  struct PlannedGroup {
+    std::vector<size_t> query_indices;
+    std::unordered_map<std::string, Source> sources;
+  };
+  std::vector<CubeJob> jobs;
+  std::vector<PlannedGroup> planned;
+  planned.reserve(groups.size());
+  // Shell -> job index, so cache hits on this batch's own shells can be
+  // traced to the job that must succeed before they are readable.
+  std::unordered_map<const CubeResult*, int> job_of_cube;
+
   for (auto& [group_key, group] : groups) {
     (void)group_key;
-    if (governor_ != nullptr && governor_->exhausted()) {
-      // Budget spent: remaining groups are skipped, their queries stay
-      // nullopt and are reported as aborted (the claim layer marks their
-      // owners partial).
-      stats_.queries_aborted += group.query_indices.size();
-      continue;
-    }
     // Base aggregates needed by this group (ratio fns need a Count).
     std::vector<CubeAggregate> needed;
     auto add_needed = [&needed](CubeAggregate agg) {
@@ -329,10 +386,9 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
       needed_literals[key] = literals_by_col[key];
     }
 
-    // Resolve each aggregate to a (cube, index) source: cache or execute.
-    std::unordered_map<std::string, std::pair<std::shared_ptr<CubeResult>,
-                                              size_t>>
-        sources;
+    // Resolve each aggregate to a (cube, index) source: cache or job.
+    PlannedGroup pg;
+    pg.query_indices = std::move(group.query_indices);
     std::vector<CubeAggregate> to_execute;
     for (const CubeAggregate& agg : needed) {
       if (use_cache) {
@@ -340,7 +396,12 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
                                            group.relation_key);
         if (hit != nullptr) {
           ++stats_.cache_hits;
-          sources[agg.Key()] = {hit->cube, hit->agg_idx};
+          Source src;
+          src.cube = hit->cube;
+          src.agg_idx = hit->agg_idx;
+          auto jit = job_of_cube.find(hit->cube.get());
+          if (jit != job_of_cube.end()) src.job = jit->second;
+          pg.sources[agg.Key()] = std::move(src);
           continue;
         }
         ++stats_.cache_misses;
@@ -354,31 +415,65 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
       for (const ColumnRef& d : group.dims) {
         dim_literals.push_back(
             needed_literals[strings::ToLower(d.ToString())]);
+        // Pre-warm the dimension's lazy dictionary (codes + distinct
+        // values) while still serial; cube workers then only read it.
+        if (const Column* col = db_->FindColumn(d)) (void)col->Codes();
       }
-      auto cube = ExecuteCube(*db_, group.dims, dim_literals, to_execute,
-                              &scan, governor_);
+      CubeJob job;
+      job.shell = std::make_shared<CubeResult>(group.dims, dim_literals,
+                                               to_execute);
+      const int job_idx = static_cast<int>(jobs.size());
+      job_of_cube[job.shell.get()] = job_idx;
       ++stats_.cube_queries;
-      if (!cube.ok()) {
-        if (cube.status().IsResourceExhausted()) {
-          stats_.queries_aborted += group.query_indices.size();
-        } else {
-          NoteHardError(cube.status());
+      for (size_t a = 0; a < to_execute.size(); ++a) {
+        Source src;
+        src.cube = job.shell;
+        src.agg_idx = a;
+        src.job = job_idx;
+        pg.sources[to_execute[a].Key()] = std::move(src);
+        if (use_cache) {
+          std::string cache_key = to_execute[a].Key() + "|" +
+                                  group.relation_key + "|" +
+                                  DimSetKey(group.dims);
+          cache_[cache_key] =
+              CacheEntry{job.shell, a, group.relation_key};
+          job.cache_keys.push_back(std::move(cache_key));
         }
       }
-      if (cube.ok()) {
-        for (size_t a = 0; a < to_execute.size(); ++a) {
-          sources[to_execute[a].Key()] = {*cube, a};
-          if (use_cache) {
-            std::string cache_key = to_execute[a].Key() + "|" +
-                                    group.relation_key + "|" +
-                                    DimSetKey(group.dims);
-            cache_[cache_key] = CacheEntry{*cube, a, group.relation_key};
-          }
-        }
+      jobs.push_back(std::move(job));
+    }
+    planned.push_back(std::move(pg));
+  }
+
+  // ---- Execute phase (parallel) --------------------------------------
+  // Each job fills exactly one shell; workers share nothing but the
+  // database (read-only, dictionaries pre-warmed) and the governor
+  // (atomic, charged through per-job shards).
+  RunIndexed(jobs.size(), [&](size_t j) {
+    CubeJob& job = jobs[j];
+    if (governor_ != nullptr) {
+      Status trip = governor_->TripStatus();
+      if (!trip.ok()) {
+        job.status = trip;  // budget spent before this cube started
+        return;
       }
     }
+    job.status = ExecuteCubeInto(*db_, *job.shell, &job.scan, governor_);
+  });
 
-    for (size_t qi : group.query_indices) {
+  // ---- Fold phase (serial, job order) --------------------------------
+  // Stats accumulate and failed jobs withdraw their cache entries in plan
+  // order, so cache contents and counters never depend on interleaving.
+  for (CubeJob& job : jobs) {
+    stats_.rows_scanned += job.scan.rows_scanned;
+    if (job.status.ok()) continue;
+    for (const std::string& key : job.cache_keys) cache_.erase(key);
+    if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
+  }
+
+  // ---- Answer phase (serial, group order) ----------------------------
+  for (const PlannedGroup& pg : planned) {
+    for (size_t qi : pg.query_indices) {
       const auto& q = queries[qi];
       CubeAggregate agg;
       agg.column = q.agg_column;
@@ -386,17 +481,28 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
                 q.fn == AggFn::kConditionalProbability)
                    ? AggFn::kCount
                    : q.fn;
-      auto it = sources.find(agg.Key());
-      if (it == sources.end()) {
-        results[qi] = std::nullopt;  // cube execution failed
+      auto it = pg.sources.find(agg.Key());
+      if (it == pg.sources.end()) {
+        results[qi] = std::nullopt;
         continue;
       }
-      results[qi] = AnswerFromCube(q, normalized[qi], *it->second.first,
-                                   it->second.second);
+      const Source& src = it->second;
+      if (src.job >= 0 && !jobs[static_cast<size_t>(src.job)].status.ok()) {
+        // Cube execution failed; a governor stop means this query was
+        // aborted (its claim degrades to a partial verdict).
+        if (jobs[static_cast<size_t>(src.job)]
+                .status.IsResourceExhausted()) {
+          ++stats_.queries_aborted;
+        }
+        results[qi] = std::nullopt;
+        continue;
+      }
+      results[qi] = AnswerFromCube(q, normalized[qi], *src.cube,
+                                   src.agg_idx);
     }
   }
 
-  stats_.rows_scanned += scan.rows_scanned;
+  stats_.rows_scanned += serial_scan.rows_scanned;
   return results;
 }
 

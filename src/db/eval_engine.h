@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 #include "db/database.h"
 #include "db/executor.h"
 #include "db/query.h"
+#include "util/thread_pool.h"
 
 namespace aggchecker {
 namespace db {
@@ -47,6 +49,13 @@ struct EvalStats {
 /// per-(aggregate, dimension-set) cube slices across batches and EM
 /// iterations. All strategies return identical results — the property tests
 /// assert this.
+///
+/// Concurrency: a batch may be spread over an attached ThreadPool
+/// (SetThreadPool). Parallelism is internal to EvaluateBatch — the engine's
+/// public interface stays externally single-threaded (one batch at a time),
+/// and batches follow a plan → execute → fold structure where only the
+/// execute phase runs on workers (see DESIGN.md "Concurrency contract").
+/// Results and cache state are bit-identical for any thread count.
 class EvalEngine {
  public:
   EvalEngine(const Database* db, EvalStrategy strategy)
@@ -73,6 +82,11 @@ class EvalEngine {
   void SetGovernor(const ResourceGovernor* governor) { governor_ = governor; }
   const ResourceGovernor* governor() const { return governor_; }
 
+  /// Attaches a thread pool for batch evaluation (nullptr detaches = serial,
+  /// today's exact path). Not owned; must outlive the engine's use of it.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   /// Returns (and clears) the first *unexpected* execution error since the
   /// last call. Expected failures stay out of this channel: query-shape
   /// errors (kInvalidArgument / kNotFound / kUnsupported) mean "this
@@ -82,6 +96,7 @@ class EvalEngine {
   /// result" (which the verdict layer could misread as evidence of an
   /// erroneous claim), so the translator aborts the run on it.
   Status ConsumeHardError() {
+    std::lock_guard<std::mutex> lock(hard_error_mu_);
     Status error = hard_error_;
     hard_error_ = Status::OK();
     return error;
@@ -115,6 +130,10 @@ class EvalEngine {
   std::vector<std::optional<double>> EvaluateMerged(
       const std::vector<SimpleAggregateQuery>& queries, bool use_cache);
 
+  /// Runs body(i) for i in [0, n): on the attached pool when present,
+  /// inline (in index order) otherwise.
+  void RunIndexed(size_t n, const std::function<void(size_t)>& body);
+
   /// Answers one query from a cube result. `dims` is the cube's dimension
   /// list; lookups translate missing count cells to 0.
   std::optional<double> AnswerFromCube(const SimpleAggregateQuery& query,
@@ -128,6 +147,11 @@ class EvalEngine {
   /// never interchangeable: an aggregate over a PK-FK join differs from the
   /// same aggregate over a base table (inner joins drop dangling rows and
   /// joins multiply cardinalities).
+  ///
+  /// During a batch's plan phase the cache may hold entries whose cube is a
+  /// still-empty shell scheduled for this batch; coverage only inspects the
+  /// cube's shape (dims + literal buckets), which is fixed at construction,
+  /// so hit/miss decisions are identical whether the cube is filled yet.
   const CacheEntry* FindCached(const CubeAggregate& agg,
                                const std::vector<ColumnRef>& cols,
                                const std::map<std::string, std::vector<Value>>&
@@ -138,7 +162,9 @@ class EvalEngine {
 
   /// Records `status` as the run's hard error unless it is an expected
   /// query-shape failure (kInvalidArgument/kNotFound/kUnsupported). First
-  /// error wins; resource-exhausted statuses never reach this.
+  /// error wins under a mutex — safe from concurrent workers, though batch
+  /// fold phases call it serially in plan order so the surfaced error does
+  /// not depend on thread interleaving.
   void NoteHardError(const Status& status);
 
   const Database* db_;
@@ -146,8 +172,11 @@ class EvalEngine {
   QueryExecutor executor_;
   EvalStats stats_;
   const ResourceGovernor* governor_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  std::mutex hard_error_mu_;
   Status hard_error_;  ///< first unexpected error; see ConsumeHardError()
-  // Cache key: aggregate key + "|" + sorted dim-set key.
+  // Cache key: aggregate key + "|" + relation key + "|" + sorted dim-set
+  // key. Written only from serial plan/fold phases.
   std::unordered_map<std::string, CacheEntry> cache_;
 };
 

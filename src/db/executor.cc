@@ -15,15 +15,14 @@ namespace {
 /// governor's own amortized inspection interval).
 constexpr size_t kGovernorBlockRows = ResourceGovernor::kCheckIntervalRows;
 
-/// Charges the governor for the block of rows starting at `r`; called at
+/// Charges the shard for the block of rows starting at `r`; called at
 /// block boundaries inside scan loops. Returns the governor's stop Status
-/// when a limit trips.
-inline Status ChargeScanBlock(const ResourceGovernor* governor, size_t r,
+/// when a limit trips. Charging goes through a per-call shard so parallel
+/// executors fold into the shared governor atomics once per block.
+inline Status ChargeScanBlock(ResourceGovernor::Shard& shard, size_t r,
                               size_t num_rows) {
-  if (governor == nullptr || (r % kGovernorBlockRows) != 0) {
-    return Status::OK();
-  }
-  return governor->ChargeRows(
+  if ((r % kGovernorBlockRows) != 0) return Status::OK();
+  return shard.ChargeRows(
       std::min<uint64_t>(kGovernorBlockRows, num_rows - r));
 }
 
@@ -33,11 +32,11 @@ Result<std::optional<double>> CountWithPredicates(
     const JoinedRelation& rel, const ColumnRef& agg_column, bool star,
     const std::vector<Predicate>& predicates,
     const std::vector<int>& pred_handles, int agg_handle, ScanStats* stats,
-    const ResourceGovernor* governor) {
+    ResourceGovernor::Shard& shard) {
   int64_t count = 0;
   const size_t num_rows = rel.num_rows();
   for (size_t r = 0; r < num_rows; ++r) {
-    Status charge = ChargeScanBlock(governor, r, num_rows);
+    Status charge = ChargeScanBlock(shard, r, num_rows);
     if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < predicates.size(); ++p) {
@@ -106,6 +105,10 @@ Result<std::optional<double>> QueryExecutor::Execute(
   Status valid = Validate(query);
   if (!valid.ok()) return valid;
 
+  // One charge shard per Execute call: callers run at most one Execute per
+  // thread at a time, so this doubles as the per-thread shard.
+  ResourceGovernor::Shard shard(governor);
+
   auto tables = query.ReferencedTables();
   auto rel_result = JoinedRelation::Build(*db_, tables);
   if (!rel_result.ok()) return rel_result.status();
@@ -130,7 +133,7 @@ Result<std::optional<double>> QueryExecutor::Execute(
       query.fn == AggFn::kConditionalProbability) {
     auto num = CountWithPredicates(rel, query.agg_column, query.is_star(),
                                    query.predicates, pred_handles, agg_handle,
-                                   stats, governor);
+                                   stats, shard);
     if (!num.ok()) return num.status();
 
     std::vector<Predicate> denom_preds;
@@ -153,7 +156,7 @@ Result<std::optional<double>> QueryExecutor::Execute(
     }
     auto den = CountWithPredicates(rel, query.agg_column, query.is_star(),
                                    denom_preds, denom_handles, agg_handle,
-                                   stats, governor);
+                                   stats, shard);
     if (!den.ok()) return den.status();
     double d = den->value_or(0.0);
     if (d == 0.0) return std::optional<double>(std::nullopt);
@@ -164,7 +167,7 @@ Result<std::optional<double>> QueryExecutor::Execute(
   const Value star_placeholder(static_cast<int64_t>(1));
   const size_t num_rows = rel.num_rows();
   for (size_t r = 0; r < num_rows; ++r) {
-    Status charge = ChargeScanBlock(governor, r, num_rows);
+    Status charge = ChargeScanBlock(shard, r, num_rows);
     if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < query.predicates.size(); ++p) {

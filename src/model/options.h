@@ -69,6 +69,12 @@ struct ModelOptions {
   /// aggregation function — §7.3). Calibrated so the evaluation-result
   /// factor (pT odds) outweighs keyword sharpness, as in the paper.
   double score_smoothing = 0.10;
+
+  /// Threads for per-claim candidate work and cube materialization.
+  /// 0 = std::thread::hardware_concurrency(); 1 = fully serial (no pool).
+  /// Results are bit-identical for any value (see DESIGN.md "Concurrency
+  /// contract"), so this is purely a throughput knob.
+  size_t num_threads = 0;
 };
 
 }  // namespace model

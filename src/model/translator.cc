@@ -162,6 +162,21 @@ TranslationResult Translator::Translate(
   // by the caller and shared with the evaluation engine.
   const ResourceGovernor* governor = engine->governor();
 
+  // Per-claim work (space construction, candidate selection, final
+  // distributions) spreads over the engine's thread pool. Each parallel
+  // region writes only its own claim's slot; anything order-sensitive
+  // (stats, priors, batch assembly) stays serial, so the output is
+  // bit-identical for any thread count.
+  ThreadPool* pool = engine->thread_pool();
+  auto run_per_claim = [pool](size_t count,
+                              const std::function<void(size_t)>& body) {
+    if (pool != nullptr && pool->num_threads() > 1 && count > 1) {
+      pool->ParallelFor(0, count, body);
+    } else {
+      for (size_t i = 0; i < count; ++i) body(i);
+    }
+  };
+
   auto is_pinned = [&](size_t i) {
     return pinned != nullptr && i < pinned->size() && (*pinned)[i].has_value();
   };
@@ -185,13 +200,16 @@ TranslationResult Translator::Translate(
     }
   }
 
-  // Build one candidate space per claim.
-  std::vector<CandidateSpace> spaces;
-  spaces.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    spaces.push_back(
+  // Build one candidate space per claim (independent per-claim work over
+  // read-only db/catalog state; the catalog warmed every column dictionary
+  // when it was built).
+  std::vector<std::optional<CandidateSpace>> spaces(n);
+  run_per_claim(n, [&](size_t i) {
+    spaces[i].emplace(
         CandidateSpace::Build(*db_, *catalog_, relevance[i], options_));
-    result.total_candidates += spaces.back().TotalCandidates();
+  });
+  for (size_t i = 0; i < n; ++i) {
+    result.total_candidates += spaces[i]->TotalCandidates();
   }
 
   // Evaluation outcomes per claim, keyed by candidate triple.
@@ -217,16 +235,18 @@ TranslationResult Translator::Translate(
     ++result.em_iterations;
 
     // E-step part 1: per-claim candidate selection under current priors.
-    for (size_t i = 0; i < n; ++i) {
+    // Claims are independent here (priors are read-only until the M-step),
+    // so the scoring/ranking work fans out per claim.
+    run_per_claim(n, [&](size_t i) {
       if (is_pinned(i)) {
         selections[i].clear();  // fixed translation, nothing to explore
-        continue;
+        return;
       }
       PriorFactors factors =
-          ComputePriorFactors(spaces[i], priors, *catalog_);
-      selections[i] = SelectTop(spaces[i], factors, options_.use_priors,
+          ComputePriorFactors(*spaces[i], priors, *catalog_);
+      selections[i] = SelectTop(*spaces[i], factors, options_.use_priors,
                                 scope.eval_per_claim);
-    }
+    });
 
     // RefineByEval: evaluate all newly selected candidates in one batch so
     // the engine can merge across claims (§6.2).
@@ -236,7 +256,7 @@ TranslationResult Translator::Translate(
       for (const ScoredTriple& t : selections[i]) {
         uint64_t key = TripleKey(t.f, t.c, t.s);
         if (outcomes[i].count(key) > 0) continue;
-        batch.push_back(spaces[i].Materialize(t.f, t.c, t.s, *catalog_));
+        batch.push_back(spaces[i]->Materialize(t.f, t.c, t.s, *catalog_));
         batch_owner.emplace_back(i, key);
         outcomes[i][key] = EvalOutcome{};  // reserve to avoid dup enqueues
       }
@@ -294,7 +314,7 @@ TranslationResult Translator::Translate(
       }
       if (best != nullptr) {
         ml_queries.push_back(
-            spaces[i].Materialize(best->f, best->c, best->s, *catalog_));
+            spaces[i]->Materialize(best->f, best->c, best->s, *catalog_));
       }
     }
     Priors next = Priors::FromMlQueries(ml_queries, *catalog_);
@@ -329,11 +349,13 @@ TranslationResult Translator::Translate(
     }
   }
 
-  // Final distributions from the last selection round.
+  // Final distributions from the last selection round. Per-claim and
+  // independent; each claim's posterior sum runs in its own fixed
+  // selection order, so floating-point results do not depend on threads.
   result.distributions.resize(n);
-  for (size_t i = 0; i < n; ++i) {
+  run_per_claim(n, [&](size_t i) {
     ClaimDistribution& dist = result.distributions[i];
-    dist.total_candidates = spaces[i].TotalCandidates();
+    dist.total_candidates = spaces[i]->TotalCandidates();
     if (is_pinned(i)) {
       // User-confirmed translation: a point mass.
       RankedCandidate cand;
@@ -342,15 +364,15 @@ TranslationResult Translator::Translate(
       cand.result = pinned_outcomes[i].result;
       cand.matches = pinned_outcomes[i].matches;
       dist.ranked.push_back(std::move(cand));
-      continue;
+      return;
     }
-    PriorFactors factors = ComputePriorFactors(spaces[i], priors, *catalog_);
+    PriorFactors factors = ComputePriorFactors(*spaces[i], priors, *catalog_);
     double total = 0;
     for (const ScoredTriple& t : selections[i]) {
       const EvalOutcome& o = outcomes[i].at(TripleKey(t.f, t.c, t.s));
       RankedCandidate cand;
-      cand.query = spaces[i].Materialize(t.f, t.c, t.s, *catalog_);
-      cand.keyword_score = spaces[i].KeywordScore(t.f, t.c, t.s);
+      cand.query = spaces[i]->Materialize(t.f, t.c, t.s, *catalog_);
+      cand.keyword_score = spaces[i]->KeywordScore(t.f, t.c, t.s);
       cand.prior = factors.of(t.f, t.c, t.s);
       cand.result = o.result;
       cand.matches = o.matches;
@@ -370,7 +392,7 @@ TranslationResult Translator::Translate(
               [](const RankedCandidate& a, const RankedCandidate& b) {
                 return a.probability > b.probability;
               });
-  }
+  });
   return result;
 }
 

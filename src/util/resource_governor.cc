@@ -5,13 +5,13 @@
 namespace aggchecker {
 
 void ResourceGovernor::Reset() {
-  rows_ = 0;
-  rows_since_check_ = 0;
-  cube_groups_ = 0;
-  checkpoints_ = 0;
-  tripped_ = false;
+  rows_.store(0, std::memory_order_relaxed);
+  rows_since_check_.store(0, std::memory_order_relaxed);
+  cube_groups_.store(0, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
   stop_code_ = StatusCode::kOk;
   stop_message_.clear();
+  tripped_.store(false, std::memory_order_release);
   enforce_deadline_ = limits_.deadline_seconds > 0.0;
   if (enforce_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +
@@ -20,33 +20,41 @@ void ResourceGovernor::Reset() {
   }
 }
 
-Status ResourceGovernor::Inspect() const {
-  ++checkpoints_;
-  if (limits_.max_row_scans != 0 && rows_ >= limits_.max_row_scans) {
-    tripped_ = true;
-    stop_code_ = StatusCode::kBudgetExhausted;
-    stop_message_ = strings::Format(
-        "row-scan budget exhausted (%llu of %llu rows scanned)",
-        static_cast<unsigned long long>(rows_),
-        static_cast<unsigned long long>(limits_.max_row_scans));
-    return StopStatus();
+Status ResourceGovernor::Trip(StatusCode code, std::string message) const {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    // First trip wins: concurrent workers crossing different limits in the
+    // same instant all stop, but the report names one stable stop reason.
+    stop_code_ = code;
+    stop_message_ = std::move(message);
+    tripped_.store(true, std::memory_order_release);
   }
-  if (limits_.max_cube_groups != 0 &&
-      cube_groups_ >= limits_.max_cube_groups) {
-    tripped_ = true;
-    stop_code_ = StatusCode::kBudgetExhausted;
-    stop_message_ = strings::Format(
-        "cube-group budget exhausted (%llu of %llu groups materialized)",
-        static_cast<unsigned long long>(cube_groups_),
-        static_cast<unsigned long long>(limits_.max_cube_groups));
-    return StopStatus();
+  return StopStatus();
+}
+
+Status ResourceGovernor::Inspect() const {
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t rows = rows_.load(std::memory_order_relaxed);
+  if (limits_.max_row_scans != 0 && rows >= limits_.max_row_scans) {
+    return Trip(StatusCode::kBudgetExhausted,
+                strings::Format(
+                    "row-scan budget exhausted (%llu of %llu rows scanned)",
+                    static_cast<unsigned long long>(rows),
+                    static_cast<unsigned long long>(limits_.max_row_scans)));
+  }
+  const uint64_t groups = cube_groups_.load(std::memory_order_relaxed);
+  if (limits_.max_cube_groups != 0 && groups >= limits_.max_cube_groups) {
+    return Trip(
+        StatusCode::kBudgetExhausted,
+        strings::Format(
+            "cube-group budget exhausted (%llu of %llu groups materialized)",
+            static_cast<unsigned long long>(groups),
+            static_cast<unsigned long long>(limits_.max_cube_groups)));
   }
   if (enforce_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
-    tripped_ = true;
-    stop_code_ = StatusCode::kDeadlineExceeded;
-    stop_message_ = strings::Format("deadline of %.3fs exceeded",
-                                    limits_.deadline_seconds);
-    return StopStatus();
+    return Trip(StatusCode::kDeadlineExceeded,
+                strings::Format("deadline of %.3fs exceeded",
+                                limits_.deadline_seconds));
   }
   return Status::OK();
 }

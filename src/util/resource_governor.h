@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -31,7 +33,10 @@ struct GovernorLimits {
 struct GovernorUsage {
   uint64_t rows_charged = 0;        ///< rows scanned under this governor
   uint64_t cube_groups_charged = 0; ///< cube groups materialized
-  uint64_t checkpoints = 0;         ///< budget/deadline inspections performed
+  /// Budget/deadline inspections performed. Diagnostic only: unlike the
+  /// charge totals, the checkpoint count depends on how charges interleave
+  /// across threads and is NOT identical across thread counts.
+  uint64_t checkpoints = 0;
   bool exhausted = false;           ///< a limit tripped during the run
   /// kOk, or the code that stopped the run (kDeadlineExceeded /
   /// kBudgetExhausted).
@@ -54,13 +59,24 @@ struct GovernorUsage {
 /// overhead on the unbounded path unmeasurable (see micro_engine_bench's
 /// *Governed variants).
 ///
-/// Counters are mutable so a `const ResourceGovernor*` can be plumbed through
-/// const evaluation paths. The governor is NOT thread-safe: one governor per
-/// single-threaded checking run (the whole pipeline is single-threaded).
+/// Thread safety: charge/inspect entry points are safe to call from any
+/// number of worker threads concurrently. Counters are relaxed atomics; the
+/// sticky trip is first-trip-wins under a mutex, after which the stop
+/// code/message are immutable and may be read lock-free behind the
+/// `tripped_` acquire load. Reset() is NOT safe against concurrent charges —
+/// it may only run between parallel regions (the per-run setup already
+/// guarantees this). Counters are mutable so a `const ResourceGovernor*` can
+/// be plumbed through const evaluation paths.
+///
+/// Worker threads should not charge this object per block — they wrap it in
+/// a ResourceGovernor::Shard (below) so charges fold into the shared atomics
+/// at kCheckIntervalRows granularity.
 class ResourceGovernor {
  public:
   /// Amortized inspection interval, in charged rows. Documented contract:
-  /// a run overshoots its row budget by at most this many rows.
+  /// a single-threaded run overshoots its row budget by at most this many
+  /// rows; with N worker shards the bound is N * kCheckIntervalRows (each
+  /// shard may hold up to one uninspected block).
   static constexpr uint64_t kCheckIntervalRows = 4096;
 
   /// Unlimited governor: counts usage but never trips.
@@ -69,64 +85,136 @@ class ResourceGovernor {
     Reset();
   }
 
+  /// \brief Per-thread (strictly: per-evaluation-call) charge accumulator.
+  ///
+  /// Scan loops charge the shard; the shard folds rows into the parent's
+  /// atomics once kCheckIntervalRows rows accumulate (and flushes the
+  /// remainder on destruction, so totals are exact regardless of thread
+  /// count). Cube-group charges pass through immediately — group creation
+  /// is orders of magnitude rarer than row scans and is the structural
+  /// point where cube explosion must be caught early. Between folds the
+  /// shard still observes the parent's sticky trip, so cancellation
+  /// latency stays at one block.
+  ///
+  /// A shard wrapping a null governor charges nothing and never trips,
+  /// which lets call sites drop their `if (governor)` guards.
+  class Shard {
+   public:
+    explicit Shard(const ResourceGovernor* governor) : governor_(governor) {}
+    ~Shard() { Flush(); }
+
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    Status ChargeRows(uint64_t n) {
+      if (governor_ == nullptr) return Status::OK();
+      pending_rows_ += n;
+      if (pending_rows_ >= ResourceGovernor::kCheckIntervalRows) {
+        uint64_t flushed = pending_rows_;
+        pending_rows_ = 0;
+        return governor_->ChargeRows(flushed);
+      }
+      return governor_->TripStatus();
+    }
+
+    Status ChargeCubeGroups(uint64_t n) {
+      if (governor_ == nullptr) return Status::OK();
+      Status flush = Flush();  // keep parent row totals current at trip time
+      if (!flush.ok()) return flush;
+      return governor_->ChargeCubeGroups(n);
+    }
+
+    /// Folds any locally accumulated rows into the parent. Returns the
+    /// parent's charge status (OK when nothing was pending and no trip).
+    Status Flush() {
+      if (governor_ == nullptr || pending_rows_ == 0) {
+        return governor_ == nullptr ? Status::OK() : governor_->TripStatus();
+      }
+      uint64_t flushed = pending_rows_;
+      pending_rows_ = 0;
+      return governor_->ChargeRows(flushed);
+    }
+
+   private:
+    const ResourceGovernor* governor_;
+    uint64_t pending_rows_ = 0;
+  };
+
   /// Charges `n` scanned rows. Amortized: inspects limits only when the
   /// rows charged since the last inspection reach kCheckIntervalRows.
   /// Returns non-OK (sticky) once a limit has tripped.
   Status ChargeRows(uint64_t n) const {
-    rows_ += n;
-    if (tripped_) return StopStatus();
-    rows_since_check_ += n;
-    if (rows_since_check_ < kCheckIntervalRows) return Status::OK();
-    rows_since_check_ = 0;
+    rows_.fetch_add(n, std::memory_order_relaxed);
+    if (tripped_.load(std::memory_order_acquire)) return StopStatus();
+    uint64_t since =
+        rows_since_check_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (since < kCheckIntervalRows) return Status::OK();
+    rows_since_check_.store(0, std::memory_order_relaxed);
     return Inspect();
   }
 
   /// Charges `n` materialized cube groups; inspected immediately (group
   /// creation is orders of magnitude rarer than row scans).
   Status ChargeCubeGroups(uint64_t n) const {
-    cube_groups_ += n;
-    if (tripped_) return StopStatus();
+    cube_groups_.fetch_add(n, std::memory_order_relaxed);
+    if (tripped_.load(std::memory_order_acquire)) return StopStatus();
     return Inspect();
   }
 
   /// Forced inspection of all limits (deadline included). Structural
   /// call sites — per EM iteration, per batch — use this.
   Status CheckPoint() const {
-    if (tripped_) return StopStatus();
+    if (tripped_.load(std::memory_order_acquire)) return StopStatus();
     return Inspect();
   }
 
+  /// The sticky stop Status if a limit has tripped, OK otherwise. Cheaper
+  /// than CheckPoint (no inspection) — shards poll this between folds.
+  Status TripStatus() const {
+    if (tripped_.load(std::memory_order_acquire)) return StopStatus();
+    return Status::OK();
+  }
+
   /// True once any limit has tripped. Sticky until Reset().
-  bool exhausted() const { return tripped_; }
+  bool exhausted() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
 
   const GovernorLimits& limits() const { return limits_; }
 
   GovernorUsage usage() const {
     GovernorUsage u;
-    u.rows_charged = rows_;
-    u.cube_groups_charged = cube_groups_;
-    u.checkpoints = checkpoints_;
-    u.exhausted = tripped_;
-    u.stop_code = stop_code_;
+    u.rows_charged = rows_.load(std::memory_order_relaxed);
+    u.cube_groups_charged = cube_groups_.load(std::memory_order_relaxed);
+    u.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    u.exhausted = tripped_.load(std::memory_order_acquire);
+    u.stop_code = u.exhausted ? stop_code_ : StatusCode::kOk;
     return u;
   }
 
   /// Clears counters and the tripped state and restarts the deadline clock.
+  /// Must not race with concurrent charges.
   void Reset();
 
  private:
   Status Inspect() const;
+  /// First-trip-wins: records (code, message) once; later trips keep the
+  /// original stop reason. Only called while tripping.
+  Status Trip(StatusCode code, std::string message) const;
+  /// Only valid after `tripped_` reads true (stop fields are immutable
+  /// from that point on, published by the release store in Trip).
   Status StopStatus() const { return Status(stop_code_, stop_message_); }
 
   GovernorLimits limits_;
   std::chrono::steady_clock::time_point deadline_{};
   bool enforce_deadline_ = false;
 
-  mutable uint64_t rows_ = 0;
-  mutable uint64_t rows_since_check_ = 0;
-  mutable uint64_t cube_groups_ = 0;
-  mutable uint64_t checkpoints_ = 0;
-  mutable bool tripped_ = false;
+  mutable std::atomic<uint64_t> rows_{0};
+  mutable std::atomic<uint64_t> rows_since_check_{0};
+  mutable std::atomic<uint64_t> cube_groups_{0};
+  mutable std::atomic<uint64_t> checkpoints_{0};
+  mutable std::atomic<bool> tripped_{false};
+  mutable std::mutex trip_mu_;
   mutable StatusCode stop_code_ = StatusCode::kOk;
   mutable std::string stop_message_;
 };
