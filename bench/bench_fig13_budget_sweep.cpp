@@ -35,6 +35,29 @@ int main() {
                 result.reports.size());
   }
 
+  std::printf("--- middle: governor modeled-memory budget ---\n");
+  std::printf("%10s %10s %8s %8s %10s %8s %10s\n", "bytes", "time", "top-1",
+              "top-10", "queries", "partial", "exhausted");
+  for (uint64_t budget :
+       {uint64_t{1} << 12, uint64_t{1} << 16, uint64_t{1} << 20,
+        uint64_t{1} << 24, uint64_t{0}}) {
+    core::CheckOptions options;
+    options.governor.max_memory_bytes = budget;
+    auto result = corpus::RunOnCorpus(bench::SharedCorpus(), options);
+    char label[32];
+    if (budget == 0) {
+      std::snprintf(label, sizeof(label), "unlimited");
+    } else {
+      std::snprintf(label, sizeof(label), "%llu",
+                    static_cast<unsigned long long>(budget));
+    }
+    std::printf("%10s %9.2fs %7.1f%% %7.1f%% %10zu %8zu %7zu/%zu\n", label,
+                result.total_seconds, result.coverage.TopK(1),
+                result.coverage.TopK(10), result.queries_evaluated,
+                result.num_partial, result.cases_exhausted,
+                result.reports.size());
+  }
+
   std::printf("--- right: aggregation columns considered ---\n");
   std::printf("%8s %10s %8s %8s %12s\n", "#aggs", "time", "top-1", "top-10",
               "queries");

@@ -187,6 +187,146 @@ void BM_CubeExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_CubeExecution);
 
+// --- Cube-kernel micro benches: scalar oracle vs vectorized pipeline ----
+//
+// A synthetic star-schema fact table large enough that per-row dispatch
+// cost dominates: four low-cardinality dimension columns (with NULLs) and
+// two measure columns (long + double, with NULLs). Swept over dimension
+// count d=1..4 and each base aggregate function; the Scalar/Vectorized
+// twins share workloads so their ratio is the speedup of the typed-kernel
+// pipeline over the row-at-a-time Aggregator path (both at num_threads=1;
+// results are bit-identical, asserted by cube_vectorized_diff_test).
+constexpr size_t kKernelRows = 40000;
+
+const db::Database& CubeKernelDatabase() {
+  static const db::Database* kDb = [] {
+    auto* db = new db::Database("cube-kernel-bench");
+    db::Table fact("fact");
+    for (int d = 0; d < 4; ++d) {
+      (void)fact.AddColumn("d" + std::to_string(d),
+                           db::ValueType::kString);
+    }
+    (void)fact.AddColumn("m_long", db::ValueType::kLong);
+    (void)fact.AddColumn("m_double", db::ValueType::kDouble);
+    for (size_t r = 0; r < kKernelRows; ++r) {
+      std::vector<db::Value> row;
+      for (int d = 0; d < 4; ++d) {
+        // Cardinality 5 per dimension, ~10% NULLs.
+        size_t v = (r * 2654435761u + static_cast<size_t>(d) * 97) % 11;
+        if (v == 10) {
+          row.emplace_back();
+        } else {
+          row.emplace_back("v" + std::to_string(v % 5));
+        }
+      }
+      if (r % 13 == 7) {
+        row.emplace_back();
+      } else {
+        row.emplace_back(static_cast<int64_t>(r % 257));
+      }
+      if (r % 17 == 3) {
+        row.emplace_back();
+      } else {
+        row.emplace_back(0.5 * static_cast<double>(r % 1001) - 250.0);
+      }
+      (void)fact.AddRow(std::move(row));
+    }
+    (void)db->AddTable(std::move(fact));
+    return db;
+  }();
+  return *kDb;
+}
+
+struct CubeKernelWorkload {
+  std::vector<db::ColumnRef> dims;
+  std::vector<std::vector<db::Value>> literals;
+  std::vector<db::CubeAggregate> aggs;
+};
+
+CubeKernelWorkload MakeKernelWorkload(int64_t fn_index, int64_t num_dims) {
+  const db::Database& database = CubeKernelDatabase();
+  const db::Table& fact = *database.FindTable("fact");
+  CubeKernelWorkload workload;
+  for (int64_t d = 0; d < num_dims; ++d) {
+    const db::Column& col =
+        *fact.FindColumn("d" + std::to_string(d));
+    workload.dims.push_back({"fact", col.name()});
+    workload.literals.push_back(col.DistinctValues());
+  }
+  // fn_index: 0=Count(*), 1=CountDistinct, 2=Sum, 3=Avg, 4=Min, 5=Max;
+  // 6 = the multi-aggregate workload (all five functions at once) that the
+  // perf-smoke gate and BENCH_micro_engine.json headline track.
+  auto agg = [](db::AggFn fn, const char* column) {
+    db::CubeAggregate a;
+    a.fn = fn;
+    if (column != nullptr) a.column = {"fact", column};
+    return a;
+  };
+  switch (fn_index) {
+    case 0:
+      workload.aggs = {agg(db::AggFn::kCount, nullptr)};
+      break;
+    case 1:
+      workload.aggs = {agg(db::AggFn::kCountDistinct, "m_long")};
+      break;
+    case 2:
+      workload.aggs = {agg(db::AggFn::kSum, "m_double")};
+      break;
+    case 3:
+      workload.aggs = {agg(db::AggFn::kAvg, "m_double")};
+      break;
+    case 4:
+      workload.aggs = {agg(db::AggFn::kMin, "m_double")};
+      break;
+    case 5:
+      workload.aggs = {agg(db::AggFn::kMax, "m_double")};
+      break;
+    default:
+      workload.aggs = {agg(db::AggFn::kCount, nullptr),
+                       agg(db::AggFn::kCountDistinct, "m_long"),
+                       agg(db::AggFn::kSum, "m_double"),
+                       agg(db::AggFn::kAvg, "m_double"),
+                       agg(db::AggFn::kMax, "m_double")};
+      break;
+  }
+  return workload;
+}
+
+void RunCubeKernelBench(benchmark::State& state, db::CubeExecMode mode) {
+  const db::Database& database = CubeKernelDatabase();
+  CubeKernelWorkload workload =
+      MakeKernelWorkload(state.range(0), state.range(1));
+  db::CubeExecOptions options;
+  options.mode = mode;
+  for (auto _ : state) {
+    auto cube =
+        db::ExecuteCube(database, workload.dims, workload.literals,
+                        workload.aggs, nullptr, nullptr, options);
+    benchmark::DoNotOptimize(cube);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelRows));
+}
+
+void BM_CubeKernelScalar(benchmark::State& state) {
+  RunCubeKernelBench(state, db::CubeExecMode::kScalarOracle);
+}
+void BM_CubeKernelVectorized(benchmark::State& state) {
+  RunCubeKernelBench(state, db::CubeExecMode::kVectorized);
+}
+
+// Per-function sweep at d=2, plus the dimension sweep d=1..4 on the
+// multi-aggregate workload (fn index 6). ArgNames render in the JSON as
+// fn:<index>/d:<dims>.
+void RegisterCubeKernelArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"fn", "d"});
+  for (int64_t fn = 0; fn <= 5; ++fn) bench->Args({fn, 2});
+  for (int64_t d = 1; d <= 4; ++d) bench->Args({6, d});
+  bench->Unit(benchmark::kMicrosecond);
+}
+BENCHMARK(BM_CubeKernelScalar)->Apply(RegisterCubeKernelArgs);
+BENCHMARK(BM_CubeKernelVectorized)->Apply(RegisterCubeKernelArgs);
+
 void BM_JoinMaterialization(benchmark::State& state) {
   // Two-table PK-FK join at corpus-like sizes.
   static const db::Database* kDb = [] {

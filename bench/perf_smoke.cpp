@@ -1,0 +1,178 @@
+// Perf smoke gate (scripts/check.sh --perf-smoke): the vectorized cube
+// pipeline must beat the scalar oracle on the headline workload — a d=2
+// multi-aggregate cube at num_threads=1 — and must agree with it
+// bit-for-bit. Exits non-zero if the vectorized path is slower or the
+// results diverge, so a regression that silently de-vectorizes the cube
+// executor (or breaks its semantics) fails CI even before the full
+// micro-bench refresh runs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "db/cube.h"
+#include "db/database.h"
+
+namespace aggchecker {
+namespace {
+
+constexpr size_t kRows = 40000;
+constexpr int kReps = 5;
+
+db::Database MakeDatabase() {
+  db::Database database("perf-smoke");
+  db::Table fact("fact");
+  (void)fact.AddColumn("d0", db::ValueType::kString);
+  (void)fact.AddColumn("d1", db::ValueType::kString);
+  (void)fact.AddColumn("m_long", db::ValueType::kLong);
+  (void)fact.AddColumn("m_double", db::ValueType::kDouble);
+  for (size_t r = 0; r < kRows; ++r) {
+    std::vector<db::Value> row;
+    for (int d = 0; d < 2; ++d) {
+      size_t v = (r * 2654435761u + static_cast<size_t>(d) * 97) % 11;
+      if (v == 10) {
+        row.emplace_back();
+      } else {
+        row.emplace_back("v" + std::to_string(v % 5));
+      }
+    }
+    if (r % 13 == 7) {
+      row.emplace_back();
+    } else {
+      row.emplace_back(static_cast<int64_t>(r % 257));
+    }
+    if (r % 17 == 3) {
+      row.emplace_back();
+    } else {
+      row.emplace_back(0.5 * static_cast<double>(r % 1001) - 250.0);
+    }
+    (void)fact.AddRow(std::move(row));
+  }
+  (void)database.AddTable(std::move(fact));
+  return database;
+}
+
+struct Workload {
+  std::vector<db::ColumnRef> dims;
+  std::vector<std::vector<db::Value>> literals;
+  std::vector<db::CubeAggregate> aggs;
+};
+
+Workload MakeWorkload(const db::Database& database) {
+  Workload w;
+  const db::Table& fact = *database.FindTable("fact");
+  for (const char* name : {"d0", "d1"}) {
+    const db::Column& col = *fact.FindColumn(name);
+    w.dims.push_back({"fact", col.name()});
+    w.literals.push_back(col.DistinctValues());
+  }
+  auto agg = [](db::AggFn fn, const char* column) {
+    db::CubeAggregate a;
+    a.fn = fn;
+    if (column != nullptr) a.column = {"fact", column};
+    return a;
+  };
+  w.aggs = {agg(db::AggFn::kCount, nullptr),
+            agg(db::AggFn::kCountDistinct, "m_long"),
+            agg(db::AggFn::kSum, "m_double"),
+            agg(db::AggFn::kAvg, "m_double"),
+            agg(db::AggFn::kMax, "m_double")};
+  return w;
+}
+
+/// Best-of-kReps wall time for one mode; the materialized cube of the last
+/// rep is returned through `out` for the equivalence check.
+double TimeMode(const db::Database& database, const Workload& w,
+                db::CubeExecMode mode,
+                std::shared_ptr<db::CubeResult>* out) {
+  db::CubeExecOptions options;
+  options.mode = mode;
+  double best = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    auto cube = db::ExecuteCube(database, w.dims, w.literals, w.aggs,
+                                nullptr, nullptr, options);
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!cube.ok()) {
+      std::fprintf(stderr, "perf_smoke: %s execution failed: %s\n",
+                   db::CubeExecModeName(mode),
+                   cube.status().ToString().c_str());
+      std::exit(2);
+    }
+    *out = *cube;
+    if (elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+bool BitEqual(const std::optional<double>& a,
+              const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return std::memcmp(&*a, &*b, sizeof(double)) == 0;
+}
+
+/// Every enumerable cell must agree bit-for-bit between the two backends.
+bool CubesIdentical(const db::CubeResult& lhs, const db::CubeResult& rhs) {
+  if (lhs.num_cells() != rhs.num_cells()) return false;
+  std::vector<std::vector<int16_t>> axis(lhs.dims().size());
+  for (size_t d = 0; d < axis.size(); ++d) {
+    axis[d] = {db::kAllBucket, db::kDefaultBucket};
+    for (size_t i = 0; i < lhs.literals()[d].size(); ++i) {
+      axis[d].push_back(static_cast<int16_t>(i));
+    }
+  }
+  std::vector<size_t> pos(axis.size(), 0);
+  std::vector<int16_t> key(axis.size(), 0);
+  while (true) {
+    for (size_t d = 0; d < axis.size(); ++d) key[d] = axis[d][pos[d]];
+    for (size_t a = 0; a < lhs.aggregates().size(); ++a) {
+      if (!BitEqual(lhs.Lookup(key, a), rhs.Lookup(key, a))) return false;
+    }
+    size_t d = 0;
+    while (d < axis.size() && ++pos[d] == axis[d].size()) pos[d++] = 0;
+    if (d == axis.size()) break;
+  }
+  return true;
+}
+
+int RunSmoke() {
+  db::Database database = MakeDatabase();
+  Workload workload = MakeWorkload(database);
+  std::shared_ptr<db::CubeResult> scalar_cube, vectorized_cube;
+  // Warm lazy column representations outside the timed region for both
+  // modes alike (the engine pre-warms them in its plan phase too).
+  double scalar = TimeMode(database, workload,
+                           db::CubeExecMode::kScalarOracle, &scalar_cube);
+  double vectorized = TimeMode(database, workload,
+                               db::CubeExecMode::kVectorized,
+                               &vectorized_cube);
+  double speedup = scalar / vectorized;
+  std::printf("perf_smoke: scalar=%.3fms vectorized=%.3fms speedup=%.2fx "
+              "(d=2, 5 aggregates, %zu rows, 1 thread)\n",
+              scalar * 1e3, vectorized * 1e3, speedup,
+              kRows);
+  if (!CubesIdentical(*scalar_cube, *vectorized_cube)) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — backends disagree on cube cells\n");
+    return 1;
+  }
+  if (vectorized >= scalar) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — vectorized cube execution is not "
+                 "faster than the scalar oracle (%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("perf_smoke: OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aggchecker
+
+int main() { return aggchecker::RunSmoke(); }

@@ -7,10 +7,15 @@
 # -fno-sanitize-recover, so a report aborts the offending test). Run from
 # the repository root:
 #
-#   scripts/check.sh            # all three presets
+#   scripts/check.sh            # all presets + perf smoke
 #   scripts/check.sh default    # just the Release preset
 #   scripts/check.sh asan-ubsan # just the sanitizer preset
 #   scripts/check.sh tsan       # just the TSan concurrency subset
+#   scripts/check.sh perf-smoke # just the cube perf regression gate
+#
+# The perf-smoke step builds the Release preset's `perf_smoke` binary and
+# fails if vectorized cube execution is not faster than the scalar oracle
+# (or if the two backends disagree on any cube cell).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,10 +23,18 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}")
 if [[ $# -eq 0 ]]; then
-  presets=(default asan-ubsan tsan)
+  presets=(default asan-ubsan tsan perf-smoke)
 fi
 
 for preset in "${presets[@]}"; do
+  if [[ "$preset" == "perf-smoke" ]]; then
+    echo "==> [perf-smoke] build"
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$jobs" --target perf_smoke
+    echo "==> [perf-smoke] run"
+    ./build/bench/perf_smoke
+    continue
+  fi
   echo "==> [$preset] configure"
   cmake --preset "$preset"
   echo "==> [$preset] build"

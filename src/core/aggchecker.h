@@ -23,6 +23,10 @@ struct CheckOptions {
   claims::KeywordContextOptions context;
   model::ModelOptions model;
   db::EvalStrategy strategy = db::EvalStrategy::kMergedCached;
+  /// Cube materialization backend. The vectorized default and the scalar
+  /// oracle produce bit-identical reports; the oracle exists for
+  /// differential testing and as the perf-smoke baseline.
+  db::CubeExecMode cube_exec = db::CubeExecMode::kVectorized;
   fragments::CatalogOptions catalog;
   /// Candidates kept per claim in the report (the UI shows top-5/top-10).
   size_t report_top_k = 10;

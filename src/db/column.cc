@@ -6,7 +6,8 @@ namespace db {
 void Column::Append(Value v) {
   if (v.is_null()) ++null_count_;
   values_.push_back(std::move(v));
-  dict_built_ = false;
+  dict_built_.store(false, std::memory_order_release);
+  flat_built_.store(false, std::memory_order_release);
 }
 
 void Column::BuildDictionary() const {
@@ -24,21 +25,68 @@ void Column::BuildDictionary() const {
     if (inserted) distinct_.push_back(v);
     codes_.push_back(it->second);
   }
-  dict_built_ = true;
+}
+
+void Column::EnsureDictionary() const {
+  if (dict_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (dict_built_.load(std::memory_order_relaxed)) return;
+  BuildDictionary();
+  dict_built_.store(true, std::memory_order_release);
+}
+
+void Column::BuildFlat() const {
+  flat_longs_.clear();
+  flat_doubles_.clear();
+  flat_nulls_.clear();
+  flat_nulls_.reserve(values_.size());
+  const bool numeric = is_numeric();
+  if (type_ == ValueType::kLong) flat_longs_.reserve(values_.size());
+  if (numeric) flat_doubles_.reserve(values_.size());
+  for (const Value& v : values_) {
+    flat_nulls_.push_back(v.is_null() ? 1 : 0);
+    // NULL slots hold 0; kernels must consult `nulls` before reading.
+    // `doubles` is materialized for every numeric column via ToDouble so
+    // kernels see bit-for-bit what the row-at-a-time Aggregator sees,
+    // including long->double coercion in mixed DOUBLE columns.
+    if (numeric) flat_doubles_.push_back(v.is_null() ? 0.0 : v.ToDouble());
+    if (type_ == ValueType::kLong) {
+      flat_longs_.push_back(
+          v.is_null() || v.type() != ValueType::kLong ? 0 : v.AsLong());
+    }
+  }
+  flat_view_.longs =
+      type_ == ValueType::kLong ? flat_longs_.data() : nullptr;
+  flat_view_.doubles = numeric ? flat_doubles_.data() : nullptr;
+  flat_view_.nulls = flat_nulls_.data();
+  flat_view_.size = values_.size();
+}
+
+void Column::EnsureFlat() const {
+  if (flat_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (flat_built_.load(std::memory_order_relaxed)) return;
+  BuildFlat();
+  flat_built_.store(true, std::memory_order_release);
 }
 
 const std::vector<int32_t>& Column::Codes() const {
-  if (!dict_built_) BuildDictionary();
+  EnsureDictionary();
   return codes_;
 }
 
 const std::vector<Value>& Column::DistinctValues() const {
-  if (!dict_built_) BuildDictionary();
+  EnsureDictionary();
   return distinct_;
 }
 
+const Column::FlatView& Column::Flat() const {
+  EnsureFlat();
+  return flat_view_;
+}
+
 int Column::DistinctIndexOf(const Value& v) const {
-  if (!dict_built_) BuildDictionary();
+  EnsureDictionary();
   auto it = distinct_index_.find(v);
   return it == distinct_index_.end() ? -1 : it->second;
 }

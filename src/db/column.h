@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,13 +15,41 @@ namespace db {
 /// \brief A named, typed column of values.
 ///
 /// The declared type is the most specific type covering all non-null cells
-/// (LONG ⊂ DOUBLE; anything mixed with strings becomes STRING). A lazily
-/// built distinct-value dictionary supports query-fragment generation and
-/// cube bucketing.
+/// (LONG ⊂ DOUBLE; anything mixed with strings becomes STRING). Two lazily
+/// built derived representations back the evaluation engine:
+///  - a distinct-value dictionary (query-fragment generation, cube
+///    bucketing, CountDistinct over dictionary codes), and
+///  - a flat typed view (primitive arrays + null flags) that lets the
+///    vectorized aggregation kernels run over `int64_t*`/`double*` instead
+///    of boxed `Value` variants.
+///
+/// Thread safety: `Append` must not race with anything, but every const
+/// accessor — including the *first* call that builds a lazy representation —
+/// is safe to call from any number of threads concurrently (double-checked
+/// atomic flag + mutex). The eval engine still pre-builds what its cube
+/// workers need during the serial plan phase, so workers normally only hit
+/// the fast already-built path; the lock is the safety net for direct API
+/// users.
 class Column {
  public:
+  /// Flat primitive view of the column for typed aggregation kernels.
+  /// Exactly one of `longs`/`doubles` is non-null for numeric columns
+  /// (`doubles` holds `Value::ToDouble()` of every cell, so mixed
+  /// long/double columns coerce exactly like the row-at-a-time path);
+  /// both are null for string columns. `nulls[r]` is 1 for NULL cells —
+  /// always present, whatever the type.
+  struct FlatView {
+    const int64_t* longs = nullptr;
+    const double* doubles = nullptr;
+    const uint8_t* nulls = nullptr;
+    size_t size = 0;
+  };
+
   Column(std::string name, ValueType type)
       : name_(std::move(name)), type_(type) {}
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
 
   const std::string& name() const { return name_; }
   ValueType type() const { return type_; }
@@ -41,24 +72,43 @@ class Column {
 
   /// Dictionary codes per row: Codes()[r] is the DistinctValues() index of
   /// row r's value, or -1 for NULL. Built lazily with the dictionary; used
-  /// by the cube executor to avoid per-row value hashing.
+  /// by the cube executor to avoid per-row value hashing. NaN cells each
+  /// get their own code (NaN != NaN), mirroring how `Value` sets treat
+  /// them as pairwise distinct.
   const std::vector<int32_t>& Codes() const;
+
+  /// Flat typed view (see FlatView). Built lazily and cached; invalidated
+  /// by Append.
+  const FlatView& Flat() const;
 
   /// Number of null cells.
   size_t null_count() const { return null_count_; }
 
  private:
+  void EnsureDictionary() const;
+  void EnsureFlat() const;
   void BuildDictionary() const;
+  void BuildFlat() const;
 
   std::string name_;
   ValueType type_;
   std::vector<Value> values_;
   size_t null_count_ = 0;
 
-  mutable bool dict_built_ = false;
+  // Lazy-build guard: acquire-load on the built flag, first builder takes
+  // the mutex. Append resets the flags (no concurrent readers allowed
+  // during mutation, per the class contract).
+  mutable std::mutex lazy_mu_;
+  mutable std::atomic<bool> dict_built_{false};
   mutable std::vector<Value> distinct_;
   mutable std::unordered_map<Value, int, ValueHasher> distinct_index_;
   mutable std::vector<int32_t> codes_;
+
+  mutable std::atomic<bool> flat_built_{false};
+  mutable std::vector<int64_t> flat_longs_;
+  mutable std::vector<double> flat_doubles_;
+  mutable std::vector<uint8_t> flat_nulls_;
+  mutable FlatView flat_view_;
 };
 
 }  // namespace db

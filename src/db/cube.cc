@@ -1,10 +1,14 @@
 #include "db/cube.h"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <set>
+#include <unordered_set>
 
 #include "db/joined_relation.h"
 #include "util/fault_injection.h"
-#include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace aggchecker {
 namespace db {
@@ -16,8 +20,8 @@ int CubeResult::AggregateIndex(const CubeAggregate& agg) const {
   return -1;
 }
 
-std::optional<double> CubeResult::Lookup(const std::vector<int16_t>& key,
-                                         size_t agg_idx) const {
+std::optional<double> CubeResult::LookupPacked(uint64_t key,
+                                               size_t agg_idx) const {
   auto it = cells_.find(key);
   if (it == cells_.end()) return std::nullopt;
   return it->second[agg_idx];
@@ -29,27 +33,526 @@ int16_t CubeResult::BucketOf(size_t dim, const Value& v) const {
   return it == index.end() ? kDefaultBucket : it->second;
 }
 
-void CubeResult::Set(const std::vector<int16_t>& key, size_t agg_idx,
-                     double value) {
+void CubeResult::SetPacked(uint64_t key, size_t agg_idx, double value) {
   auto& cell = cells_[key];
   if (cell.empty()) cell.resize(aggregates_.size());
   cell[agg_idx] = value;
+}
+
+const char* CubeExecModeName(CubeExecMode mode) {
+  switch (mode) {
+    case CubeExecMode::kVectorized:
+      return "Vectorized";
+    case CubeExecMode::kScalarOracle:
+      return "ScalarOracle";
+  }
+  return "?";
 }
 
 Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const Database& db, const std::vector<ColumnRef>& dims,
     const std::vector<std::vector<Value>>& relevant_literals,
     const std::vector<CubeAggregate>& aggregates, ScanStats* stats,
-    const ResourceGovernor* governor) {
+    const ResourceGovernor* governor, const CubeExecOptions& options) {
   auto result =
       std::make_shared<CubeResult>(dims, relevant_literals, aggregates);
-  Status status = ExecuteCubeInto(db, *result, stats, governor);
+  Status status = ExecuteCubeInto(db, *result, stats, governor, options);
   if (!status.ok()) return status;
   return result;
 }
 
+namespace {
+
+// Modeled memory footprints charged against GovernorLimits::max_memory_bytes.
+// Canonical constants shared by both execution modes (not allocator truth),
+// so memory totals stay mode- and thread-invariant: one combo charges its
+// key + fanout bookkeeping, one group charges key/cell bookkeeping plus one
+// accumulator per aggregate. Transient per-mode scratch (the vectorized
+// row->combo array, per-block hash maps) is not charged — it is bounded by
+// the row-scan budget, not the group/combo structure.
+constexpr uint64_t kModeledComboBytes = 64;
+constexpr uint64_t kModeledGroupBaseBytes = 32;
+constexpr uint64_t kModeledAggStateBytes = 64;
+
+/// Per-dimension fast access: base-column dictionary codes plus a
+/// code -> bucket translation table, so scan loops never hash values.
+struct DimAccess {
+  const std::vector<int32_t>* codes;
+  std::vector<int16_t> code_to_bucket;
+};
+
+/// \brief Row-at-a-time reference path (CubeExecMode::kScalarOracle).
+///
+/// Every row fans out to its 2^d groups through boxed `Value`s and
+/// `Aggregator`s. This is the semantics oracle the vectorized kernels are
+/// differentially tested against, and the baseline the perf-smoke CI step
+/// compares with.
+Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
+                           const std::vector<int>& dim_handles,
+                           const std::vector<int>& agg_handles,
+                           const std::vector<DimAccess>& access,
+                           ResourceGovernor::Shard& shard) {
+  const std::vector<CubeAggregate>& aggregates = result.aggregates();
+  const size_t d = dim_handles.size();
+  const size_t num_subsets = static_cast<size_t>(1) << d;
+  const Value star_placeholder(static_cast<int64_t>(1));
+  const uint64_t combo_bytes =
+      kModeledComboBytes + num_subsets * sizeof(uint32_t);
+  const uint64_t group_bytes =
+      kModeledGroupBaseBytes + aggregates.size() * kModeledAggStateBytes;
+
+  // Group accumulators, addressed by dense index; `group_keys` remembers
+  // each group's packed bucket key for the final result assembly.
+  std::vector<std::vector<Aggregator>> groups;
+  std::vector<uint64_t> group_keys;
+  std::unordered_map<uint64_t, uint32_t> group_index;
+
+  // Rows sharing a bucket combination update the same 2^d groups; cache
+  // the group-id fan-out per combination so the hot loop performs a single
+  // hash lookup per row.
+  std::unordered_map<uint64_t, uint32_t> combo_index;
+  std::vector<std::vector<uint32_t>> combo_groups;
+
+  int16_t row_buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+  int16_t key_buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+
+  const size_t num_rows = rel.num_rows();
+  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
+  for (size_t r = 0; r < num_rows; ++r) {
+    if ((r % kBlock) == 0) {
+      Status charge =
+          shard.ChargeRows(std::min<uint64_t>(kBlock, num_rows - r));
+      if (!charge.ok()) return charge;
+    }
+    for (size_t i = 0; i < d; ++i) {
+      size_t base = rel.base_row(r, dim_handles[i]);
+      int32_t code = (*access[i].codes)[base];
+      row_buckets[i] =
+          code < 0 ? kDefaultBucket : access[i].code_to_bucket[code];
+    }
+    auto [combo_it, combo_new] =
+        combo_index.try_emplace(CubeResult::PackKey(row_buckets, d),
+                                static_cast<uint32_t>(combo_groups.size()));
+    if (combo_new) {
+      // First row with this bucket combination: resolve (creating on
+      // demand) the 2^d groups it contributes to.
+      Status mem = shard.ChargeMemoryBytes(combo_bytes);
+      if (!mem.ok()) return mem;
+      std::vector<uint32_t> fanout;
+      fanout.reserve(num_subsets);
+      uint64_t new_groups = 0;
+      for (size_t mask = 0; mask < num_subsets; ++mask) {
+        for (size_t i = 0; i < d; ++i) {
+          key_buckets[i] = (mask & (1u << i)) ? row_buckets[i] : kAllBucket;
+        }
+        auto [it, inserted] = group_index.try_emplace(
+            CubeResult::PackKey(key_buckets, d),
+            static_cast<uint32_t>(groups.size()));
+        if (inserted) {
+          std::vector<Aggregator> accs;
+          accs.reserve(aggregates.size());
+          for (const CubeAggregate& a : aggregates) accs.emplace_back(a.fn);
+          groups.push_back(std::move(accs));
+          group_keys.push_back(it->first);
+          ++new_groups;
+        }
+        fanout.push_back(it->second);
+      }
+      combo_groups.push_back(std::move(fanout));
+      if (new_groups > 0) {
+        // Group materialization is the cube-explosion lever; charge it
+        // separately from row scans so a budget can bound it directly,
+        // then charge its modeled accumulator bytes.
+        Status charge = shard.ChargeCubeGroups(new_groups);
+        if (!charge.ok()) return charge;
+        Status gmem = shard.ChargeMemoryBytes(new_groups * group_bytes);
+        if (!gmem.ok()) return gmem;
+      }
+    }
+    for (uint32_t group : combo_groups[combo_it->second]) {
+      for (size_t a = 0; a < aggregates.size(); ++a) {
+        const Value& v = aggregates[a].is_star()
+                             ? star_placeholder
+                             : rel.at(r, agg_handles[a]);
+        groups[group][a].Add(v);
+      }
+    }
+  }
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t a = 0; a < groups[g].size(); ++a) {
+      std::optional<double> v = groups[g][a].Finish();
+      if (v.has_value()) result.SetPacked(group_keys[g], a, *v);
+    }
+  }
+  return Status::OK();
+}
+
+/// \brief Three-pass combo-partitioned pipeline (CubeExecMode::kVectorized).
+///
+/// Pass 1 maps every row to a dense bucket-combination ("combo") id using
+/// dictionary codes, block-parallel over fixed kCheckIntervalRows blocks
+/// with a serial block-order fold, so combo ids equal the oracle's
+/// first-appearance order for any thread count. Pass 2 runs one typed
+/// kernel per aggregate over the flat primitive column views. Pass 3
+/// distributes combo accumulators into the 2^d groups per combo.
+///
+/// Bit-exactness with the oracle is by construction, not by tolerance:
+///  - Count / CountDistinct fold integers (order-independent); distinct
+///    values are dictionary codes, whose identity matches `Value` equality
+///    (numeric coercion, per-occurrence NaN codes) exactly.
+///  - Sum / Avg accumulate per *group* in global row order — the identical
+///    floating-point addition sequence the oracle performs — because FP
+///    addition does not commute across a per-combo regrouping.
+///  - Min / Max keep per-combo (best, first row attaining it) and fold with
+///    strict comparisons + earliest-row tie-break, reproducing the oracle's
+///    first-occurrence semantics (observable only through -0.0/+0.0
+///    representation; NaN inputs poison the group to nullopt either way).
+Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
+                         const std::vector<int>& dim_handles,
+                         const std::vector<int>& agg_handles,
+                         const std::vector<DimAccess>& access,
+                         const ResourceGovernor* governor,
+                         ResourceGovernor::Shard& shard, ThreadPool* pool) {
+  const std::vector<CubeAggregate>& aggregates = result.aggregates();
+  const size_t d = dim_handles.size();
+  const size_t num_subsets = static_cast<size_t>(1) << d;
+  const size_t num_rows = rel.num_rows();
+  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
+  const size_t num_blocks = (num_rows + kBlock - 1) / kBlock;
+
+  std::array<const uint32_t*, CubeResult::kMaxDims> dim_idx{};
+  std::array<const int32_t*, CubeResult::kMaxDims> dim_codes{};
+  std::array<const int16_t*, CubeResult::kMaxDims> dim_buckets{};
+  for (size_t i = 0; i < d; ++i) {
+    dim_idx[i] = rel.row_index_data(dim_handles[i]);
+    dim_codes[i] = access[i].codes->data();
+    dim_buckets[i] = access[i].code_to_bucket.data();
+  }
+
+  // ---- Pass 1: row -> combo id ---------------------------------------
+  // Each block assigns block-local ids and records the packed keys in local
+  // first-appearance order; the serial fold below renumbers them globally.
+  std::vector<uint32_t> row_combo(num_rows);
+  std::vector<std::vector<uint64_t>> block_first_keys(num_blocks);
+  auto scan_block = [&](size_t b) -> Status {
+    const size_t begin = b * kBlock;
+    const size_t end = std::min(begin + kBlock, num_rows);
+    // Per-block shard: row charges fold into the shared governor atomics
+    // once per block, the same totals as the oracle's per-block charging.
+    ResourceGovernor::Shard block_shard(governor);
+    Status charge = block_shard.ChargeRows(end - begin);
+    if (!charge.ok()) return charge;
+    std::unordered_map<uint64_t, uint32_t> local;
+    std::vector<uint64_t>& first_keys = block_first_keys[b];
+    int16_t buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+    for (size_t r = begin; r < end; ++r) {
+      for (size_t i = 0; i < d; ++i) {
+        size_t base = dim_idx[i] != nullptr ? dim_idx[i][r] : r;
+        int32_t code = dim_codes[i][base];
+        buckets[i] = code < 0 ? kDefaultBucket : dim_buckets[i][code];
+      }
+      uint64_t key = CubeResult::PackKey(buckets, d);
+      auto [it, fresh] =
+          local.try_emplace(key, static_cast<uint32_t>(first_keys.size()));
+      if (fresh) first_keys.push_back(key);
+      row_combo[r] = it->second;
+    }
+    return Status::OK();
+  };
+  if (pool != nullptr && num_blocks > 1) {
+    Status status = pool->ParallelForStatus(0, num_blocks, scan_block);
+    if (!status.ok()) return status;
+  } else {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      Status status = scan_block(b);
+      if (!status.ok()) return status;
+    }
+  }
+
+  // Serial fold in block order: global combo ids equal first-appearance
+  // order over the whole relation — exactly the order the oracle discovers
+  // combos in — for any thread count. Fresh combos charge their modeled
+  // state here (the oracle charges at discovery inside the scan; totals on
+  // completed runs are identical).
+  std::unordered_map<uint64_t, uint32_t> combo_ids;
+  std::vector<uint64_t> combo_keys;
+  std::vector<std::vector<uint32_t>> translate(num_blocks);
+  const uint64_t combo_bytes =
+      kModeledComboBytes + num_subsets * sizeof(uint32_t);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    translate[b].reserve(block_first_keys[b].size());
+    for (uint64_t key : block_first_keys[b]) {
+      auto [it, fresh] =
+          combo_ids.try_emplace(key, static_cast<uint32_t>(combo_keys.size()));
+      if (fresh) {
+        combo_keys.push_back(key);
+        Status mem = shard.ChargeMemoryBytes(combo_bytes);
+        if (!mem.ok()) return mem;
+      }
+      translate[b].push_back(it->second);
+    }
+  }
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * kBlock;
+    const size_t end = std::min(begin + kBlock, num_rows);
+    const std::vector<uint32_t>& tr = translate[b];
+    for (size_t r = begin; r < end; ++r) row_combo[r] = tr[row_combo[r]];
+  }
+  const size_t num_combos = combo_keys.size();
+
+  // ---- Combo -> group fanout (serial, combo order) -------------------
+  // Same group-id assignment and charge order as the oracle: combos in
+  // first-appearance order, masks 0..2^d-1 within each combo.
+  std::unordered_map<uint64_t, uint32_t> group_index;
+  std::vector<uint64_t> group_keys;
+  std::vector<uint32_t> fanout;
+  fanout.reserve(num_combos * num_subsets);
+  const uint64_t group_bytes =
+      kModeledGroupBaseBytes + aggregates.size() * kModeledAggStateBytes;
+  int16_t row_buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+  int16_t key_buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+  for (size_t c = 0; c < num_combos; ++c) {
+    const uint64_t key = combo_keys[c];
+    for (size_t i = 0; i < d; ++i) {
+      row_buckets[i] = static_cast<int16_t>(
+          static_cast<int32_t>((key >> (16 * (d - 1 - i))) & 0xFFFF) - 3);
+    }
+    uint64_t new_groups = 0;
+    for (size_t mask = 0; mask < num_subsets; ++mask) {
+      for (size_t i = 0; i < d; ++i) {
+        key_buckets[i] = (mask & (1u << i)) ? row_buckets[i] : kAllBucket;
+      }
+      auto [it, inserted] = group_index.try_emplace(
+          CubeResult::PackKey(key_buckets, d),
+          static_cast<uint32_t>(group_keys.size()));
+      if (inserted) {
+        group_keys.push_back(it->first);
+        ++new_groups;
+      }
+      fanout.push_back(it->second);
+    }
+    if (new_groups > 0) {
+      Status charge = shard.ChargeCubeGroups(new_groups);
+      if (!charge.ok()) return charge;
+      Status gmem = shard.ChargeMemoryBytes(new_groups * group_bytes);
+      if (!gmem.ok()) return gmem;
+    }
+  }
+  const size_t num_groups = group_keys.size();
+
+  // ---- Pass 2 + 3: typed kernels, folded into groups -----------------
+  // Combo tallies distribute into groups as exact integers.
+  auto fold_counts = [&](const std::vector<int64_t>& combo_n) {
+    std::vector<int64_t> group_n(num_groups, 0);
+    for (size_t c = 0; c < num_combos; ++c) {
+      if (combo_n[c] == 0) continue;
+      const uint32_t* fan = &fanout[c * num_subsets];
+      for (size_t s = 0; s < num_subsets; ++s) group_n[fan[s]] += combo_n[c];
+    }
+    return group_n;
+  };
+
+  // Rows per combo; serves every star aggregate (the oracle feeds them a
+  // constant non-null placeholder, so their input is "one 1 per row").
+  std::vector<int64_t> combo_rows;
+  auto rows_per_combo = [&]() -> const std::vector<int64_t>& {
+    if (combo_rows.empty() && num_combos > 0) {
+      combo_rows.assign(num_combos, 0);
+      for (size_t r = 0; r < num_rows; ++r) ++combo_rows[row_combo[r]];
+    }
+    return combo_rows;
+  };
+
+  struct Extreme {
+    double best = 0.0;
+    uint64_t best_row = 0;  ///< first row attaining `best` (tie-break)
+    uint8_t has = 0;
+    uint8_t poison = 0;  ///< saw a non-finite value
+  };
+
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggFn fn = aggregates[a].fn;
+    const bool star = aggregates[a].is_star();
+    const Column* col = star ? nullptr : rel.column_of(agg_handles[a]);
+    const uint32_t* idx = star ? nullptr : rel.row_index_data(agg_handles[a]);
+
+    switch (fn) {
+      case AggFn::kCount: {
+        std::vector<int64_t> combo_n;
+        if (star) {
+          combo_n = rows_per_combo();
+        } else {
+          const Column::FlatView& flat = col->Flat();
+          combo_n.assign(num_combos, 0);
+          for (size_t r = 0; r < num_rows; ++r) {
+            size_t base = idx != nullptr ? idx[r] : r;
+            combo_n[row_combo[r]] +=
+                static_cast<int64_t>(flat.nulls[base] == 0);
+          }
+        }
+        std::vector<int64_t> group_n = fold_counts(combo_n);
+        for (size_t g = 0; g < num_groups; ++g) {
+          result.SetPacked(group_keys[g], a, static_cast<double>(group_n[g]));
+        }
+        break;
+      }
+
+      case AggFn::kCountDistinct: {
+        if (star) {
+          // Oracle semantics: every row feeds the same placeholder, so any
+          // materialized group has exactly one distinct value.
+          for (size_t g = 0; g < num_groups; ++g) {
+            result.SetPacked(group_keys[g], a, 1.0);
+          }
+          break;
+        }
+        // Dictionary codes are distinct-value identities: the dictionary
+        // dedupes by `Value` equality (numeric coercion included) and gives
+        // each NaN occurrence its own code — exactly the membership rule of
+        // the oracle's unordered_set<Value>.
+        const std::vector<int32_t>& codes = col->Codes();
+        std::vector<std::unordered_set<int32_t>> combo_set(num_combos);
+        for (size_t r = 0; r < num_rows; ++r) {
+          size_t base = idx != nullptr ? idx[r] : r;
+          int32_t code = codes[base];
+          if (code >= 0) combo_set[row_combo[r]].insert(code);
+        }
+        std::vector<std::unordered_set<int32_t>> group_set(num_groups);
+        for (size_t c = 0; c < num_combos; ++c) {
+          if (combo_set[c].empty()) continue;
+          const uint32_t* fan = &fanout[c * num_subsets];
+          for (size_t s = 0; s < num_subsets; ++s) {
+            group_set[fan[s]].insert(combo_set[c].begin(),
+                                     combo_set[c].end());
+          }
+        }
+        for (size_t g = 0; g < num_groups; ++g) {
+          result.SetPacked(group_keys[g], a,
+                           static_cast<double>(group_set[g].size()));
+        }
+        break;
+      }
+
+      case AggFn::kSum:
+      case AggFn::kAvg: {
+        if (star) {
+          // Sum of n ones is exactly n (n < 2^53); their average exactly 1.
+          std::vector<int64_t> group_n = fold_counts(rows_per_combo());
+          for (size_t g = 0; g < num_groups; ++g) {
+            if (group_n[g] == 0) continue;
+            result.SetPacked(
+                group_keys[g], a,
+                fn == AggFn::kSum ? static_cast<double>(group_n[g]) : 1.0);
+          }
+          break;
+        }
+        const Column::FlatView& flat = col->Flat();
+        // Non-numeric columns coerce to 0.0 per Value::ToDouble, matching
+        // the oracle (queries gate Sum/Avg to numeric columns upstream).
+        const double* xs = flat.doubles;
+        std::vector<int64_t> combo_n(num_combos, 0);
+        std::vector<double> group_sum(num_groups, 0.0);
+        std::vector<uint8_t> group_poison(num_groups, 0);
+        for (size_t r = 0; r < num_rows; ++r) {
+          size_t base = idx != nullptr ? idx[r] : r;
+          if (flat.nulls[base]) continue;
+          const double x = xs != nullptr ? xs[base] : 0.0;
+          const uint32_t c = row_combo[r];
+          ++combo_n[c];
+          const uint8_t bad = std::isfinite(x) ? 0 : 1;
+          const uint32_t* fan = &fanout[c * num_subsets];
+          for (size_t s = 0; s < num_subsets; ++s) {
+            group_sum[fan[s]] += x;
+            group_poison[fan[s]] |= bad;
+          }
+        }
+        std::vector<int64_t> group_n = fold_counts(combo_n);
+        for (size_t g = 0; g < num_groups; ++g) {
+          if (group_n[g] == 0 || group_poison[g] ||
+              !std::isfinite(group_sum[g])) {
+            continue;  // empty, poisoned, or overflowed: undefined
+          }
+          result.SetPacked(group_keys[g], a,
+                           fn == AggFn::kSum
+                               ? group_sum[g]
+                               : group_sum[g] /
+                                     static_cast<double>(group_n[g]));
+        }
+        break;
+      }
+
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        if (star) {
+          for (size_t g = 0; g < num_groups; ++g) {
+            result.SetPacked(group_keys[g], a, 1.0);
+          }
+          break;
+        }
+        const Column::FlatView& flat = col->Flat();
+        const double* xs = flat.doubles;
+        const bool is_min = fn == AggFn::kMin;
+        std::vector<Extreme> combo_ext(num_combos);
+        for (size_t r = 0; r < num_rows; ++r) {
+          size_t base = idx != nullptr ? idx[r] : r;
+          if (flat.nulls[base]) continue;
+          const double x = xs != nullptr ? xs[base] : 0.0;
+          Extreme& e = combo_ext[row_combo[r]];
+          e.poison |= !std::isfinite(x);
+          if (!e.has) {
+            e.best = x;
+            e.best_row = r;
+            e.has = 1;
+          } else if (is_min ? (x < e.best) : (x > e.best)) {
+            e.best = x;
+            e.best_row = r;
+          }
+        }
+        std::vector<Extreme> group_ext(num_groups);
+        for (size_t c = 0; c < num_combos; ++c) {
+          const Extreme& e = combo_ext[c];
+          if (!e.has) continue;
+          const uint32_t* fan = &fanout[c * num_subsets];
+          for (size_t s = 0; s < num_subsets; ++s) {
+            Extreme& ge = group_ext[fan[s]];
+            ge.poison |= e.poison;
+            if (!ge.has) {
+              ge.best = e.best;
+              ge.best_row = e.best_row;
+              ge.has = 1;
+            } else {
+              const bool better =
+                  is_min ? (e.best < ge.best) : (e.best > ge.best);
+              // Equal bests (e.g. -0.0 vs +0.0) keep the earliest row's
+              // representation, like the oracle's strict-compare replace.
+              if (better ||
+                  (e.best == ge.best && e.best_row < ge.best_row)) {
+                ge.best = e.best;
+                ge.best_row = e.best_row;
+              }
+            }
+          }
+        }
+        for (size_t g = 0; g < num_groups; ++g) {
+          if (!group_ext[g].has || group_ext[g].poison) continue;
+          result.SetPacked(group_keys[g], a, group_ext[g].best);
+        }
+        break;
+      }
+
+      default:
+        return Status::Internal("unexpected cube aggregate function");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status ExecuteCubeInto(const Database& db, CubeResult& result,
-                       ScanStats* stats, const ResourceGovernor* governor) {
+                       ScanStats* stats, const ResourceGovernor* governor,
+                       const CubeExecOptions& options) {
   AGG_FAULT_POINT("cube.materialize");
   const std::vector<ColumnRef>& dims = result.dims();
   const std::vector<CubeAggregate>& aggregates = result.aggregates();
@@ -66,10 +569,13 @@ Status ExecuteCubeInto(const Database& db, CubeResult& result,
           "ratio aggregates must be derived from counts, not cubed directly");
     }
   }
+  if (dims.size() > CubeResult::kMaxDims) {
+    return Status::Unsupported("cube dimensionality above 4 not supported");
+  }
 
   // Tables referenced by dims and aggregates; joined along PK-FK paths.
   std::set<std::string> table_set;
-  for (const ColumnRef& d : dims) table_set.insert(d.table);
+  for (const ColumnRef& dim : dims) table_set.insert(dim.table);
   for (const CubeAggregate& a : aggregates) {
     // Star aggregates still carry the table to count rows of.
     if (!a.column.table.empty()) table_set.insert(a.column.table);
@@ -82,10 +588,17 @@ Status ExecuteCubeInto(const Database& db, CubeResult& result,
   if (!rel_result.ok()) return rel_result.status();
   const JoinedRelation& rel = *rel_result;
 
+  // Per-call charge shard: scan blocks fold into the governor's atomics at
+  // kCheckIntervalRows granularity; group/memory charges pass through. The
+  // join's row-index arrays are the first modeled allocation.
+  ResourceGovernor::Shard shard(governor);
+  Status join_mem = shard.ChargeMemoryBytes(rel.ApproxBytes());
+  if (!join_mem.ok()) return join_mem;
+
   std::vector<int> dim_handles;
   dim_handles.reserve(dims.size());
-  for (const ColumnRef& d : dims) {
-    auto h = rel.ResolveColumn(d);
+  for (const ColumnRef& dim : dims) {
+    auto h = rel.ResolveColumn(dim);
     if (!h.ok()) return h.status();
     dim_handles.push_back(*h);
   }
@@ -97,18 +610,8 @@ Status ExecuteCubeInto(const Database& db, CubeResult& result,
     agg_handles[i] = *h;
   }
 
-  const size_t d = dims.size();
-  const size_t num_subsets = static_cast<size_t>(1) << d;
-  const Value star_placeholder(static_cast<int64_t>(1));
-
-  // Per-dimension fast access: base-column dictionary codes plus a
-  // code -> bucket translation table, so the hot loop never hashes values.
-  struct DimAccess {
-    const std::vector<int32_t>* codes;
-    std::vector<int16_t> code_to_bucket;
-  };
-  std::vector<DimAccess> access(d);
-  for (size_t i = 0; i < d; ++i) {
+  std::vector<DimAccess> access(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
     const Column* column = rel.column_of(dim_handles[i]);
     access[i].codes = &column->Codes();
     const auto& distinct = column->DistinctValues();
@@ -118,104 +621,13 @@ Status ExecuteCubeInto(const Database& db, CubeResult& result,
     }
   }
 
-  // Group state keyed by a packed bucket code: 16 bits per dimension
-  // (bucket + 3, so kAllBucket/kDefaultBucket pack as 1/2). Dimension
-  // counts beyond 4 never arise (nG <= max predicates + 1 = 4); reject
-  // them rather than overflow the packing.
-  if (d > 4) {
-    return Status::Unsupported("cube dimensionality above 4 not supported");
-  }
-  auto pack = [d](const int16_t* buckets) {
-    uint64_t key = 0;
-    for (size_t i = 0; i < d; ++i) {
-      key = (key << 16) |
-            static_cast<uint16_t>(static_cast<int32_t>(buckets[i]) + 3);
-    }
-    return key;
-  };
-
-  // Group accumulators, addressed by dense index; `group_keys` remembers
-  // each group's bucket vector for the final result assembly.
-  std::vector<std::vector<Aggregator>> groups;
-  std::vector<std::vector<int16_t>> group_keys;
-  std::unordered_map<uint64_t, uint32_t> group_index;
-
-  // Rows sharing a bucket combination update the same 2^d groups; cache
-  // the group-id fan-out per combination so the hot loop performs a single
-  // hash lookup per row.
-  std::unordered_map<uint64_t, uint32_t> combo_index;
-  std::vector<std::vector<uint32_t>> combo_groups;
-
-  int16_t row_buckets[4] = {0, 0, 0, 0};
-  int16_t key_buckets[4] = {0, 0, 0, 0};
-
-  // Per-call charge shard: scan blocks fold into the governor's atomics at
-  // kCheckIntervalRows granularity, group charges pass through immediately.
-  ResourceGovernor::Shard shard(governor);
-  const size_t num_rows = rel.num_rows();
-  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
-  for (size_t r = 0; r < num_rows; ++r) {
-    if ((r % kBlock) == 0) {
-      Status charge =
-          shard.ChargeRows(std::min<uint64_t>(kBlock, num_rows - r));
-      if (!charge.ok()) return charge;
-    }
-    for (size_t i = 0; i < d; ++i) {
-      size_t base = rel.base_row(r, dim_handles[i]);
-      int32_t code = (*access[i].codes)[base];
-      row_buckets[i] =
-          code < 0 ? kDefaultBucket : access[i].code_to_bucket[code];
-    }
-    auto [combo_it, combo_new] =
-        combo_index.try_emplace(pack(row_buckets),
-                                static_cast<uint32_t>(combo_groups.size()));
-    if (combo_new) {
-      // First row with this bucket combination: resolve (creating on
-      // demand) the 2^d groups it contributes to.
-      std::vector<uint32_t> fanout;
-      fanout.reserve(num_subsets);
-      uint64_t new_groups = 0;
-      for (size_t mask = 0; mask < num_subsets; ++mask) {
-        for (size_t i = 0; i < d; ++i) {
-          key_buckets[i] = (mask & (1u << i)) ? row_buckets[i] : kAllBucket;
-        }
-        auto [it, inserted] = group_index.try_emplace(
-            pack(key_buckets), static_cast<uint32_t>(groups.size()));
-        if (inserted) {
-          std::vector<Aggregator> accs;
-          accs.reserve(aggregates.size());
-          for (const CubeAggregate& a : aggregates) accs.emplace_back(a.fn);
-          groups.push_back(std::move(accs));
-          group_keys.emplace_back(key_buckets, key_buckets + d);
-          ++new_groups;
-        }
-        fanout.push_back(it->second);
-      }
-      combo_groups.push_back(std::move(fanout));
-      if (new_groups > 0) {
-        // Group materialization is the cube-explosion lever; charge it
-        // separately from row scans so a budget can bound it directly.
-        Status charge = shard.ChargeCubeGroups(new_groups);
-        if (!charge.ok()) return charge;
-      }
-    }
-    for (uint32_t group : combo_groups[combo_it->second]) {
-      for (size_t a = 0; a < aggregates.size(); ++a) {
-        const Value& v = aggregates[a].is_star()
-                             ? star_placeholder
-                             : rel.at(r, agg_handles[a]);
-        groups[group][a].Add(v);
-      }
-    }
-  }
+  Status exec = options.mode == CubeExecMode::kScalarOracle
+                    ? ExecuteScalarOracle(rel, result, dim_handles,
+                                          agg_handles, access, shard)
+                    : ExecuteVectorized(rel, result, dim_handles, agg_handles,
+                                        access, governor, shard, options.pool);
+  if (!exec.ok()) return exec;
   if (stats != nullptr) stats->rows_scanned += rel.num_rows();
-
-  for (size_t g = 0; g < groups.size(); ++g) {
-    for (size_t a = 0; a < groups[g].size(); ++a) {
-      std::optional<double> v = groups[g][a].Finish();
-      if (v.has_value()) result.Set(group_keys[g], a, *v);
-    }
-  }
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -12,6 +13,9 @@
 #include "util/status.h"
 
 namespace aggchecker {
+
+class ThreadPool;
+
 namespace db {
 
 /// \brief One aggregate computed by a cube query: a base aggregation
@@ -42,22 +46,35 @@ constexpr int16_t kAllBucket = -2;
 
 /// \brief Result of a cube query for a fixed dimension set.
 ///
-/// Maps a bucket-code vector (one code per dimension, in dimension order) to
+/// Maps a bucket-code key (one code per dimension, in dimension order) to
 /// per-aggregate values. Implements the paper's InOrDefault reduction: only
 /// the relevant literals get their own buckets; everything else collapses
 /// into the default bucket, and kAllBucket entries provide rollups.
+///
+/// Keys are stored packed: 16 bits per dimension (bucket code + 3, so
+/// kAllBucket/kDefaultBucket pack as 1/2), most-significant dimension first.
+/// The same packing is computed once per row inside the cube scan, so both
+/// the executor and `AnswerFromCube` look cells up by a single integer hash
+/// instead of hashing a heap-allocated `std::vector<int16_t>`.
 class CubeResult {
  public:
-  struct KeyHasher {
-    size_t operator()(const std::vector<int16_t>& key) const {
-      size_t h = 1469598103934665603ULL;
-      for (int16_t k : key) {
-        h ^= static_cast<size_t>(static_cast<uint16_t>(k));
-        h *= 1099511628211ULL;
-      }
-      return h;
+  /// Dimension counts beyond 4 never arise in practice (a cube's dimensions
+  /// are a claim batch's predicate columns; nG <= max predicates + 1 = 4).
+  /// The executor rejects higher counts rather than overflow the packing.
+  static constexpr size_t kMaxDims = 4;
+
+  /// Packs `d` bucket codes into the canonical cell key.
+  static uint64_t PackKey(const int16_t* buckets, size_t d) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < d; ++i) {
+      key = (key << 16) |
+            static_cast<uint16_t>(static_cast<int32_t>(buckets[i]) + 3);
     }
-  };
+    return key;
+  }
+  static uint64_t PackKey(const std::vector<int16_t>& buckets) {
+    return PackKey(buckets.data(), buckets.size());
+  }
 
   CubeResult(std::vector<ColumnRef> dims,
              std::vector<std::vector<Value>> literals,
@@ -85,12 +102,20 @@ class CubeResult {
   /// Missing cells mean "no rows matched" and yield nullopt; for Count this
   /// is reported as 0 by the engine, not here.
   std::optional<double> Lookup(const std::vector<int16_t>& key,
-                               size_t agg_idx) const;
+                               size_t agg_idx) const {
+    return LookupPacked(PackKey(key), agg_idx);
+  }
+
+  /// Lookup by pre-packed key (see PackKey) — the hot path.
+  std::optional<double> LookupPacked(uint64_t key, size_t agg_idx) const;
 
   /// Bucket code of `v` on dimension `dim`: literal index or kDefaultBucket.
   int16_t BucketOf(size_t dim, const Value& v) const;
 
-  void Set(const std::vector<int16_t>& key, size_t agg_idx, double value);
+  void Set(const std::vector<int16_t>& key, size_t agg_idx, double value) {
+    SetPacked(PackKey(key), agg_idx, value);
+  }
+  void SetPacked(uint64_t key, size_t agg_idx, double value);
 
   size_t num_cells() const { return cells_.size(); }
 
@@ -100,9 +125,33 @@ class CubeResult {
   std::vector<CubeAggregate> aggregates_;
   // Per-dimension literal -> bucket index (hash lookup for large sets).
   std::vector<std::unordered_map<Value, int16_t, ValueHasher>> literal_index_;
-  std::unordered_map<std::vector<int16_t>, std::vector<std::optional<double>>,
-                     KeyHasher>
-      cells_;
+  std::unordered_map<uint64_t, std::vector<std::optional<double>>> cells_;
+};
+
+/// How ExecuteCubeInto materializes a cube.
+enum class CubeExecMode {
+  /// Three-pass combo-partitioned pipeline over flat typed column views
+  /// (the default): (1) map each row to a dense bucket-combination id,
+  /// block-parallel with a deterministic fold; (2) typed per-aggregate
+  /// kernels over primitive arrays; (3) distribute combo accumulators into
+  /// the 2^d groups. Produces results bit-identical to the oracle.
+  kVectorized = 0,
+  /// Row-at-a-time reference path: every row fans out to its 2^d groups
+  /// through boxed `Value`s and `Aggregator`s. Kept as the semantics oracle
+  /// for differential tests and as the perf-smoke baseline.
+  kScalarOracle,
+};
+
+const char* CubeExecModeName(CubeExecMode mode);
+
+/// Execution options for one cube materialization.
+struct CubeExecOptions {
+  CubeExecMode mode = CubeExecMode::kVectorized;
+  /// Optional pool for the vectorized combo-assignment pass (pass 1), which
+  /// parallelizes over fixed row blocks with a deterministic block-order
+  /// fold. The caller must not already be inside a region of this pool.
+  /// Ignored by the scalar oracle. nullptr = serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Executes one merged cube query (§6.2).
@@ -111,15 +160,17 @@ class CubeResult {
 /// codes over `dims` — including rollups (kAllBucket) for each dimension
 /// subset — in a single scan of the joined relation.
 ///
-/// When `governor` is non-null, the scan charges rows in amortized blocks
-/// and every newly materialized group charges the cube-group budget; a
+/// When `governor` is non-null, the scan charges rows in amortized blocks,
+/// every newly materialized group charges the cube-group budget, and the
+/// modeled bytes of join/combo/group state charge the memory budget; a
 /// tripped limit aborts the cube with the governor's Status (nothing is
 /// returned, so callers never cache a partial cube).
 Result<std::shared_ptr<CubeResult>> ExecuteCube(
     const Database& db, const std::vector<ColumnRef>& dims,
     const std::vector<std::vector<Value>>& relevant_literals,
     const std::vector<CubeAggregate>& aggregates, ScanStats* stats = nullptr,
-    const ResourceGovernor* governor = nullptr);
+    const ResourceGovernor* governor = nullptr,
+    const CubeExecOptions& options = {});
 
 /// \brief Materializes into a pre-built (empty) CubeResult shell.
 ///
@@ -130,9 +181,15 @@ Result<std::shared_ptr<CubeResult>> ExecuteCube(
 /// wait at the fold barrier. Charges go through a local governor shard, so
 /// concurrent cubes under one governor are safe. On error the shell's cells
 /// are left untouched (possibly empty) and the caller must discard it.
+///
+/// Both execution modes produce bit-identical cells (the vectorized kernels
+/// replay the oracle's exact floating-point operation order per group) and
+/// charge the same governor totals; the differential property tests pin
+/// this down.
 Status ExecuteCubeInto(const Database& db, CubeResult& result,
                        ScanStats* stats = nullptr,
-                       const ResourceGovernor* governor = nullptr);
+                       const ResourceGovernor* governor = nullptr,
+                       const CubeExecOptions& options = {});
 
 }  // namespace db
 }  // namespace aggchecker

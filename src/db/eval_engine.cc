@@ -1,6 +1,7 @@
 #include "db/eval_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 #include "util/strings.h"
@@ -154,13 +155,18 @@ std::optional<double> EvalEngine::AnswerFromCube(
     const SimpleAggregateQuery& query, const NormalizedPreds& np,
     const CubeResult& cube, size_t agg_idx) const {
   const auto& dims = cube.dims();
-  // Map each cube dimension to the predicate value (if any).
-  std::vector<int16_t> key(dims.size(), kAllBucket);
-  std::vector<int> pred_dim(np.preds.size(), -1);
+  const size_t nd = dims.size();
+  // Map each cube dimension to the predicate value (if any). Bucket codes
+  // live in a fixed-size array and lookups pack them into the cube's native
+  // uint64 cell key — no per-lookup vector allocation or hashing.
+  std::array<int16_t, CubeResult::kMaxDims> key;
+  key.fill(kAllBucket);
+  std::array<int, CubeResult::kMaxDims> pred_dim;
+  pred_dim.fill(-1);
   for (size_t p = 0; p < np.preds.size(); ++p) {
-    for (size_t d = 0; d < dims.size(); ++d) {
+    for (size_t d = 0; d < nd; ++d) {
       if (dims[d] == np.preds[p].column) {
-        pred_dim[p] = static_cast<int>(d);
+        if (p < pred_dim.size()) pred_dim[p] = static_cast<int>(d);
         key[d] = cube.BucketOf(d, np.preds[p].value);
         break;
       }
@@ -172,38 +178,41 @@ std::optional<double> EvalEngine::AnswerFromCube(
                              query.fn == AggFn::kPercentage ||
                              query.fn == AggFn::kConditionalProbability;
 
-  auto lookup_count = [&](const std::vector<int16_t>& k) -> double {
-    std::optional<double> v = cube.Lookup(k, agg_idx);
+  auto lookup_count = [&](const int16_t* k) -> double {
+    std::optional<double> v =
+        cube.LookupPacked(CubeResult::PackKey(k, nd), agg_idx);
     return v.value_or(0.0);  // absent group = zero matching rows
   };
 
   if (query.fn == AggFn::kPercentage) {
-    double num = lookup_count(key);
-    std::vector<int16_t> den_key = key;
+    double num = lookup_count(key.data());
+    std::array<int16_t, CubeResult::kMaxDims> den_key = key;
     if (!query.is_star()) {
-      for (size_t p = 0; p < np.preds.size(); ++p) {
+      for (size_t p = 0; p < np.preds.size() && p < pred_dim.size(); ++p) {
         if (np.preds[p].column == query.agg_column && pred_dim[p] >= 0) {
           den_key[static_cast<size_t>(pred_dim[p])] = kAllBucket;
         }
       }
     }
-    double den = lookup_count(den_key);
+    double den = lookup_count(den_key.data());
     if (den == 0.0) return std::nullopt;
     return num * 100.0 / den;
   }
   if (query.fn == AggFn::kConditionalProbability) {
-    double num = lookup_count(key);
-    std::vector<int16_t> den_key(dims.size(), kAllBucket);
+    double num = lookup_count(key.data());
+    std::array<int16_t, CubeResult::kMaxDims> den_key;
+    den_key.fill(kAllBucket);
     if (!np.preds.empty() && pred_dim[0] >= 0) {
       den_key[static_cast<size_t>(pred_dim[0])] =
           key[static_cast<size_t>(pred_dim[0])];
     }
-    double den = lookup_count(den_key);
+    double den = lookup_count(den_key.data());
     if (den == 0.0) return std::nullopt;
     return num * 100.0 / den;
   }
 
-  std::optional<double> v = cube.Lookup(key, agg_idx);
+  std::optional<double> v =
+      cube.LookupPacked(CubeResult::PackKey(key.data(), nd), agg_idx);
   if (!v.has_value() && is_count_like) return 0.0;
   return v;
 }
@@ -419,6 +428,18 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
         // values) while still serial; cube workers then only read it.
         if (const Column* col = db_->FindColumn(d)) (void)col->Codes();
       }
+      // Likewise pre-warm what the vectorized kernels read: the flat typed
+      // view of every aggregate column, and the dictionary for
+      // CountDistinct (which aggregates codes instead of hashing Values).
+      // Column's lazy builds are internally synchronized, but building here
+      // keeps workers on the lock-free already-built path.
+      for (const CubeAggregate& agg : to_execute) {
+        if (agg.is_star()) continue;
+        if (const Column* col = db_->FindColumn(agg.column)) {
+          (void)col->Flat();
+          if (agg.fn == AggFn::kCountDistinct) (void)col->Codes();
+        }
+      }
       CubeJob job;
       job.shell = std::make_shared<CubeResult>(group.dims, dim_literals,
                                                to_execute);
@@ -447,8 +468,15 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
 
   // ---- Execute phase (parallel) --------------------------------------
   // Each job fills exactly one shell; workers share nothing but the
-  // database (read-only, dictionaries pre-warmed) and the governor
-  // (atomic, charged through per-job shards).
+  // database (read-only, dictionaries and flat views pre-warmed) and the
+  // governor (atomic, charged through per-job shards). Parallelism goes to
+  // whichever level has the work: with several jobs the pool spreads over
+  // jobs; a lone job runs inline on this thread and hands the idle pool to
+  // the cube's block-parallel combo-assignment pass instead (the pool must
+  // never be entered from inside one of its own regions).
+  CubeExecOptions exec_options;
+  exec_options.mode = cube_exec_;
+  exec_options.pool = jobs.size() == 1 ? pool_ : nullptr;
   RunIndexed(jobs.size(), [&](size_t j) {
     CubeJob& job = jobs[j];
     if (governor_ != nullptr) {
@@ -458,7 +486,8 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
         return;
       }
     }
-    job.status = ExecuteCubeInto(*db_, *job.shell, &job.scan, governor_);
+    job.status = ExecuteCubeInto(*db_, *job.shell, &job.scan, governor_,
+                                 exec_options);
   });
 
   // ---- Fold phase (serial, job order) --------------------------------

@@ -87,6 +87,12 @@ class EvalEngine {
   void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Selects how cube queries materialize (default: vectorized). The scalar
+  /// oracle is the row-at-a-time reference path; results are bit-identical
+  /// either way — differential tests switch this to pin that down.
+  void SetCubeExecMode(CubeExecMode mode) { cube_exec_ = mode; }
+  CubeExecMode cube_exec_mode() const { return cube_exec_; }
+
   /// Returns (and clears) the first *unexpected* execution error since the
   /// last call. Expected failures stay out of this channel: query-shape
   /// errors (kInvalidArgument / kNotFound / kUnsupported) mean "this
@@ -173,6 +179,7 @@ class EvalEngine {
   EvalStats stats_;
   const ResourceGovernor* governor_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  CubeExecMode cube_exec_ = CubeExecMode::kVectorized;
   std::mutex hard_error_mu_;
   Status hard_error_;  ///< first unexpected error; see ConsumeHardError()
   // Cache key: aggregate key + "|" + relation key + "|" + sorted dim-set

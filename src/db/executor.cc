@@ -114,6 +114,12 @@ Result<std::optional<double>> QueryExecutor::Execute(
   if (!rel_result.ok()) return rel_result.status();
   const JoinedRelation& rel = *rel_result;
 
+  // The materialized join's row-index arrays are modeled evaluation state;
+  // charge them against the governor's memory budget (zero for
+  // single-table queries, which materialize nothing).
+  Status join_mem = shard.ChargeMemoryBytes(rel.ApproxBytes());
+  if (!join_mem.ok()) return join_mem;
+
   int agg_handle = -1;
   if (!query.is_star()) {
     auto h = rel.ResolveColumn(query.agg_column);

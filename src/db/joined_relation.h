@@ -47,6 +47,25 @@ class JoinedRelation {
     return single_table_ ? row : row_indices_[slot.table_pos][row];
   }
 
+  /// Row-index array for column `handle`, or nullptr for single-table
+  /// relations (joined row == base row). Lets vectorized kernels hoist the
+  /// slot lookup out of their per-row loops:
+  ///   base_row = idx ? idx[row] : row.
+  const uint32_t* row_index_data(int handle) const {
+    if (single_table_) return nullptr;
+    return row_indices_[slots_[static_cast<size_t>(handle)].table_pos].data();
+  }
+
+  /// Modeled bytes of the materialized join state (the per-table row-index
+  /// arrays). Zero for single-table relations, which materialize nothing.
+  uint64_t ApproxBytes() const {
+    uint64_t bytes = 0;
+    for (const auto& idx : row_indices_) {
+      bytes += static_cast<uint64_t>(idx.size()) * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   JoinedRelation() = default;
 

@@ -8,6 +8,7 @@ void ResourceGovernor::Reset() {
   rows_.store(0, std::memory_order_relaxed);
   rows_since_check_.store(0, std::memory_order_relaxed);
   cube_groups_.store(0, std::memory_order_relaxed);
+  memory_bytes_.store(0, std::memory_order_relaxed);
   checkpoints_.store(0, std::memory_order_relaxed);
   stop_code_ = StatusCode::kOk;
   stop_message_.clear();
@@ -50,6 +51,15 @@ Status ResourceGovernor::Inspect() const {
             "cube-group budget exhausted (%llu of %llu groups materialized)",
             static_cast<unsigned long long>(groups),
             static_cast<unsigned long long>(limits_.max_cube_groups)));
+  }
+  const uint64_t bytes = memory_bytes_.load(std::memory_order_relaxed);
+  if (limits_.max_memory_bytes != 0 && bytes >= limits_.max_memory_bytes) {
+    return Trip(
+        StatusCode::kBudgetExhausted,
+        strings::Format(
+            "memory budget exhausted (%llu of %llu modeled bytes)",
+            static_cast<unsigned long long>(bytes),
+            static_cast<unsigned long long>(limits_.max_memory_bytes)));
   }
   if (enforce_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
     return Trip(StatusCode::kDeadlineExceeded,

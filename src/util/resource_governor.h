@@ -22,10 +22,16 @@ struct GovernorLimits {
   /// Total cube groups the CUBE operator may materialize — bounds
   /// cube-explosion on high-cardinality dimension combinations.
   uint64_t max_cube_groups = 0;
+  /// Approximate bytes of evaluation state (join materialization, cube
+  /// combo/group accumulators, result cells) the backend may allocate.
+  /// Charges are modeled sizes, not allocator truth: both cube execution
+  /// modes charge the same canonical per-combo/per-group constants so
+  /// reports stay mode- and thread-invariant.
+  uint64_t max_memory_bytes = 0;
 
   bool unlimited() const {
     return deadline_seconds <= 0.0 && max_row_scans == 0 &&
-           max_cube_groups == 0;
+           max_cube_groups == 0 && max_memory_bytes == 0;
   }
 };
 
@@ -33,6 +39,7 @@ struct GovernorLimits {
 struct GovernorUsage {
   uint64_t rows_charged = 0;        ///< rows scanned under this governor
   uint64_t cube_groups_charged = 0; ///< cube groups materialized
+  uint64_t memory_bytes_charged = 0; ///< modeled evaluation-state bytes
   /// Budget/deadline inspections performed. Diagnostic only: unlike the
   /// charge totals, the checkpoint count depends on how charges interleave
   /// across threads and is NOT identical across thread counts.
@@ -124,6 +131,13 @@ class ResourceGovernor {
       return governor_->ChargeCubeGroups(n);
     }
 
+    Status ChargeMemoryBytes(uint64_t n) {
+      if (governor_ == nullptr) return Status::OK();
+      Status flush = Flush();
+      if (!flush.ok()) return flush;
+      return governor_->ChargeMemoryBytes(n);
+    }
+
     /// Folds any locally accumulated rows into the parent. Returns the
     /// parent's charge status (OK when nothing was pending and no trip).
     Status Flush() {
@@ -161,6 +175,15 @@ class ResourceGovernor {
     return Inspect();
   }
 
+  /// Charges `n` modeled bytes of evaluation state (join indices, cube
+  /// accumulators); inspected immediately — allocation is a structural
+  /// point where a memory blow-up must be caught before it happens.
+  Status ChargeMemoryBytes(uint64_t n) const {
+    memory_bytes_.fetch_add(n, std::memory_order_relaxed);
+    if (tripped_.load(std::memory_order_acquire)) return StopStatus();
+    return Inspect();
+  }
+
   /// Forced inspection of all limits (deadline included). Structural
   /// call sites — per EM iteration, per batch — use this.
   Status CheckPoint() const {
@@ -186,6 +209,7 @@ class ResourceGovernor {
     GovernorUsage u;
     u.rows_charged = rows_.load(std::memory_order_relaxed);
     u.cube_groups_charged = cube_groups_.load(std::memory_order_relaxed);
+    u.memory_bytes_charged = memory_bytes_.load(std::memory_order_relaxed);
     u.checkpoints = checkpoints_.load(std::memory_order_relaxed);
     u.exhausted = tripped_.load(std::memory_order_acquire);
     u.stop_code = u.exhausted ? stop_code_ : StatusCode::kOk;
@@ -212,6 +236,7 @@ class ResourceGovernor {
   mutable std::atomic<uint64_t> rows_{0};
   mutable std::atomic<uint64_t> rows_since_check_{0};
   mutable std::atomic<uint64_t> cube_groups_{0};
+  mutable std::atomic<uint64_t> memory_bytes_{0};
   mutable std::atomic<uint64_t> checkpoints_{0};
   mutable std::atomic<bool> tripped_{false};
   mutable std::mutex trip_mu_;

@@ -218,5 +218,48 @@ TEST(ChaosTest, FuzzLiteStarvedBudgetsDegradeGracefully) {
   }
 }
 
+// Same degradation contract for the modeled-memory budget: cube group and
+// combo state, join indexes, and naive-scan state all charge bytes, and a
+// starved byte budget must produce partial verdicts — never an error, a
+// crash, or a spuriously flagged claim. Both cube backends are covered.
+TEST(ChaosTest, FuzzLiteStarvedMemoryBudgetsDegradeGracefully) {
+  fi::DisarmAll();
+  corpus::GeneratorOptions options;
+  options.num_cases = 3;
+  options.seed = 20260807;
+  for (size_t c = 0; c < options.num_cases; ++c) {
+    corpus::CorpusCase test_case = corpus::GenerateCase(c, options);
+    for (uint64_t budget :
+         {uint64_t{1}, uint64_t{4096}, uint64_t{1} << 20}) {
+      for (db::CubeExecMode mode :
+           {db::CubeExecMode::kVectorized, db::CubeExecMode::kScalarOracle}) {
+        core::CheckOptions check_options;
+        check_options.governor.max_memory_bytes = budget;
+        check_options.cube_exec = mode;
+        auto checker =
+            core::AggChecker::Create(&test_case.database, check_options);
+        ASSERT_TRUE(checker.ok());
+        auto report = checker->Check(test_case.document);
+        ASSERT_TRUE(report.ok())
+            << "case " << c << " budget " << budget << " mode "
+            << db::CubeExecModeName(mode) << ": "
+            << report.status().ToString();
+        for (const auto& verdict : report->verdicts) {
+          if (verdict.partial) {
+            EXPECT_FALSE(verdict.likely_erroneous)
+                << "partial claim flagged erroneous (case " << c
+                << ", memory budget " << budget << ")";
+          }
+        }
+        if (report->governor_usage.exhausted) {
+          EXPECT_EQ(report->governor_usage.stop_code,
+                    StatusCode::kBudgetExhausted);
+          EXPECT_GE(report->governor_usage.memory_bytes_charged, budget);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aggchecker

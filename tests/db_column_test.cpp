@@ -1,0 +1,147 @@
+// Column lazy-representation tests: flat typed views for the vectorized
+// cube kernels, and the thread-safety regression for concurrent first
+// builds of the lazy dictionary / flat view (run under TSan via the
+// `concurrency` label). PR 2's parallel shell-fill workers could race the
+// first BuildDictionary() on a shared column; builds are now guarded.
+
+#include "db/column.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace aggchecker {
+namespace db {
+namespace {
+
+void FillLongColumn(Column& col, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3) {
+      col.Append(Value());  // NULL
+    } else {
+      col.Append(Value(static_cast<int64_t>(i % 101)));
+    }
+  }
+}
+
+TEST(ColumnFlatViewTest, LongColumnExposesLongsAndCoercedDoubles) {
+  Column col("v", ValueType::kLong);
+  col.Append(Value(int64_t{42}));
+  col.Append(Value());
+  col.Append(Value(int64_t{-7}));
+  const Column::FlatView& flat = col.Flat();
+  ASSERT_EQ(flat.size, 3u);
+  ASSERT_NE(flat.longs, nullptr);
+  ASSERT_NE(flat.doubles, nullptr);
+  ASSERT_NE(flat.nulls, nullptr);
+  EXPECT_EQ(flat.longs[0], 42);
+  EXPECT_EQ(flat.longs[2], -7);
+  EXPECT_DOUBLE_EQ(flat.doubles[0], 42.0);
+  EXPECT_DOUBLE_EQ(flat.doubles[2], -7.0);
+  EXPECT_EQ(flat.nulls[0], 0);
+  EXPECT_EQ(flat.nulls[1], 1);
+  EXPECT_EQ(flat.nulls[2], 0);
+}
+
+TEST(ColumnFlatViewTest, MixedDoubleColumnCoercesLikeToDouble) {
+  // A DOUBLE-typed column may hold long cells; the flat view must show
+  // exactly Value::ToDouble() of each, since the vectorized kernels must
+  // see bit-for-bit what the row-at-a-time Aggregator sees.
+  Column col("v", ValueType::kDouble);
+  col.Append(Value(int64_t{3}));
+  col.Append(Value(2.5));
+  col.Append(Value(std::nan("")));
+  const Column::FlatView& flat = col.Flat();
+  ASSERT_NE(flat.doubles, nullptr);
+  EXPECT_EQ(flat.longs, nullptr);
+  EXPECT_DOUBLE_EQ(flat.doubles[0], 3.0);
+  EXPECT_DOUBLE_EQ(flat.doubles[1], 2.5);
+  EXPECT_TRUE(std::isnan(flat.doubles[2]));
+}
+
+TEST(ColumnFlatViewTest, StringColumnHasOnlyNullFlags) {
+  Column col("v", ValueType::kString);
+  col.Append(Value("a"));
+  col.Append(Value());
+  const Column::FlatView& flat = col.Flat();
+  EXPECT_EQ(flat.longs, nullptr);
+  EXPECT_EQ(flat.doubles, nullptr);
+  ASSERT_NE(flat.nulls, nullptr);
+  EXPECT_EQ(flat.nulls[0], 0);
+  EXPECT_EQ(flat.nulls[1], 1);
+}
+
+TEST(ColumnFlatViewTest, AppendInvalidatesFlatViewAndDictionary) {
+  Column col("v", ValueType::kLong);
+  col.Append(Value(int64_t{1}));
+  EXPECT_EQ(col.Flat().size, 1u);
+  EXPECT_EQ(col.Codes().size(), 1u);
+  col.Append(Value(int64_t{2}));
+  EXPECT_EQ(col.Flat().size, 2u);
+  EXPECT_EQ(col.Flat().longs[1], 2);
+  EXPECT_EQ(col.Codes().size(), 2u);
+  EXPECT_EQ(col.DistinctValues().size(), 2u);
+}
+
+// Regression (tsan): many threads hitting the *first* lazy dictionary
+// build on a shared column must not race. Before the guard, concurrent
+// BuildDictionary() calls mutated distinct_/codes_ unsynchronized.
+TEST(ColumnConcurrencyTest, ConcurrentFirstDictionaryBuildIsSafe) {
+  for (int round = 0; round < 4; ++round) {
+    Column col("v", ValueType::kLong);
+    FillLongColumn(col, 20000);
+    std::vector<std::thread> threads;
+    std::vector<size_t> distinct_sizes(8, 0);
+    std::vector<int32_t> first_codes(8, -99);
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&col, &distinct_sizes, &first_codes, t] {
+        distinct_sizes[static_cast<size_t>(t)] = col.DistinctValues().size();
+        first_codes[static_cast<size_t>(t)] = col.Codes()[0];
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_EQ(distinct_sizes[static_cast<size_t>(t)], 101u);
+      EXPECT_EQ(first_codes[static_cast<size_t>(t)], 0);
+    }
+  }
+}
+
+// Same for the flat typed view, and for mixed dictionary + flat access —
+// the two lazy builds share a mutex but have independent built flags.
+TEST(ColumnConcurrencyTest, ConcurrentFlatAndDictionaryBuildsAreSafe) {
+  for (int round = 0; round < 4; ++round) {
+    Column col("v", ValueType::kLong);
+    FillLongColumn(col, 20000);
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> checksums(8, 0);
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&col, &checksums, t] {
+        uint64_t sum = 0;
+        if (t % 2 == 0) {
+          const Column::FlatView& flat = col.Flat();
+          for (size_t i = 0; i < flat.size; ++i) {
+            if (!flat.nulls[i]) sum += static_cast<uint64_t>(flat.longs[i]);
+          }
+        } else {
+          for (int32_t code : col.Codes()) {
+            sum += code >= 0 ? static_cast<uint64_t>(code) : 1;
+          }
+        }
+        checksums[static_cast<size_t>(t)] = sum;
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    // All readers of the same representation agree.
+    EXPECT_EQ(checksums[0], checksums[2]);
+    EXPECT_EQ(checksums[0], checksums[4]);
+    EXPECT_EQ(checksums[1], checksums[3]);
+    EXPECT_EQ(checksums[1], checksums[5]);
+  }
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace aggchecker

@@ -46,9 +46,11 @@ std::string Fingerprint(const core::CheckReport& report) {
       report.eval_stats.cache_hits, report.eval_stats.cache_misses,
       report.eval_stats.rows_scanned, report.eval_stats.queries_aborted);
   out += strings::Format(
-      "governor: rows=%" PRIu64 " groups=%" PRIu64 " exhausted=%d code=%d\n",
+      "governor: rows=%" PRIu64 " groups=%" PRIu64 " mem=%" PRIu64
+      " exhausted=%d code=%d\n",
       report.governor_usage.rows_charged,
       report.governor_usage.cube_groups_charged,
+      report.governor_usage.memory_bytes_charged,
       report.governor_usage.exhausted ? 1 : 0,
       static_cast<int>(report.governor_usage.stop_code));
   for (const auto& v : report.verdicts) {
@@ -126,6 +128,30 @@ TEST(ParallelDeterminismTest, GeneratedCasesIdenticalAcrossThreadCounts) {
     for (size_t threads : {size_t{2}, size_t{8}}) {
       EXPECT_EQ(RunCase(test_case, ThreadedOptions(threads)), baseline)
           << "case " << c << " with " << threads << " threads";
+    }
+  }
+}
+
+// The cube backends are interchangeable: the vectorized pipeline and the
+// row-at-a-time scalar oracle produce bit-identical reports — including
+// governor charge totals (both modes charge the same canonical modeled
+// constants) — at any thread count.
+TEST(ParallelDeterminismTest, CubeExecModesProduceIdenticalReports) {
+  fi::DisarmAll();
+  corpus::GeneratorOptions options;
+  options.num_cases = 3;
+  options.seed = 808;
+  for (size_t c = 0; c < options.num_cases; ++c) {
+    corpus::CorpusCase test_case = corpus::GenerateCase(c, options);
+    core::CheckOptions oracle = ThreadedOptions(1);
+    oracle.cube_exec = db::CubeExecMode::kScalarOracle;
+    std::string baseline = RunCase(test_case, oracle);
+    ASSERT_NE(baseline, "check-failed");
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      core::CheckOptions vectorized = ThreadedOptions(threads);
+      vectorized.cube_exec = db::CubeExecMode::kVectorized;
+      EXPECT_EQ(RunCase(test_case, vectorized), baseline)
+          << "case " << c << " vectorized with " << threads << " threads";
     }
   }
 }
@@ -269,6 +295,9 @@ TEST(ParallelDeterminismTest, StarvedBudgetsDegradeGracefullyWithThreads) {
     for (uint64_t budget : {uint64_t{1}, uint64_t{5000}, uint64_t{100000}}) {
       core::CheckOptions check_options = ThreadedOptions(8);
       check_options.governor.max_row_scans = budget;
+      // Pair each row budget with a memory budget in a different decade so
+      // either limit may trip first; degradation must look the same.
+      check_options.governor.max_memory_bytes = budget * 64;
       auto checker =
           core::AggChecker::Create(&test_case.database, check_options);
       ASSERT_TRUE(checker.ok());

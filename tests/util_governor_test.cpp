@@ -84,6 +84,44 @@ TEST(ResourceGovernorTest, CubeGroupBudgetTripsImmediately) {
   EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
 }
 
+TEST(ResourceGovernorTest, MemoryBudgetTripsImmediately) {
+  // Like cube groups, modeled-byte charges are structural points inspected
+  // on every call: a limit of N trips once N bytes have been charged.
+  GovernorLimits limits;
+  limits.max_memory_bytes = 1 << 20;
+  EXPECT_FALSE(limits.unlimited());
+  ResourceGovernor governor(limits);
+  EXPECT_TRUE(governor.ChargeMemoryBytes((1 << 20) - 1).ok());
+  Status status = governor.ChargeMemoryBytes(1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_NE(status.message().find("memory budget"), std::string::npos);
+  EXPECT_EQ(governor.usage().memory_bytes_charged, uint64_t{1} << 20);
+  // Sticky, like every other limit.
+  EXPECT_EQ(governor.ChargeRows(1).code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(ResourceGovernorTest, MemoryChargesFlowThroughShards) {
+  GovernorLimits limits;
+  limits.max_memory_bytes = 1000;
+  ResourceGovernor governor(limits);
+  {
+    ResourceGovernor::Shard shard(&governor);
+    // Memory charges flush pending rows first, so row totals are current
+    // at trip time.
+    EXPECT_TRUE(shard.ChargeRows(7).ok());
+    EXPECT_TRUE(shard.ChargeMemoryBytes(999).ok());
+    EXPECT_EQ(governor.usage().rows_charged, 7u);
+    EXPECT_FALSE(shard.ChargeMemoryBytes(1).ok());
+  }
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.usage().memory_bytes_charged, 1000u);
+  governor.Reset();
+  EXPECT_EQ(governor.usage().memory_bytes_charged, 0u);
+  EXPECT_FALSE(governor.exhausted());
+}
+
 TEST(ResourceGovernorTest, DeadlineTrips) {
   GovernorLimits limits;
   limits.deadline_seconds = 1e-6;
