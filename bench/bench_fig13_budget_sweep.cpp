@@ -35,9 +35,13 @@ int main() {
                 result.reports.size());
   }
 
+  // Join columns show the RelationCache under memory pressure: starved
+  // budgets withdraw cached joins (joins served per build drops), while
+  // roomy budgets materialize each relation once and hit thereafter.
   std::printf("--- middle: governor modeled-memory budget ---\n");
-  std::printf("%10s %10s %8s %8s %10s %8s %10s\n", "bytes", "time", "top-1",
-              "top-10", "queries", "partial", "exhausted");
+  std::printf("%10s %10s %8s %8s %10s %8s %10s %8s %9s\n", "bytes", "time",
+              "top-1", "top-10", "queries", "partial", "exhausted", "joins",
+              "join_hits");
   for (uint64_t budget :
        {uint64_t{1} << 12, uint64_t{1} << 16, uint64_t{1} << 20,
         uint64_t{1} << 24, uint64_t{0}}) {
@@ -51,11 +55,12 @@ int main() {
       std::snprintf(label, sizeof(label), "%llu",
                     static_cast<unsigned long long>(budget));
     }
-    std::printf("%10s %9.2fs %7.1f%% %7.1f%% %10zu %8zu %7zu/%zu\n", label,
-                result.total_seconds, result.coverage.TopK(1),
+    std::printf("%10s %9.2fs %7.1f%% %7.1f%% %10zu %8zu %7zu/%zu %8zu %9zu\n",
+                label, result.total_seconds, result.coverage.TopK(1),
                 result.coverage.TopK(10), result.queries_evaluated,
                 result.num_partial, result.cases_exhausted,
-                result.reports.size());
+                result.reports.size(), result.joins_built,
+                result.join_cache_hits);
   }
 
   std::printf("--- right: aggregation columns considered ---\n");

@@ -4,8 +4,11 @@
 // plus a thread-count sweep over the best strategy. Results are written to
 // BENCH_table6.json for cross-run tracking.
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "corpus/embedded_articles.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace aggchecker;
@@ -35,7 +38,8 @@ int main() {
     const char* label;
     db::EvalStrategy strategy;
     const char* paper;
-    double total = 0, query = 0;
+    double total = 0, query = 0, join = 0;
+    size_t joins_built = 0, join_cache_hits = 0;
   };
   RowResult rows[] = {
       {"Naive", db::EvalStrategy::kNaive, "paper 2587s total / 2415s query"},
@@ -51,37 +55,59 @@ int main() {
     auto result = corpus::RunOnCorpus(scaled, options);
     row.total = result.total_seconds;
     row.query = result.query_seconds;
+    row.join = result.join_seconds;
+    row.joins_built = result.joins_built;
+    row.join_cache_hits = result.join_cache_hits;
     std::printf("%-18s total=%7.2fs  query=%7.2fs  cubes=%zu  "
-                "cache_hits=%zu   %s\n",
+                "cache_hits=%zu  joins=%zu (hits %zu)   %s\n",
                 row.label, row.total, row.query, result.cube_queries,
-                result.cache_hits, row.paper);
+                result.cache_hits, result.joins_built,
+                result.join_cache_hits, row.paper);
   }
   std::printf("\nquery-time speedups: merging x%.1f, caching x%.1f, "
               "accumulated x%.1f (paper: x61.9, x2.1, x129.9)\n",
               rows[0].query / rows[1].query, rows[1].query / rows[2].query,
               rows[0].query / rows[2].query);
 
-  // Thread-count sweep over the best strategy (cube execution and
-  // per-claim candidate work run on a worker pool; results bit-identical).
-  // Speedup only materializes with real cores — on a single-core host this
-  // column tracks the pool/sharded-governor overhead instead.
-  std::printf("\nthread sweep (+ Caching strategy, identical results):\n");
+  // Thread-count sweep over the best strategy (cube jobs are split into
+  // (job, row-block) morsels drained by the worker pool; results are
+  // bit-identical for any thread count). The sweep is clamped to the
+  // machine's hardware concurrency: thread counts above the core count
+  // cannot speed anything up and would only measure oversubscription
+  // noise, so a single-core host runs (and records) only threads=1.
+  const size_t hw = ThreadPool::HardwareConcurrency();
+  std::vector<size_t> thread_counts;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    thread_counts.push_back(std::min(threads, hw));
+  }
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  std::printf("\nthread sweep (+ Caching strategy, identical results; "
+              "hardware_concurrency=%zu):\n",
+              hw);
   struct SweepResult {
     size_t threads;
     double total = 0, query = 0;
+    double plan = 0, execute = 0, fold = 0, answer = 0;
   };
   std::vector<SweepResult> sweep;
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+  for (size_t threads : thread_counts) {
     core::CheckOptions options;
     options.strategy = db::EvalStrategy::kMergedCached;
     options.model.max_eval_per_claim = 800;
     options.model.lucene_hits = 30;
     options.model.num_threads = threads;
     auto result = corpus::RunOnCorpus(scaled, options);
-    sweep.push_back({threads, result.total_seconds, result.query_seconds});
-    std::printf("  threads=%zu  total=%7.2fs  query=%7.2fs  speedup=x%.2f\n",
-                threads, result.total_seconds, result.query_seconds,
-                sweep[0].query / result.query_seconds);
+    sweep.push_back({threads, result.total_seconds, result.query_seconds,
+                     result.plan_seconds, result.execute_seconds,
+                     result.fold_seconds, result.answer_seconds});
+    std::printf(
+        "  threads=%zu  total=%7.2fs  query=%7.2fs  speedup=x%.2f  "
+        "[plan=%.2fs execute=%.2fs fold=%.2fs answer=%.2fs]\n",
+        threads, result.total_seconds, result.query_seconds,
+        sweep[0].query / result.query_seconds, result.plan_seconds,
+        result.execute_seconds, result.fold_seconds, result.answer_seconds);
   }
 
   // Machine-readable tracking (compared across commits by eye/scripts).
@@ -90,17 +116,23 @@ int main() {
     for (size_t i = 0; i < 3; ++i) {
       std::fprintf(out,
                    "    {\"label\": \"%s\", \"total_seconds\": %.4f, "
-                   "\"query_seconds\": %.4f}%s\n",
-                   rows[i].label, rows[i].total, rows[i].query,
+                   "\"query_seconds\": %.4f, \"join_seconds\": %.4f, "
+                   "\"joins_built\": %zu, \"join_cache_hits\": %zu}%s\n",
+                   rows[i].label, rows[i].total, rows[i].query, rows[i].join,
+                   rows[i].joins_built, rows[i].join_cache_hits,
                    i + 1 < 3 ? "," : "");
     }
-    std::fprintf(out, "  ],\n  \"thread_sweep\": [\n");
+    std::fprintf(out, "  ],\n  \"hardware_concurrency\": %zu,\n", hw);
+    std::fprintf(out, "  \"thread_sweep\": [\n");
     for (size_t i = 0; i < sweep.size(); ++i) {
       std::fprintf(out,
                    "    {\"threads\": %zu, \"total_seconds\": %.4f, "
-                   "\"query_seconds\": %.4f, \"speedup\": %.4f}%s\n",
+                   "\"query_seconds\": %.4f, \"speedup\": %.4f, "
+                   "\"phases\": {\"plan\": %.4f, \"execute\": %.4f, "
+                   "\"fold\": %.4f, \"answer\": %.4f}}%s\n",
                    sweep[i].threads, sweep[i].total, sweep[i].query,
-                   sweep[0].query / sweep[i].query,
+                   sweep[0].query / sweep[i].query, sweep[i].plan,
+                   sweep[i].execute, sweep[i].fold, sweep[i].answer,
                    i + 1 < sweep.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -1,19 +1,28 @@
-// Perf smoke gate (scripts/check.sh --perf-smoke): the vectorized cube
-// pipeline must beat the scalar oracle on the headline workload — a d=2
-// multi-aggregate cube at num_threads=1 — and must agree with it
-// bit-for-bit. Exits non-zero if the vectorized path is slower or the
-// results diverge, so a regression that silently de-vectorizes the cube
-// executor (or breaks its semantics) fails CI even before the full
-// micro-bench refresh runs.
+// Perf smoke gate (scripts/check.sh --perf-smoke), two checks:
+//
+//  1. Cube backend: the vectorized pipeline must beat the scalar oracle on
+//     the headline workload — a d=2 multi-aggregate cube at num_threads=1 —
+//     and must agree with it bit-for-bit. Catches a silent de-vectorization
+//     before the full micro-bench refresh runs.
+//  2. Engine: merged+cached evaluation over a PK-FK join workload must be
+//     >= 5x the naive cache-off path (the shared RelationCache plus query
+//     merging must actually pay), with bit-identical results; and with >= 2
+//     hardware threads, 2-thread merged evaluation must not be slower than
+//     1-thread (the morsel scheduler must not regress the scaling curve —
+//     skipped on single-core machines where there is nothing to scale to).
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "db/cube.h"
 #include "db/database.h"
+#include "db/eval_engine.h"
+#include "db/relation_cache.h"
+#include "util/thread_pool.h"
 
 namespace aggchecker {
 namespace {
@@ -140,6 +149,169 @@ bool CubesIdentical(const db::CubeResult& lhs, const db::CubeResult& rhs) {
   return true;
 }
 
+/// Two-table PK-FK database for the engine gate: fact.dim_id -> dim.id,
+/// so every query with a predicate on dim.label scans the joined relation
+/// (which the naive cache-off path re-materializes per query).
+db::Database MakeJoinDatabase() {
+  db::Database database("perf-smoke-join");
+  constexpr size_t kDimRows = 100;
+  {
+    db::Table dim("dim");
+    (void)dim.AddColumn("id", db::ValueType::kLong);
+    (void)dim.AddColumn("label", db::ValueType::kString);
+    for (size_t i = 0; i < kDimRows; ++i) {
+      (void)dim.AddRow({db::Value(static_cast<int64_t>(i)),
+                        db::Value("l" + std::to_string(i % 8))});
+    }
+    (void)database.AddTable(std::move(dim));
+  }
+  {
+    db::Table fact("fact");
+    (void)fact.AddColumn("dim_id", db::ValueType::kLong);
+    (void)fact.AddColumn("d0", db::ValueType::kString);
+    (void)fact.AddColumn("m", db::ValueType::kDouble);
+    for (size_t r = 0; r < kRows; ++r) {
+      (void)fact.AddRow(
+          {db::Value(static_cast<int64_t>((r * 2654435761u) % kDimRows)),
+           db::Value("v" + std::to_string(r % 5)),
+           db::Value(0.25 * static_cast<double>(r % 997) - 100.0)});
+    }
+    (void)database.AddTable(std::move(fact));
+  }
+  (void)database.AddForeignKey({"fact", "dim_id"}, {"dim", "id"});
+  return database;
+}
+
+/// The engine-gate batch: every query joins fact with dim.
+std::vector<db::SimpleAggregateQuery> MakeJoinBatch() {
+  std::vector<db::SimpleAggregateQuery> batch;
+  for (int l = 0; l < 8; ++l) {
+    for (int v = 0; v < 3; ++v) {
+      db::SimpleAggregateQuery q;
+      q.fn = db::AggFn::kCount;
+      q.agg_column = {"fact", ""};
+      q.predicates.push_back(
+          {{"dim", "label"}, db::Value("l" + std::to_string(l))});
+      q.predicates.push_back(
+          {{"fact", "d0"}, db::Value("v" + std::to_string(v))});
+      batch.push_back(q);
+      q.fn = db::AggFn::kSum;
+      q.agg_column = {"fact", "m"};
+      batch.push_back(q);
+    }
+  }
+  return batch;
+}
+
+/// Best-of-kReps wall time of one engine configuration, cold-started per
+/// rep (fresh engine + cleared relation cache). Results and stats of the
+/// last rep are returned for the equivalence/counter checks.
+double TimeEngine(const db::Database& database, db::EvalStrategy strategy,
+                  bool relation_cache, size_t threads,
+                  const std::vector<db::SimpleAggregateQuery>& batch,
+                  std::vector<std::optional<double>>* results,
+                  db::EvalStats* stats) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    database.relation_cache().Clear();
+    db::EvalEngine engine(&database, strategy);
+    if (!relation_cache) engine.SetRelationCache(nullptr);
+    ThreadPool pool(threads);
+    if (threads > 1) engine.SetThreadPool(&pool);
+    auto start = std::chrono::steady_clock::now();
+    auto r = engine.EvaluateBatch(batch);
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (elapsed < best) best = elapsed;
+    *results = std::move(r);
+    *stats = engine.stats();
+  }
+  return best;
+}
+
+int RunEngineGate() {
+  db::Database database = MakeJoinDatabase();
+  const auto batch = MakeJoinBatch();
+
+  std::vector<std::optional<double>> naive_results, merged_results;
+  db::EvalStats naive_stats, merged_stats;
+  double naive = TimeEngine(database, db::EvalStrategy::kNaive,
+                            /*relation_cache=*/false, 1, batch,
+                            &naive_results, &naive_stats);
+  double merged = TimeEngine(database, db::EvalStrategy::kMergedCached,
+                             /*relation_cache=*/true, 1, batch,
+                             &merged_results, &merged_stats);
+  double speedup = naive / merged;
+  std::printf(
+      "perf_smoke: naive(cache off)=%.3fms joins_built=%zu | "
+      "merged+cached=%.3fms joins_built=%zu join_cache_hits=%zu | "
+      "speedup=%.2fx (%zu queries, %zu-row fact x 100-row dim)\n",
+      naive * 1e3, naive_stats.joins_built, merged * 1e3,
+      merged_stats.joins_built, merged_stats.join_cache_hits, speedup,
+      batch.size(), kRows);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!BitEqual(naive_results[i], merged_results[i])) {
+      std::fprintf(stderr,
+                   "perf_smoke: FAIL — naive and merged+cached disagree on "
+                   "query %zu\n",
+                   i);
+      return 1;
+    }
+  }
+  if (merged_stats.joins_built != 1) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — merged+cached materialized the join "
+                 "%zu times (want exactly 1)\n",
+                 merged_stats.joins_built);
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — merged+cached is only %.2fx the naive "
+                 "cache-off path (gate: >= 5x)\n",
+                 speedup);
+    return 1;
+  }
+
+  if (ThreadPool::HardwareConcurrency() < 2) {
+    std::printf(
+        "perf_smoke: thread-scaling check skipped "
+        "(hardware_concurrency=%zu < 2)\n",
+        ThreadPool::HardwareConcurrency());
+    return 0;
+  }
+  // kMerged (no result cache) keeps every rep doing real cube work; the
+  // 1.15x tolerance absorbs scheduler noise without letting a real
+  // serialization regression (the old flat curve) through.
+  std::vector<std::optional<double>> t1_results, t2_results;
+  db::EvalStats t1_stats, t2_stats;
+  double t1 = TimeEngine(database, db::EvalStrategy::kMerged, true, 1,
+                         batch, &t1_results, &t1_stats);
+  double t2 = TimeEngine(database, db::EvalStrategy::kMerged, true, 2,
+                         batch, &t2_results, &t2_stats);
+  std::printf("perf_smoke: merged 1-thread=%.3fms 2-thread=%.3fms\n",
+              t1 * 1e3, t2 * 1e3);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!BitEqual(t1_results[i], t2_results[i])) {
+      std::fprintf(stderr,
+                   "perf_smoke: FAIL — thread counts disagree on query "
+                   "%zu\n",
+                   i);
+      return 1;
+    }
+  }
+  if (t2 > t1 * 1.15) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — 2-thread merged evaluation is slower "
+                 "than 1-thread (%.3fms vs %.3fms)\n",
+                 t2 * 1e3, t1 * 1e3);
+    return 1;
+  }
+  return 0;
+}
+
 int RunSmoke() {
   db::Database database = MakeDatabase();
   Workload workload = MakeWorkload(database);
@@ -168,6 +340,8 @@ int RunSmoke() {
                  speedup);
     return 1;
   }
+  int engine_gate = RunEngineGate();
+  if (engine_gate != 0) return engine_gate;
   std::printf("perf_smoke: OK\n");
   return 0;
 }

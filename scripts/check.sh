@@ -11,11 +11,15 @@
 #   scripts/check.sh default    # just the Release preset
 #   scripts/check.sh asan-ubsan # just the sanitizer preset
 #   scripts/check.sh tsan       # just the TSan concurrency subset
-#   scripts/check.sh perf-smoke # just the cube perf regression gate
+#   scripts/check.sh perf-smoke # just the perf regression gates
 #
 # The perf-smoke step builds the Release preset's `perf_smoke` binary and
-# fails if vectorized cube execution is not faster than the scalar oracle
-# (or if the two backends disagree on any cube cell).
+# fails if (a) vectorized cube execution is not faster than the scalar
+# oracle, (b) merged+cached engine evaluation over a PK-FK join workload is
+# not at least 5x the naive cache-off path (the shared relation cache must
+# pay for itself), or (c) on machines with >= 2 hardware threads, 2-thread
+# merged evaluation is slower than 1-thread. Every gate also requires
+# bit-identical results between the compared configurations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -49,6 +49,9 @@ Result<AggChecker> AggChecker::Create(const db::Database* db,
   checker.engine_ =
       std::make_shared<db::EvalEngine>(db, checker.options_.strategy);
   checker.engine_->SetCubeExecMode(checker.options_.cube_exec);
+  if (!checker.options_.relation_cache) {
+    checker.engine_->SetRelationCache(nullptr);
+  }
   // num_threads == 1 keeps the engine pool-free (the exact serial path);
   // 0 sizes the pool to the hardware. Results are identical either way.
   if (checker.options_.model.num_threads != 1) {

@@ -27,6 +27,12 @@ struct CheckOptions {
   /// oracle produce bit-identical reports; the oracle exists for
   /// differential testing and as the perf-smoke baseline.
   db::CubeExecMode cube_exec = db::CubeExecMode::kVectorized;
+  /// Acquire joined relations through the database's shared RelationCache
+  /// (built once per distinct table set, reused across batches, claims, and
+  /// EM iterations). false = every query/cube rebuilds its join privately —
+  /// the pre-cache reference behavior kept for differential tests and the
+  /// cache-off bench columns. Reports are bit-identical either way.
+  bool relation_cache = true;
   fragments::CatalogOptions catalog;
   /// Candidates kept per claim in the report (the UI shows top-5/top-10).
   size_t report_top_k = 10;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "db/relation_cache.h"
 #include "util/timer.h"
 
 namespace aggchecker {
@@ -12,6 +13,9 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
   options.report_top_k = std::max<size_t>(options.report_top_k, 20);
   CorpusRunResult result;
   for (const CorpusCase& test_case : corpus) {
+    // Cold start per configuration: relations cached by a previous run over
+    // the same corpus database must not bleed into this run's timings.
+    test_case.database.relation_cache().Clear();
     auto checker = core::AggChecker::Create(&test_case.database, options);
     if (!checker.ok()) continue;
     Timer timer;
@@ -22,6 +26,13 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
     result.queries_evaluated += report->queries_evaluated;
     result.cube_queries += report->eval_stats.cube_queries;
     result.cache_hits += report->eval_stats.cache_hits;
+    result.joins_built += report->eval_stats.joins_built;
+    result.join_cache_hits += report->eval_stats.join_cache_hits;
+    result.join_seconds += report->eval_stats.join_seconds;
+    result.plan_seconds += report->eval_stats.plan_seconds;
+    result.execute_seconds += report->eval_stats.execute_seconds;
+    result.fold_seconds += report->eval_stats.fold_seconds;
+    result.answer_seconds += report->eval_stats.answer_seconds;
     result.num_partial += report->NumPartial();
     result.cases_exhausted += report->governor_usage.exhausted ? 1 : 0;
     result.detection.Merge(ScoreErrorDetection(test_case, *report));

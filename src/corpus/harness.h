@@ -20,6 +20,14 @@ struct CorpusRunResult {
   size_t queries_evaluated = 0;
   size_t cube_queries = 0;
   size_t cache_hits = 0;
+  size_t joins_built = 0;      ///< join materializations (EvalStats)
+  size_t join_cache_hits = 0;  ///< joins served by the RelationCache
+  double join_seconds = 0;     ///< wall time spent materializing joins
+  /// Per-phase backend breakdown summed over cases (EvalStats).
+  double plan_seconds = 0;
+  double execute_seconds = 0;
+  double fold_seconds = 0;
+  double answer_seconds = 0;
   size_t num_partial = 0;      ///< claims cut short by the resource governor
   size_t cases_exhausted = 0;  ///< cases whose governor tripped a limit
 

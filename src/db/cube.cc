@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "db/joined_relation.h"
+#include "db/relation_cache.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
@@ -74,12 +75,117 @@ constexpr uint64_t kModeledComboBytes = 64;
 constexpr uint64_t kModeledGroupBaseBytes = 32;
 constexpr uint64_t kModeledAggStateBytes = 64;
 
-/// Per-dimension fast access: base-column dictionary codes plus a
-/// code -> bucket translation table, so scan loops never hash values.
-struct DimAccess {
-  const std::vector<int32_t>* codes;
-  std::vector<int16_t> code_to_bucket;
-};
+}  // namespace
+
+Status CubeExecution::Prepare(const Database& db, CubeResult* result,
+                              ScanStats* stats,
+                              const ResourceGovernor* governor,
+                              const CubeExecOptions& options) {
+  AGG_FAULT_POINT("cube.materialize");
+  result_ = result;
+  stats_ = stats;
+  governor_ = governor;
+  mode_ = options.mode;
+
+  const std::vector<ColumnRef>& dims = result->dims();
+  const std::vector<CubeAggregate>& aggregates = result->aggregates();
+  if (dims.size() != result->literals().size()) {
+    return Status::InvalidArgument("dims/literals size mismatch");
+  }
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("cube query needs at least one aggregate");
+  }
+  for (const CubeAggregate& agg : aggregates) {
+    if (agg.fn == AggFn::kPercentage ||
+        agg.fn == AggFn::kConditionalProbability) {
+      return Status::InvalidArgument(
+          "ratio aggregates must be derived from counts, not cubed directly");
+    }
+  }
+  if (dims.size() > CubeResult::kMaxDims) {
+    return Status::Unsupported("cube dimensionality above 4 not supported");
+  }
+
+  // Tables referenced by dims and aggregates; joined along PK-FK paths.
+  std::set<std::string> table_set;
+  for (const ColumnRef& dim : dims) table_set.insert(dim.table);
+  for (const CubeAggregate& a : aggregates) {
+    // Star aggregates still carry the table to count rows of.
+    if (!a.column.table.empty()) table_set.insert(a.column.table);
+  }
+  if (table_set.empty()) {
+    return Status::InvalidArgument("cube query references no table");
+  }
+  std::vector<std::string> tables(table_set.begin(), table_set.end());
+
+  // The join's row-index arrays are the first modeled allocation; the
+  // acquisition charges them (once per cached relation per governor run,
+  // or per build when uncached).
+  ResourceGovernor::Shard shard(governor);
+  RelationCache::AcquireInfo join_info;
+  auto rel = AcquireOrBuildRelation(options.relation_cache, db, tables,
+                                    shard, &join_info);
+  if (stats != nullptr) {
+    stats->joins_built += join_info.built ? 1 : 0;
+    stats->join_cache_hits += join_info.hit ? 1 : 0;
+    stats->join_seconds += join_info.build_seconds;
+  }
+  if (!rel.ok()) return rel.status();
+  relation_ = *rel;
+
+  dim_bindings_.clear();
+  dim_bindings_.reserve(dims.size());
+  for (const ColumnRef& dim : dims) {
+    auto b = relation_->Bind(dim);
+    if (!b.ok()) return b.status();
+    dim_bindings_.push_back(*b);
+  }
+  agg_bindings_.assign(aggregates.size(), JoinedRelation::Binding{});
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (aggregates[i].is_star()) continue;
+    auto b = relation_->Bind(aggregates[i].column);
+    if (!b.ok()) return b.status();
+    agg_bindings_[i] = *b;
+  }
+
+  access_.assign(dims.size(), DimAccess{});
+  for (size_t i = 0; i < dims.size(); ++i) {
+    const Column* column = dim_bindings_[i].column;
+    access_[i].codes = &column->Codes();
+    const auto& distinct = column->DistinctValues();
+    access_[i].code_to_bucket.resize(distinct.size());
+    for (size_t c = 0; c < distinct.size(); ++c) {
+      access_[i].code_to_bucket[c] = result->BucketOf(i, distinct[c]);
+    }
+  }
+
+  const size_t num_rows = relation_->num_rows();
+  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
+  if (mode_ == CubeExecMode::kScalarOracle) {
+    // The oracle is inherently sequential: one morsel covers the scan.
+    num_blocks_ = 1;
+  } else {
+    num_blocks_ = (num_rows + kBlock - 1) / kBlock;
+    row_combo_.assign(num_rows, 0);
+    block_first_keys_.assign(num_blocks_, {});
+  }
+  return Status::OK();
+}
+
+Status CubeExecution::ScanBlock(size_t block) {
+  return mode_ == CubeExecMode::kScalarOracle ? RunScalarOracle()
+                                              : ScanVectorizedBlock(block);
+}
+
+Status CubeExecution::Finish() {
+  if (mode_ == CubeExecMode::kVectorized) {
+    Status status = FinishVectorized();
+    if (!status.ok()) return status;
+  }
+  // The oracle writes its result cells inside RunScalarOracle.
+  if (stats_ != nullptr) stats_->rows_scanned += relation_->num_rows();
+  return Status::OK();
+}
 
 /// \brief Row-at-a-time reference path (CubeExecMode::kScalarOracle).
 ///
@@ -87,19 +193,18 @@ struct DimAccess {
 /// `Aggregator`s. This is the semantics oracle the vectorized kernels are
 /// differentially tested against, and the baseline the perf-smoke CI step
 /// compares with.
-Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
-                           const std::vector<int>& dim_handles,
-                           const std::vector<int>& agg_handles,
-                           const std::vector<DimAccess>& access,
-                           ResourceGovernor::Shard& shard) {
+Status CubeExecution::RunScalarOracle() {
+  const JoinedRelation& rel = *relation_;
+  CubeResult& result = *result_;
   const std::vector<CubeAggregate>& aggregates = result.aggregates();
-  const size_t d = dim_handles.size();
+  const size_t d = dim_bindings_.size();
   const size_t num_subsets = static_cast<size_t>(1) << d;
   const Value star_placeholder(static_cast<int64_t>(1));
   const uint64_t combo_bytes =
       kModeledComboBytes + num_subsets * sizeof(uint32_t);
   const uint64_t group_bytes =
       kModeledGroupBaseBytes + aggregates.size() * kModeledAggStateBytes;
+  ResourceGovernor::Shard shard(governor_);
 
   // Group accumulators, addressed by dense index; `group_keys` remembers
   // each group's packed bucket key for the final result assembly.
@@ -125,10 +230,10 @@ Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
       if (!charge.ok()) return charge;
     }
     for (size_t i = 0; i < d; ++i) {
-      size_t base = rel.base_row(r, dim_handles[i]);
-      int32_t code = (*access[i].codes)[base];
+      size_t base = dim_bindings_[i].base_row(r);
+      int32_t code = (*access_[i].codes)[base];
       row_buckets[i] =
-          code < 0 ? kDefaultBucket : access[i].code_to_bucket[code];
+          code < 0 ? kDefaultBucket : access_[i].code_to_bucket[code];
     }
     auto [combo_it, combo_new] =
         combo_index.try_emplace(CubeResult::PackKey(row_buckets, d),
@@ -171,9 +276,8 @@ Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
     }
     for (uint32_t group : combo_groups[combo_it->second]) {
       for (size_t a = 0; a < aggregates.size(); ++a) {
-        const Value& v = aggregates[a].is_star()
-                             ? star_placeholder
-                             : rel.at(r, agg_handles[a]);
+        const Value& v = aggregates[a].is_star() ? star_placeholder
+                                                 : agg_bindings_[a].at(r);
         groups[group][a].Add(v);
       }
     }
@@ -188,14 +292,59 @@ Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
   return Status::OK();
 }
 
-/// \brief Three-pass combo-partitioned pipeline (CubeExecMode::kVectorized).
+/// \brief Pass 1 of the combo-partitioned pipeline, one block.
 ///
-/// Pass 1 maps every row to a dense bucket-combination ("combo") id using
-/// dictionary codes, block-parallel over fixed kCheckIntervalRows blocks
-/// with a serial block-order fold, so combo ids equal the oracle's
-/// first-appearance order for any thread count. Pass 2 runs one typed
-/// kernel per aggregate over the flat primitive column views. Pass 3
-/// distributes combo accumulators into the 2^d groups per combo.
+/// Maps every row of the block to a block-local bucket-combination id using
+/// dictionary codes and records the packed keys in local first-appearance
+/// order. Runs concurrently with other blocks (of this or any other cube
+/// execution); FinishVectorized renumbers the local ids globally in block
+/// order, so global ids equal the oracle's first-appearance order for any
+/// thread count or morsel interleaving.
+Status CubeExecution::ScanVectorizedBlock(size_t block) {
+  const size_t num_rows = relation_->num_rows();
+  const size_t d = dim_bindings_.size();
+  constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
+  const size_t begin = block * kBlock;
+  const size_t end = std::min(begin + kBlock, num_rows);
+
+  std::array<const uint32_t*, CubeResult::kMaxDims> dim_idx{};
+  std::array<const int32_t*, CubeResult::kMaxDims> dim_codes{};
+  std::array<const int16_t*, CubeResult::kMaxDims> dim_buckets{};
+  for (size_t i = 0; i < d; ++i) {
+    dim_idx[i] = dim_bindings_[i].index;
+    dim_codes[i] = access_[i].codes->data();
+    dim_buckets[i] = access_[i].code_to_bucket.data();
+  }
+
+  // Per-block shard: row charges fold into the shared governor atomics
+  // once per block, the same totals as the oracle's per-block charging.
+  ResourceGovernor::Shard block_shard(governor_);
+  Status charge = block_shard.ChargeRows(end - begin);
+  if (!charge.ok()) return charge;
+  std::unordered_map<uint64_t, uint32_t> local;
+  std::vector<uint64_t>& first_keys = block_first_keys_[block];
+  int16_t buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      size_t base = dim_idx[i] != nullptr ? dim_idx[i][r] : r;
+      int32_t code = dim_codes[i][base];
+      buckets[i] = code < 0 ? kDefaultBucket : dim_buckets[i][code];
+    }
+    uint64_t key = CubeResult::PackKey(buckets, d);
+    auto [it, fresh] =
+        local.try_emplace(key, static_cast<uint32_t>(first_keys.size()));
+    if (fresh) first_keys.push_back(key);
+    row_combo_[r] = it->second;
+  }
+  return Status::OK();
+}
+
+/// \brief Serial epilogue of the combo-partitioned pipeline.
+///
+/// Folds the per-block combo ids in block order (pass 1's deterministic
+/// fold), builds the combo -> group fanout, then runs one typed kernel per
+/// aggregate over the flat primitive column views (pass 2) and distributes
+/// combo accumulators into the 2^d groups (pass 3).
 ///
 /// Bit-exactness with the oracle is by construction, not by tolerance:
 ///  - Count / CountDistinct fold integers (order-independent); distinct
@@ -208,67 +357,16 @@ Status ExecuteScalarOracle(const JoinedRelation& rel, CubeResult& result,
 ///    strict comparisons + earliest-row tie-break, reproducing the oracle's
 ///    first-occurrence semantics (observable only through -0.0/+0.0
 ///    representation; NaN inputs poison the group to nullopt either way).
-Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
-                         const std::vector<int>& dim_handles,
-                         const std::vector<int>& agg_handles,
-                         const std::vector<DimAccess>& access,
-                         const ResourceGovernor* governor,
-                         ResourceGovernor::Shard& shard, ThreadPool* pool) {
+Status CubeExecution::FinishVectorized() {
+  const JoinedRelation& rel = *relation_;
+  CubeResult& result = *result_;
   const std::vector<CubeAggregate>& aggregates = result.aggregates();
-  const size_t d = dim_handles.size();
+  const size_t d = dim_bindings_.size();
   const size_t num_subsets = static_cast<size_t>(1) << d;
   const size_t num_rows = rel.num_rows();
   constexpr size_t kBlock = ResourceGovernor::kCheckIntervalRows;
-  const size_t num_blocks = (num_rows + kBlock - 1) / kBlock;
-
-  std::array<const uint32_t*, CubeResult::kMaxDims> dim_idx{};
-  std::array<const int32_t*, CubeResult::kMaxDims> dim_codes{};
-  std::array<const int16_t*, CubeResult::kMaxDims> dim_buckets{};
-  for (size_t i = 0; i < d; ++i) {
-    dim_idx[i] = rel.row_index_data(dim_handles[i]);
-    dim_codes[i] = access[i].codes->data();
-    dim_buckets[i] = access[i].code_to_bucket.data();
-  }
-
-  // ---- Pass 1: row -> combo id ---------------------------------------
-  // Each block assigns block-local ids and records the packed keys in local
-  // first-appearance order; the serial fold below renumbers them globally.
-  std::vector<uint32_t> row_combo(num_rows);
-  std::vector<std::vector<uint64_t>> block_first_keys(num_blocks);
-  auto scan_block = [&](size_t b) -> Status {
-    const size_t begin = b * kBlock;
-    const size_t end = std::min(begin + kBlock, num_rows);
-    // Per-block shard: row charges fold into the shared governor atomics
-    // once per block, the same totals as the oracle's per-block charging.
-    ResourceGovernor::Shard block_shard(governor);
-    Status charge = block_shard.ChargeRows(end - begin);
-    if (!charge.ok()) return charge;
-    std::unordered_map<uint64_t, uint32_t> local;
-    std::vector<uint64_t>& first_keys = block_first_keys[b];
-    int16_t buckets[CubeResult::kMaxDims] = {0, 0, 0, 0};
-    for (size_t r = begin; r < end; ++r) {
-      for (size_t i = 0; i < d; ++i) {
-        size_t base = dim_idx[i] != nullptr ? dim_idx[i][r] : r;
-        int32_t code = dim_codes[i][base];
-        buckets[i] = code < 0 ? kDefaultBucket : dim_buckets[i][code];
-      }
-      uint64_t key = CubeResult::PackKey(buckets, d);
-      auto [it, fresh] =
-          local.try_emplace(key, static_cast<uint32_t>(first_keys.size()));
-      if (fresh) first_keys.push_back(key);
-      row_combo[r] = it->second;
-    }
-    return Status::OK();
-  };
-  if (pool != nullptr && num_blocks > 1) {
-    Status status = pool->ParallelForStatus(0, num_blocks, scan_block);
-    if (!status.ok()) return status;
-  } else {
-    for (size_t b = 0; b < num_blocks; ++b) {
-      Status status = scan_block(b);
-      if (!status.ok()) return status;
-    }
-  }
+  const size_t num_blocks = num_blocks_;
+  ResourceGovernor::Shard shard(governor_);
 
   // Serial fold in block order: global combo ids equal first-appearance
   // order over the whole relation — exactly the order the oracle discovers
@@ -281,8 +379,8 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
   const uint64_t combo_bytes =
       kModeledComboBytes + num_subsets * sizeof(uint32_t);
   for (size_t b = 0; b < num_blocks; ++b) {
-    translate[b].reserve(block_first_keys[b].size());
-    for (uint64_t key : block_first_keys[b]) {
+    translate[b].reserve(block_first_keys_[b].size());
+    for (uint64_t key : block_first_keys_[b]) {
       auto [it, fresh] =
           combo_ids.try_emplace(key, static_cast<uint32_t>(combo_keys.size()));
       if (fresh) {
@@ -297,7 +395,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
     const size_t begin = b * kBlock;
     const size_t end = std::min(begin + kBlock, num_rows);
     const std::vector<uint32_t>& tr = translate[b];
-    for (size_t r = begin; r < end; ++r) row_combo[r] = tr[row_combo[r]];
+    for (size_t r = begin; r < end; ++r) row_combo_[r] = tr[row_combo_[r]];
   }
   const size_t num_combos = combo_keys.size();
 
@@ -359,7 +457,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
   auto rows_per_combo = [&]() -> const std::vector<int64_t>& {
     if (combo_rows.empty() && num_combos > 0) {
       combo_rows.assign(num_combos, 0);
-      for (size_t r = 0; r < num_rows; ++r) ++combo_rows[row_combo[r]];
+      for (size_t r = 0; r < num_rows; ++r) ++combo_rows[row_combo_[r]];
     }
     return combo_rows;
   };
@@ -374,8 +472,8 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
   for (size_t a = 0; a < aggregates.size(); ++a) {
     const AggFn fn = aggregates[a].fn;
     const bool star = aggregates[a].is_star();
-    const Column* col = star ? nullptr : rel.column_of(agg_handles[a]);
-    const uint32_t* idx = star ? nullptr : rel.row_index_data(agg_handles[a]);
+    const Column* col = star ? nullptr : agg_bindings_[a].column;
+    const uint32_t* idx = star ? nullptr : agg_bindings_[a].index;
 
     switch (fn) {
       case AggFn::kCount: {
@@ -387,7 +485,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
           combo_n.assign(num_combos, 0);
           for (size_t r = 0; r < num_rows; ++r) {
             size_t base = idx != nullptr ? idx[r] : r;
-            combo_n[row_combo[r]] +=
+            combo_n[row_combo_[r]] +=
                 static_cast<int64_t>(flat.nulls[base] == 0);
           }
         }
@@ -416,7 +514,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
         for (size_t r = 0; r < num_rows; ++r) {
           size_t base = idx != nullptr ? idx[r] : r;
           int32_t code = codes[base];
-          if (code >= 0) combo_set[row_combo[r]].insert(code);
+          if (code >= 0) combo_set[row_combo_[r]].insert(code);
         }
         std::vector<std::unordered_set<int32_t>> group_set(num_groups);
         for (size_t c = 0; c < num_combos; ++c) {
@@ -458,7 +556,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
           size_t base = idx != nullptr ? idx[r] : r;
           if (flat.nulls[base]) continue;
           const double x = xs != nullptr ? xs[base] : 0.0;
-          const uint32_t c = row_combo[r];
+          const uint32_t c = row_combo_[r];
           ++combo_n[c];
           const uint8_t bad = std::isfinite(x) ? 0 : 1;
           const uint32_t* fan = &fanout[c * num_subsets];
@@ -498,7 +596,7 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
           size_t base = idx != nullptr ? idx[r] : r;
           if (flat.nulls[base]) continue;
           const double x = xs != nullptr ? xs[base] : 0.0;
-          Extreme& e = combo_ext[row_combo[r]];
+          Extreme& e = combo_ext[row_combo_[r]];
           e.poison |= !std::isfinite(x);
           if (!e.has) {
             e.best = x;
@@ -548,87 +646,24 @@ Status ExecuteVectorized(const JoinedRelation& rel, CubeResult& result,
   return Status::OK();
 }
 
-}  // namespace
-
 Status ExecuteCubeInto(const Database& db, CubeResult& result,
                        ScanStats* stats, const ResourceGovernor* governor,
                        const CubeExecOptions& options) {
-  AGG_FAULT_POINT("cube.materialize");
-  const std::vector<ColumnRef>& dims = result.dims();
-  const std::vector<CubeAggregate>& aggregates = result.aggregates();
-  if (dims.size() != result.literals().size()) {
-    return Status::InvalidArgument("dims/literals size mismatch");
-  }
-  if (aggregates.empty()) {
-    return Status::InvalidArgument("cube query needs at least one aggregate");
-  }
-  for (const CubeAggregate& agg : aggregates) {
-    if (agg.fn == AggFn::kPercentage ||
-        agg.fn == AggFn::kConditionalProbability) {
-      return Status::InvalidArgument(
-          "ratio aggregates must be derived from counts, not cubed directly");
+  CubeExecution exec;
+  Status prep = exec.Prepare(db, &result, stats, governor, options);
+  if (!prep.ok()) return prep;
+  const size_t num_blocks = exec.num_blocks();
+  if (options.pool != nullptr && num_blocks > 1) {
+    Status status = options.pool->ParallelForStatus(
+        0, num_blocks, [&](size_t b) { return exec.ScanBlock(b); });
+    if (!status.ok()) return status;
+  } else {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      Status status = exec.ScanBlock(b);
+      if (!status.ok()) return status;
     }
   }
-  if (dims.size() > CubeResult::kMaxDims) {
-    return Status::Unsupported("cube dimensionality above 4 not supported");
-  }
-
-  // Tables referenced by dims and aggregates; joined along PK-FK paths.
-  std::set<std::string> table_set;
-  for (const ColumnRef& dim : dims) table_set.insert(dim.table);
-  for (const CubeAggregate& a : aggregates) {
-    // Star aggregates still carry the table to count rows of.
-    if (!a.column.table.empty()) table_set.insert(a.column.table);
-  }
-  if (table_set.empty()) {
-    return Status::InvalidArgument("cube query references no table");
-  }
-  std::vector<std::string> tables(table_set.begin(), table_set.end());
-  auto rel_result = JoinedRelation::Build(db, tables);
-  if (!rel_result.ok()) return rel_result.status();
-  const JoinedRelation& rel = *rel_result;
-
-  // Per-call charge shard: scan blocks fold into the governor's atomics at
-  // kCheckIntervalRows granularity; group/memory charges pass through. The
-  // join's row-index arrays are the first modeled allocation.
-  ResourceGovernor::Shard shard(governor);
-  Status join_mem = shard.ChargeMemoryBytes(rel.ApproxBytes());
-  if (!join_mem.ok()) return join_mem;
-
-  std::vector<int> dim_handles;
-  dim_handles.reserve(dims.size());
-  for (const ColumnRef& dim : dims) {
-    auto h = rel.ResolveColumn(dim);
-    if (!h.ok()) return h.status();
-    dim_handles.push_back(*h);
-  }
-  std::vector<int> agg_handles(aggregates.size(), -1);
-  for (size_t i = 0; i < aggregates.size(); ++i) {
-    if (aggregates[i].is_star()) continue;
-    auto h = rel.ResolveColumn(aggregates[i].column);
-    if (!h.ok()) return h.status();
-    agg_handles[i] = *h;
-  }
-
-  std::vector<DimAccess> access(dims.size());
-  for (size_t i = 0; i < dims.size(); ++i) {
-    const Column* column = rel.column_of(dim_handles[i]);
-    access[i].codes = &column->Codes();
-    const auto& distinct = column->DistinctValues();
-    access[i].code_to_bucket.resize(distinct.size());
-    for (size_t c = 0; c < distinct.size(); ++c) {
-      access[i].code_to_bucket[c] = result.BucketOf(i, distinct[c]);
-    }
-  }
-
-  Status exec = options.mode == CubeExecMode::kScalarOracle
-                    ? ExecuteScalarOracle(rel, result, dim_handles,
-                                          agg_handles, access, shard)
-                    : ExecuteVectorized(rel, result, dim_handles, agg_handles,
-                                        access, governor, shard, options.pool);
-  if (!exec.ok()) return exec;
-  if (stats != nullptr) stats->rows_scanned += rel.num_rows();
-  return Status::OK();
+  return exec.Finish();
 }
 
 }  // namespace db

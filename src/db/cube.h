@@ -10,6 +10,8 @@
 #include "db/aggregate.h"
 #include "db/database.h"
 #include "db/executor.h"
+#include "db/joined_relation.h"
+#include "util/resource_governor.h"
 #include "util/status.h"
 
 namespace aggchecker {
@@ -17,6 +19,8 @@ namespace aggchecker {
 class ThreadPool;
 
 namespace db {
+
+class RelationCache;
 
 /// \brief One aggregate computed by a cube query: a base aggregation
 /// function applied to a column (or "*" for Count).
@@ -150,8 +154,85 @@ struct CubeExecOptions {
   /// Optional pool for the vectorized combo-assignment pass (pass 1), which
   /// parallelizes over fixed row blocks with a deterministic block-order
   /// fold. The caller must not already be inside a region of this pool.
-  /// Ignored by the scalar oracle. nullptr = serial.
+  /// Ignored by the scalar oracle. nullptr = serial. (The EvalEngine does
+  /// not use this — it schedules (job, block) morsels itself; this knob
+  /// serves standalone ExecuteCubeInto callers.)
   ThreadPool* pool = nullptr;
+  /// Optional shared relation cache: the cube's joined relation is acquired
+  /// through it (built once per distinct table set, memory charged once per
+  /// governor run) instead of being rebuilt per cube. nullptr = build a
+  /// private join per call, the pre-cache reference behavior.
+  RelationCache* relation_cache = nullptr;
+};
+
+/// \brief One cube materialization, split into schedulable phases.
+///
+/// The phase split is what makes morsel-driven batch scheduling possible:
+/// the engine Prepares every cube job (validation, relation acquisition,
+/// column binding, block sizing), then drains one global queue of
+/// (job, row-block) morsels on its pool via ScanBlock, then Finishes each
+/// job (the deterministic serial block-order fold plus aggregation
+/// kernels). Lifecycle: Prepare once; on OK, ScanBlock for every block in
+/// [0, num_blocks()) — concurrently if desired, each block exactly once —
+/// then Finish once. ScanBlock calls of one execution may run concurrently
+/// with each other and with any phase of other executions; they share only
+/// the immutable relation/database and the governor's atomics.
+///
+/// The vectorized mode scans blocks of ResourceGovernor::kCheckIntervalRows
+/// rows; the scalar oracle is inherently sequential and exposes a single
+/// block. Results are bit-identical across modes, thread counts, and
+/// block interleavings (the fold replays block order).
+class CubeExecution {
+ public:
+  CubeExecution() = default;
+
+  /// Validates the shell, acquires (or builds) the joined relation —
+  /// charging its modeled bytes per the relation-cache contract — binds
+  /// dimension/aggregate columns, and sizes the block range. On error the
+  /// execution must be discarded. Join-layer counters fold into `stats`.
+  Status Prepare(const Database& db, CubeResult* result, ScanStats* stats,
+                 const ResourceGovernor* governor,
+                 const CubeExecOptions& options);
+
+  /// Number of row-block morsels to scan. May be zero (empty relation).
+  size_t num_blocks() const { return num_blocks_; }
+
+  /// Scans one row block. Thread-safe across distinct blocks.
+  Status ScanBlock(size_t block);
+
+  /// Serial epilogue: deterministic block-order combo fold, aggregation
+  /// kernels, result cells, scan stats. Call once, after every ScanBlock
+  /// returned OK.
+  Status Finish();
+
+ private:
+  /// Per-dimension fast access: base-column dictionary codes plus a
+  /// code -> bucket translation table, so scan loops never hash values.
+  struct DimAccess {
+    const std::vector<int32_t>* codes = nullptr;
+    std::vector<int16_t> code_to_bucket;
+  };
+
+  Status RunScalarOracle();
+  Status ScanVectorizedBlock(size_t block);
+  Status FinishVectorized();
+
+  CubeResult* result_ = nullptr;
+  ScanStats* stats_ = nullptr;
+  const ResourceGovernor* governor_ = nullptr;
+  CubeExecMode mode_ = CubeExecMode::kVectorized;
+  std::shared_ptr<const JoinedRelation> relation_;
+  std::vector<JoinedRelation::Binding> dim_bindings_;
+  /// One per aggregate; the binding of a star aggregate stays default
+  /// (never dereferenced — star aggregates read no column).
+  std::vector<JoinedRelation::Binding> agg_bindings_;
+  std::vector<DimAccess> access_;
+  size_t num_blocks_ = 0;
+  // Vectorized pass-1 state: per-row block-local combo ids plus each
+  // block's packed keys in local first-appearance order; Finish renumbers
+  // them globally in block order.
+  std::vector<uint32_t> row_combo_;
+  std::vector<std::vector<uint64_t>> block_first_keys_;
 };
 
 /// \brief Executes one merged cube query (§6.2).

@@ -4,10 +4,20 @@
 #include <deque>
 #include <set>
 
+#include "db/relation_cache.h"
 #include "util/strings.h"
 
 namespace aggchecker {
 namespace db {
+
+Database::Database(std::string name)
+    : name_(std::move(name)),
+      relation_cache_(std::make_unique<RelationCache>()) {}
+
+// Out of line so RelationCache is a complete type where unique_ptr needs it.
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
 
 Status Database::AddTable(Table table) {
   std::string key = strings::ToLower(table.name());

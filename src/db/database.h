@@ -11,6 +11,8 @@
 namespace aggchecker {
 namespace db {
 
+class RelationCache;
+
 /// \brief Reference to a column by table and column name.
 struct ColumnRef {
   std::string table;
@@ -57,7 +59,10 @@ struct JoinPlanResult {
 /// in §6.3); AddForeignKey rejects edges that would close a cycle.
 class Database {
  public:
-  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+  explicit Database(std::string name = "db");
+  ~Database();
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
 
   const std::string& name() const { return name_; }
 
@@ -83,6 +88,14 @@ class Database {
   /// Total number of rows across all tables.
   size_t TotalRows() const;
 
+  /// \brief Per-database cache of materialized joined relations.
+  ///
+  /// Shared by every evaluation component running over this database (cube
+  /// backend, naive executor, result cache) so a distinct table set is
+  /// joined at most once per checking run. Thread-safe; mutable through a
+  /// const Database because caching is invisible to relational semantics.
+  RelationCache& relation_cache() const { return *relation_cache_; }
+
  private:
   int TableIndex(const std::string& name) const;
   bool WouldCreateCycle(const std::string& a, const std::string& b) const;
@@ -91,6 +104,7 @@ class Database {
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, int> table_index_;
   std::vector<ForeignKey> foreign_keys_;
+  mutable std::unique_ptr<RelationCache> relation_cache_;
 };
 
 }  // namespace db

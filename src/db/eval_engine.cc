@@ -4,6 +4,7 @@
 #include <array>
 #include <set>
 
+#include "db/relation_cache.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -49,17 +50,9 @@ std::string EvalEngine::DimSetKey(const std::vector<ColumnRef>& dims) {
 }
 
 std::string EvalEngine::RelationKey(const SimpleAggregateQuery& query) {
-  std::vector<std::string> tables;
-  for (const std::string& t : query.ReferencedTables()) {
-    tables.push_back(strings::ToLower(t));
-  }
-  std::sort(tables.begin(), tables.end());
-  std::string key;
-  for (const std::string& t : tables) {
-    key += t;
-    key += ',';
-  }
-  return key;
+  // Delegates to the relation cache's canonical key so cube grouping and
+  // join caching agree on relation identity by construction.
+  return RelationCache::KeyOf(query.ReferencedTables());
 }
 
 std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
@@ -108,24 +101,31 @@ std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
     bool skipped = false;
   };
   std::vector<Slot> slots(n);
+  Timer execute_timer;
   RunIndexed(n, [&](size_t i) {
     Slot& slot = slots[i];
     if (governor_ != nullptr && governor_->exhausted()) {
       slot.skipped = true;  // budget spent before this query started
       return;
     }
-    auto r = executor_.Execute(queries[i], &slot.scan, governor_);
+    auto r = executor_.Execute(queries[i], &slot.scan, governor_,
+                               relation_cache_);
     if (r.ok()) {
       slot.value = *r;
     } else {
       slot.status = r.status();
     }
   });
+  stats_.execute_seconds += execute_timer.ElapsedSeconds();
 
   // Fold phase (serial, index order): counters and the hard-error channel
   // update deterministically regardless of execution interleaving.
+  Timer fold_timer;
   for (size_t i = 0; i < n; ++i) {
     stats_.rows_scanned += slots[i].scan.rows_scanned;
+    stats_.joins_built += slots[i].scan.joins_built;
+    stats_.join_cache_hits += slots[i].scan.join_cache_hits;
+    stats_.join_seconds += slots[i].scan.join_seconds;
     if (slots[i].skipped || slots[i].status.IsResourceExhausted()) {
       ++stats_.queries_aborted;
       continue;
@@ -136,6 +136,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
     }
     results[i] = slots[i].value;
   }
+  stats_.fold_seconds += fold_timer.ElapsedSeconds();
   return results;
 }
 
@@ -263,6 +264,7 @@ const EvalEngine::CacheEntry* EvalEngine::FindCached(
 std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     const std::vector<SimpleAggregateQuery>& queries, bool use_cache) {
   std::vector<std::optional<double>> results(queries.size());
+  Timer plan_timer;
 
   // ---- Plan phase (serial) -------------------------------------------
   // Everything that touches shared state — grouping, cache lookups and
@@ -311,7 +313,8 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     if (normalized[i].unsatisfiable) {
       // Rare degenerate case: fall back to the reference executor so all
       // strategies agree on semantics.
-      auto r = executor_.Execute(q, &serial_scan, governor_);
+      auto r = executor_.Execute(q, &serial_scan, governor_,
+                                 relation_cache_);
       if (!r.ok()) {
         if (r.status().IsResourceExhausted()) {
           ++stats_.queries_aborted;
@@ -466,17 +469,34 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     planned.push_back(std::move(pg));
   }
 
-  // ---- Execute phase (parallel) --------------------------------------
+  stats_.plan_seconds += plan_timer.ElapsedSeconds();
+
+  // ---- Execute phase (parallel, morsel-driven) ------------------------
   // Each job fills exactly one shell; workers share nothing but the
-  // database (read-only, dictionaries and flat views pre-warmed) and the
-  // governor (atomic, charged through per-job shards). Parallelism goes to
-  // whichever level has the work: with several jobs the pool spreads over
-  // jobs; a lone job runs inline on this thread and hands the idle pool to
-  // the cube's block-parallel combo-assignment pass instead (the pool must
-  // never be entered from inside one of its own regions).
+  // database (read-only, dictionaries and flat views pre-warmed), the
+  // relation cache (internally synchronized), and the governor (atomic,
+  // charged through local shards). Three stages, each a flat RunIndexed
+  // so the pool is never entered from inside one of its own regions:
+  //
+  //  1. Prepare every job: validation, relation acquisition through the
+  //     shared cache (one build per distinct table set, concurrent
+  //     acquirers block only on that entry), column binding, block sizing.
+  //  2. Drain one global queue of (job, row-block) morsels. This replaces
+  //     the old jobs-XOR-blocks split — parallelism no longer depends on
+  //     the batch's shape: a lone 1M-row cube yields ~256 morsels, many
+  //     small cubes yield a few morsels each, and the pool load-balances
+  //     across all of them uniformly.
+  //  3. Finish every job: the serial block-order combo fold plus the
+  //     aggregation kernels, independent per job.
+  //
+  // Block scans write only job-local state, so the fold in Finish replays
+  // block order and results stay bit-identical for any thread count or
+  // morsel interleaving.
+  Timer execute_timer;
   CubeExecOptions exec_options;
   exec_options.mode = cube_exec_;
-  exec_options.pool = jobs.size() == 1 ? pool_ : nullptr;
+  exec_options.relation_cache = relation_cache_;
+  std::vector<CubeExecution> execs(jobs.size());
   RunIndexed(jobs.size(), [&](size_t j) {
     CubeJob& job = jobs[j];
     if (governor_ != nullptr) {
@@ -486,21 +506,67 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
         return;
       }
     }
-    job.status = ExecuteCubeInto(*db_, *job.shell, &job.scan, governor_,
-                                 exec_options);
+    job.status = execs[j].Prepare(*db_, job.shell.get(), &job.scan,
+                                  governor_, exec_options);
   });
+
+  struct Morsel {
+    uint32_t job = 0;
+    uint32_t block = 0;
+  };
+  std::vector<Morsel> morsels;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (!jobs[j].status.ok()) continue;
+    for (size_t b = 0; b < execs[j].num_blocks(); ++b) {
+      morsels.push_back(
+          Morsel{static_cast<uint32_t>(j), static_cast<uint32_t>(b)});
+    }
+  }
+  std::vector<Status> morsel_status(morsels.size());
+  RunIndexed(morsels.size(), [&](size_t m) {
+    if (governor_ != nullptr) {
+      Status trip = governor_->TripStatus();
+      if (!trip.ok()) {
+        morsel_status[m] = trip;  // budget spent before this morsel
+        return;
+      }
+    }
+    morsel_status[m] = execs[morsels[m].job].ScanBlock(morsels[m].block);
+  });
+  // Per-job error fold in ascending morsel order (= ascending block order
+  // within a job): the failure a job reports is its lowest failing block,
+  // not whichever worker lost the race.
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    CubeJob& job = jobs[morsels[m].job];
+    if (job.status.ok() && !morsel_status[m].ok()) {
+      job.status = morsel_status[m];
+    }
+  }
+
+  RunIndexed(jobs.size(), [&](size_t j) {
+    CubeJob& job = jobs[j];
+    if (!job.status.ok()) return;  // scans failed; shell stays unfilled
+    job.status = execs[j].Finish();
+  });
+  stats_.execute_seconds += execute_timer.ElapsedSeconds();
 
   // ---- Fold phase (serial, job order) --------------------------------
   // Stats accumulate and failed jobs withdraw their cache entries in plan
   // order, so cache contents and counters never depend on interleaving.
+  Timer fold_timer;
   for (CubeJob& job : jobs) {
     stats_.rows_scanned += job.scan.rows_scanned;
+    stats_.joins_built += job.scan.joins_built;
+    stats_.join_cache_hits += job.scan.join_cache_hits;
+    stats_.join_seconds += job.scan.join_seconds;
     if (job.status.ok()) continue;
     for (const std::string& key : job.cache_keys) cache_.erase(key);
     if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
   }
+  stats_.fold_seconds += fold_timer.ElapsedSeconds();
 
   // ---- Answer phase (serial, group order) ----------------------------
+  Timer answer_timer;
   for (const PlannedGroup& pg : planned) {
     for (size_t qi : pg.query_indices) {
       const auto& q = queries[qi];
@@ -531,7 +597,12 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     }
   }
 
+  stats_.answer_seconds += answer_timer.ElapsedSeconds();
+
   stats_.rows_scanned += serial_scan.rows_scanned;
+  stats_.joins_built += serial_scan.joins_built;
+  stats_.join_cache_hits += serial_scan.join_cache_hits;
+  stats_.join_seconds += serial_scan.join_seconds;
   return results;
 }
 

@@ -27,16 +27,33 @@ enum class EvalStrategy {
 const char* EvalStrategyName(EvalStrategy s);
 
 /// \brief Counters exposed for the Table 6 / Figure 13 benchmarks.
+///
+/// The wall-clock fields (query/join/phase seconds) are measurement-only:
+/// they vary run to run and stay out of the determinism fingerprints.
 struct EvalStats {
   size_t queries_answered = 0;
   size_t cube_queries = 0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t rows_scanned = 0;
+  /// Join-layer counters: how many times a joined relation was actually
+  /// materialized vs. served from the shared RelationCache. In cached mode
+  /// joins_built stays at one per distinct table set per checking run.
+  size_t joins_built = 0;
+  size_t join_cache_hits = 0;
   /// Queries left unanswered because the resource governor tripped; their
   /// results surface as nullopt and the owning claims become partial.
   size_t queries_aborted = 0;
   double query_seconds = 0.0;
+  double join_seconds = 0.0;  ///< wall time spent materializing joins
+  /// Per-phase breakdown of EvaluateBatch: plan (grouping, cache lookups,
+  /// shell construction), execute (relation acquisition + morsel scans +
+  /// epilogues), fold (serial stats/cache reconciliation), answer (cube
+  /// lookups). Naive batches report execute/fold only.
+  double plan_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double fold_seconds = 0.0;
+  double answer_seconds = 0.0;
 
   void Reset() { *this = EvalStats{}; }
 };
@@ -55,11 +72,17 @@ struct EvalStats {
 /// public interface stays externally single-threaded (one batch at a time),
 /// and batches follow a plan → execute → fold structure where only the
 /// execute phase runs on workers (see DESIGN.md "Concurrency contract").
-/// Results and cache state are bit-identical for any thread count.
+/// The merged execute phase is morsel-driven: every cube job is split into
+/// (job, row-block) morsels drained from one global queue, so a batch with
+/// a single large cube saturates the pool just like one with many small
+/// cubes. Results and cache state are bit-identical for any thread count.
 class EvalEngine {
  public:
   EvalEngine(const Database* db, EvalStrategy strategy)
-      : db_(db), strategy_(strategy), executor_(db) {}
+      : db_(db),
+        strategy_(strategy),
+        executor_(db),
+        relation_cache_(&db->relation_cache()) {}
 
   /// Evaluates every query; result[i] is nullopt when query i is invalid,
   /// unsatisfiable for value-returning aggregates, or undefined.
@@ -86,6 +109,13 @@ class EvalEngine {
   /// today's exact path). Not owned; must outlive the engine's use of it.
   void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
+
+  /// Overrides the relation cache joins are acquired through (default: the
+  /// database's own shared cache). nullptr disables caching — every query
+  /// and cube materializes a private join, the pre-cache reference behavior
+  /// the differential tests and benches compare against. Not owned.
+  void SetRelationCache(RelationCache* cache) { relation_cache_ = cache; }
+  RelationCache* relation_cache() const { return relation_cache_; }
 
   /// Selects how cube queries materialize (default: vectorized). The scalar
   /// oracle is the row-at-a-time reference path; results are bit-identical
@@ -179,6 +209,7 @@ class EvalEngine {
   EvalStats stats_;
   const ResourceGovernor* governor_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  RelationCache* relation_cache_ = nullptr;  ///< see SetRelationCache
   CubeExecMode cube_exec_ = CubeExecMode::kVectorized;
   std::mutex hard_error_mu_;
   Status hard_error_;  ///< first unexpected error; see ConsumeHardError()

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "db/joined_relation.h"
+#include "db/relation_cache.h"
 #include "util/fault_injection.h"
 #include "util/strings.h"
 
@@ -29,9 +30,10 @@ inline Status ChargeScanBlock(ResourceGovernor::Shard& shard, size_t r,
 /// Counts joined rows that satisfy the given predicates, counting rows whose
 /// aggregation column is non-null (or all rows for "*").
 Result<std::optional<double>> CountWithPredicates(
-    const JoinedRelation& rel, const ColumnRef& agg_column, bool star,
+    const JoinedRelation& rel, bool star,
     const std::vector<Predicate>& predicates,
-    const std::vector<int>& pred_handles, int agg_handle, ScanStats* stats,
+    const std::vector<JoinedRelation::Binding>& pred_bindings,
+    const JoinedRelation::Binding& agg_binding, ScanStats* stats,
     ResourceGovernor::Shard& shard) {
   int64_t count = 0;
   const size_t num_rows = rel.num_rows();
@@ -40,18 +42,17 @@ Result<std::optional<double>> CountWithPredicates(
     if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < predicates.size(); ++p) {
-      const Value& cell = rel.at(r, pred_handles[p]);
+      const Value& cell = pred_bindings[p].at(r);
       if (cell.is_null() || !(cell == predicates[p].value)) {
         match = false;
         break;
       }
     }
     if (!match) continue;
-    if (!star && rel.at(r, agg_handle).is_null()) continue;
+    if (!star && agg_binding.at(r).is_null()) continue;
     ++count;
   }
   if (stats != nullptr) stats->rows_scanned += rel.num_rows();
-  (void)agg_column;
   return std::optional<double>(static_cast<double>(count));
 }
 
@@ -100,7 +101,7 @@ Status QueryExecutor::Validate(const SimpleAggregateQuery& query) const {
 
 Result<std::optional<double>> QueryExecutor::Execute(
     const SimpleAggregateQuery& query, ScanStats* stats,
-    const ResourceGovernor* governor) const {
+    const ResourceGovernor* governor, RelationCache* relation_cache) const {
   AGG_FAULT_POINT("executor.execute");
   Status valid = Validate(query);
   if (!valid.ok()) return valid;
@@ -109,45 +110,49 @@ Result<std::optional<double>> QueryExecutor::Execute(
   // thread at a time, so this doubles as the per-thread shard.
   ResourceGovernor::Shard shard(governor);
 
-  auto tables = query.ReferencedTables();
-  auto rel_result = JoinedRelation::Build(*db_, tables);
-  if (!rel_result.ok()) return rel_result.status();
-  const JoinedRelation& rel = *rel_result;
-
   // The materialized join's row-index arrays are modeled evaluation state;
-  // charge them against the governor's memory budget (zero for
-  // single-table queries, which materialize nothing).
-  Status join_mem = shard.ChargeMemoryBytes(rel.ApproxBytes());
-  if (!join_mem.ok()) return join_mem;
-
-  int agg_handle = -1;
-  if (!query.is_star()) {
-    auto h = rel.ResolveColumn(query.agg_column);
-    if (!h.ok()) return h.status();
-    agg_handle = *h;
+  // AcquireOrBuildRelation charges them against the governor's memory
+  // budget (once per cached relation per run, or per build when uncached;
+  // zero for single-table queries, which materialize nothing).
+  auto tables = query.ReferencedTables();
+  RelationCache::AcquireInfo join_info;
+  auto rel_result = AcquireOrBuildRelation(relation_cache, *db_, tables,
+                                           shard, &join_info);
+  if (stats != nullptr) {
+    stats->joins_built += join_info.built ? 1 : 0;
+    stats->join_cache_hits += join_info.hit ? 1 : 0;
+    stats->join_seconds += join_info.build_seconds;
   }
-  std::vector<int> pred_handles;
-  pred_handles.reserve(query.predicates.size());
+  if (!rel_result.ok()) return rel_result.status();
+  const JoinedRelation& rel = **rel_result;
+
+  JoinedRelation::Binding agg_binding;
+  if (!query.is_star()) {
+    auto b = rel.Bind(query.agg_column);
+    if (!b.ok()) return b.status();
+    agg_binding = *b;
+  }
+  std::vector<JoinedRelation::Binding> pred_bindings;
+  pred_bindings.reserve(query.predicates.size());
   for (const Predicate& p : query.predicates) {
-    auto h = rel.ResolveColumn(p.column);
-    if (!h.ok()) return h.status();
-    pred_handles.push_back(*h);
+    auto b = rel.Bind(p.column);
+    if (!b.ok()) return b.status();
+    pred_bindings.push_back(*b);
   }
 
   // Ratio aggregates: quotient of two counts (footnote 1 / §4.4).
   if (query.fn == AggFn::kPercentage ||
       query.fn == AggFn::kConditionalProbability) {
-    auto num = CountWithPredicates(rel, query.agg_column, query.is_star(),
-                                   query.predicates, pred_handles, agg_handle,
-                                   stats, shard);
+    auto num = CountWithPredicates(rel, query.is_star(), query.predicates,
+                                   pred_bindings, agg_binding, stats, shard);
     if (!num.ok()) return num.status();
 
     std::vector<Predicate> denom_preds;
-    std::vector<int> denom_handles;
+    std::vector<JoinedRelation::Binding> denom_bindings;
     if (query.fn == AggFn::kConditionalProbability) {
       // Denominator restricted to the condition (first predicate) only.
       denom_preds.push_back(query.predicates[0]);
-      denom_handles.push_back(pred_handles[0]);
+      denom_bindings.push_back(pred_bindings[0]);
     } else {
       // Percentage: denominator drops predicates on the percentage column.
       for (size_t i = 0; i < query.predicates.size(); ++i) {
@@ -156,13 +161,12 @@ Result<std::optional<double>> QueryExecutor::Execute(
             query.predicates[i].column == query.agg_column;
         if (!on_agg_column) {
           denom_preds.push_back(query.predicates[i]);
-          denom_handles.push_back(pred_handles[i]);
+          denom_bindings.push_back(pred_bindings[i]);
         }
       }
     }
-    auto den = CountWithPredicates(rel, query.agg_column, query.is_star(),
-                                   denom_preds, denom_handles, agg_handle,
-                                   stats, shard);
+    auto den = CountWithPredicates(rel, query.is_star(), denom_preds,
+                                   denom_bindings, agg_binding, stats, shard);
     if (!den.ok()) return den.status();
     double d = den->value_or(0.0);
     if (d == 0.0) return std::optional<double>(std::nullopt);
@@ -177,14 +181,14 @@ Result<std::optional<double>> QueryExecutor::Execute(
     if (!charge.ok()) return charge;
     bool match = true;
     for (size_t p = 0; p < query.predicates.size(); ++p) {
-      const Value& cell = rel.at(r, pred_handles[p]);
+      const Value& cell = pred_bindings[p].at(r);
       if (cell.is_null() || !(cell == query.predicates[p].value)) {
         match = false;
         break;
       }
     }
     if (!match) continue;
-    agg.Add(query.is_star() ? star_placeholder : rel.at(r, agg_handle));
+    agg.Add(query.is_star() ? star_placeholder : agg_binding.at(r));
   }
   if (stats != nullptr) stats->rows_scanned += rel.num_rows();
   return agg.Finish();

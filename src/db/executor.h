@@ -10,9 +10,18 @@
 namespace aggchecker {
 namespace db {
 
+class RelationCache;
+
 /// \brief Statistics about executed scans (shared by naive and cube paths).
 struct ScanStats {
   size_t rows_scanned = 0;
+  /// Join-layer counters: materializations performed vs. served from the
+  /// RelationCache, and the wall time spent building joins. Kept out of the
+  /// determinism fingerprint (like all wall-clock fields, and because a
+  /// warm cache legitimately builds fewer joins than a cold one).
+  size_t joins_built = 0;
+  size_t join_cache_hits = 0;
+  double join_seconds = 0.0;
 };
 
 /// \brief Reference single-query executor (the "naive" strategy of Table 6).
@@ -33,9 +42,16 @@ class QueryExecutor {
   /// ResourceGovernor::kCheckIntervalRows blocks and the call returns the
   /// governor's kDeadlineExceeded / kBudgetExhausted Status when a limit
   /// trips mid-scan (cooperative cancellation).
+  ///
+  /// When `relation_cache` is non-null the joined relation is acquired
+  /// through it (built at most once per distinct table set, its modeled
+  /// bytes charged once per governor run); otherwise each call builds and
+  /// charges its own join — the pre-cache reference behavior, kept for
+  /// differential testing.
   Result<std::optional<double>> Execute(
       const SimpleAggregateQuery& query, ScanStats* stats = nullptr,
-      const ResourceGovernor* governor = nullptr) const;
+      const ResourceGovernor* governor = nullptr,
+      RelationCache* relation_cache = nullptr) const;
 
   /// Validates a query against the schema without executing it.
   Status Validate(const SimpleAggregateQuery& query) const;

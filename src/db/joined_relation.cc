@@ -83,7 +83,8 @@ Result<JoinedRelation> JoinedRelation::Build(
   return rel;
 }
 
-Result<int> JoinedRelation::ResolveColumn(const ColumnRef& ref) const {
+Result<JoinedRelation::Binding> JoinedRelation::Bind(
+    const ColumnRef& ref) const {
   const Column* column = db_->FindColumn(ref);
   if (column == nullptr) {
     return Status::NotFound("unknown column: " + ref.ToString());
@@ -101,8 +102,10 @@ Result<int> JoinedRelation::ResolveColumn(const ColumnRef& ref) const {
   if (!found) {
     return Status::InvalidArgument("table not part of join: " + ref.table);
   }
-  slots_.push_back(Slot{column, pos});
-  return static_cast<int>(slots_.size() - 1);
+  Binding binding;
+  binding.column = column;
+  binding.index = single_table_ ? nullptr : row_indices_[pos].data();
+  return binding;
 }
 
 }  // namespace db

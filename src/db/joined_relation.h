@@ -15,46 +15,44 @@ namespace db {
 /// Rows are represented as per-table row indices; column access goes through
 /// the base tables without copying values. Single-table requests skip the
 /// join machinery entirely.
+///
+/// Immutable after Build: every accessor (including Bind) is const and
+/// touches no mutable state, so one relation may be shared by any number of
+/// concurrent readers — the RelationCache hands the same instance to every
+/// cube job and naive scan that needs it.
 class JoinedRelation {
  public:
   /// Builds the join of `tables` (inner join along the database's unique
-  /// PK-FK paths, per §4.4). Fails if tables are not connected.
+  /// PK-FK paths, per §4.4). Fails if tables are not connected. The join
+  /// plan normalizes the table set internally, so the resulting row order
+  /// is canonical for a table *set* regardless of the order `tables` lists
+  /// it in — a cached relation is bit-identical to a per-caller rebuild.
   static Result<JoinedRelation> Build(const Database& db,
                                       const std::vector<std::string>& tables);
 
   size_t num_rows() const { return num_rows_; }
 
-  /// Resolves a column for fast repeated access. Fails if the column's
-  /// table was not part of the join.
-  Result<int> ResolveColumn(const ColumnRef& ref) const;
+  /// \brief A column bound to this relation for fast repeated access.
+  ///
+  /// Plain pointers into the relation and its base table; valid as long as
+  /// the relation (and database) live. `index == nullptr` means joined row
+  /// == base row (single-table relations).
+  struct Binding {
+    const Column* column = nullptr;
+    const uint32_t* index = nullptr;
 
-  /// Value of resolved column `handle` in joined row `row`.
-  const Value& at(size_t row, int handle) const {
-    const Slot& slot = slots_[static_cast<size_t>(handle)];
-    size_t base_row =
-        single_table_ ? row : row_indices_[slot.table_pos][row];
-    return slot.column->at(base_row);
-  }
+    /// Base-table row behind joined row `row`.
+    size_t base_row(size_t row) const {
+      return index != nullptr ? index[row] : row;
+    }
+    /// Value of the bound column in joined row `row`.
+    const Value& at(size_t row) const { return column->at(base_row(row)); }
+  };
 
-  /// Base table of a resolved column (for dictionary-code access).
-  const Column* column_of(int handle) const {
-    return slots_[static_cast<size_t>(handle)].column;
-  }
-
-  /// Base-table row index behind joined row `row` for column `handle`.
-  size_t base_row(size_t row, int handle) const {
-    const Slot& slot = slots_[static_cast<size_t>(handle)];
-    return single_table_ ? row : row_indices_[slot.table_pos][row];
-  }
-
-  /// Row-index array for column `handle`, or nullptr for single-table
-  /// relations (joined row == base row). Lets vectorized kernels hoist the
-  /// slot lookup out of their per-row loops:
-  ///   base_row = idx ? idx[row] : row.
-  const uint32_t* row_index_data(int handle) const {
-    if (single_table_) return nullptr;
-    return row_indices_[slots_[static_cast<size_t>(handle)].table_pos].data();
-  }
+  /// Binds a column for repeated access. Fails if the column's table was
+  /// not part of the join. Const and thread-safe: bindings are snapshots,
+  /// not registrations.
+  Result<Binding> Bind(const ColumnRef& ref) const;
 
   /// Modeled bytes of the materialized join state (the per-table row-index
   /// arrays). Zero for single-table relations, which materialize nothing.
@@ -69,18 +67,12 @@ class JoinedRelation {
  private:
   JoinedRelation() = default;
 
-  struct Slot {
-    const Column* column;
-    size_t table_pos;  ///< index into row_indices_
-  };
-
   const Database* db_ = nullptr;
   bool single_table_ = false;
   size_t num_rows_ = 0;
   std::vector<std::string> table_order_;  // lower-cased names
   // row_indices_[t][r] = row in base table t for joined row r.
   std::vector<std::vector<uint32_t>> row_indices_;
-  mutable std::vector<Slot> slots_;
 };
 
 }  // namespace db

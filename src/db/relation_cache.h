@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/joined_relation.h"
+#include "util/resource_governor.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace db {
+
+/// \brief Thread-safe, per-Database cache of materialized JoinedRelations,
+/// keyed by normalized table set.
+///
+/// The cube backend, the naive executor, and the result cache all scan the
+/// same handful of joined relations; before this cache each of them
+/// re-materialized the join per query / per cube job, which dominated the
+/// parallel path (every worker redoing the same hash join) and charged the
+/// governor's memory budget once per rebuild. Acquire returns one shared
+/// immutable relation per distinct table set, built exactly once and shared
+/// across batches, claims, and EM iterations.
+///
+/// Governor contract:
+///  - The join's modeled bytes (JoinedRelation::ApproxBytes) charge the
+///    shard's governor at most once per *run* (ResourceGovernor::run_id),
+///    not once per rebuild — so charge totals are identical for any thread
+///    count and for warm vs. cold caches.
+///  - If the charge trips the memory budget, the entry is withdrawn from
+///    the cache (the join "does not fit" this budget) and Acquire returns
+///    the stop Status; callers degrade to partial verdicts exactly as they
+///    would for an uncached build.
+///  - An already-tripped governor short-circuits Acquire without building.
+///
+/// Concurrency: the map mutex only guards entry lookup/insertion; each
+/// entry's own mutex serializes the one-time build and the per-run charge,
+/// so concurrent acquirers of the *same* relation block on the builder
+/// while acquirers of other relations proceed. Build failures are never
+/// cached (the entry is removed; a later Acquire retries), but waiters
+/// already queued on the failing entry observe the recorded failure Status
+/// rather than each re-running the failing build.
+class RelationCache {
+ public:
+  /// Per-call outcome, surfaced into ScanStats/EvalStats join counters.
+  struct AcquireInfo {
+    bool built = false;          ///< this call materialized the join
+    bool hit = false;            ///< served an already-built relation
+    double build_seconds = 0.0;  ///< wall time of the build, if any
+  };
+
+  /// Canonical cache key of a table set: sorted lower-cased names joined by
+  /// ','. Matches EvalEngine::RelationKey so cube grouping and relation
+  /// caching agree on what "the same relation" means.
+  static std::string KeyOf(const std::vector<std::string>& tables);
+
+  /// Returns the cached (or newly built) join of `tables` over `db`,
+  /// charging `shard`'s governor per the contract above. Thread-safe.
+  Result<std::shared_ptr<const JoinedRelation>> Acquire(
+      const Database& db, const std::vector<std::string>& tables,
+      ResourceGovernor::Shard& shard, AcquireInfo* info = nullptr);
+
+  /// Drops every cached relation (relations still referenced by in-flight
+  /// readers stay alive through their shared_ptrs). Benches call this
+  /// between configurations so each measures a cold start.
+  void Clear();
+
+  /// Number of cached relations.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::shared_ptr<const JoinedRelation> relation;
+    Status build_status = Status::OK();
+    bool build_attempted = false;
+    /// run_id of the governor run this relation's bytes were last charged
+    /// to; 0 = never charged.
+    uint64_t charged_run = 0;
+  };
+
+  /// Removes `entry` from the map if it is still the one registered under
+  /// `key` (a concurrent Clear/rebuild may have replaced it).
+  void Withdraw(const std::string& key, const std::shared_ptr<Entry>& entry);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+/// Acquires `tables`' relation through `cache` when non-null; otherwise
+/// builds a private copy and charges its modeled bytes to `shard` — the
+/// pre-cache reference path, kept so differential tests can compare cache
+/// on/off bit-for-bit. `info` reports built/hit/build-time either way.
+Result<std::shared_ptr<const JoinedRelation>> AcquireOrBuildRelation(
+    RelationCache* cache, const Database& db,
+    const std::vector<std::string>& tables, ResourceGovernor::Shard& shard,
+    RelationCache::AcquireInfo* info = nullptr);
+
+}  // namespace db
+}  // namespace aggchecker

@@ -4,7 +4,13 @@
 
 namespace aggchecker {
 
+namespace {
+/// Run ids start at 1 so 0 can mean "never charged" in per-run caches.
+std::atomic<uint64_t> g_next_run_id{0};
+}  // namespace
+
 void ResourceGovernor::Reset() {
+  run_id_ = g_next_run_id.fetch_add(1, std::memory_order_relaxed) + 1;
   rows_.store(0, std::memory_order_relaxed);
   rows_since_check_.store(0, std::memory_order_relaxed);
   cube_groups_.store(0, std::memory_order_relaxed);

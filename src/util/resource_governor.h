@@ -92,6 +92,13 @@ class ResourceGovernor {
     Reset();
   }
 
+  /// Process-unique id of the current run, reassigned by Reset(). Charge
+  /// deduplication keyed on this (the relation cache charges a cached join
+  /// once per run) stays correct across governor objects: two governors
+  /// never share a run id, so state cached under one run re-charges when a
+  /// fresh governor (or a Reset) starts the next run.
+  uint64_t run_id() const { return run_id_; }
+
   /// \brief Per-thread (strictly: per-evaluation-call) charge accumulator.
   ///
   /// Scan loops charge the shard; the shard folds rows into the parent's
@@ -148,6 +155,9 @@ class ResourceGovernor {
       pending_rows_ = 0;
       return governor_->ChargeRows(flushed);
     }
+
+    /// The wrapped governor (nullptr for the charge-nothing shard).
+    const ResourceGovernor* governor() const { return governor_; }
 
    private:
     const ResourceGovernor* governor_;
@@ -232,6 +242,7 @@ class ResourceGovernor {
   GovernorLimits limits_;
   std::chrono::steady_clock::time_point deadline_{};
   bool enforce_deadline_ = false;
+  uint64_t run_id_ = 0;  ///< assigned by Reset(); see run_id()
 
   mutable std::atomic<uint64_t> rows_{0};
   mutable std::atomic<uint64_t> rows_since_check_{0};

@@ -47,6 +47,14 @@ class ThreadPool {
   /// Threads participating in a region (workers + the calling thread).
   size_t num_threads() const { return workers_.size() + 1; }
 
+  /// Hardware thread count, never less than 1 (hardware_concurrency() may
+  /// legally return 0). Benches clamp their thread sweeps to this so
+  /// oversubscribed hosts stop reporting phantom scaling regressions.
+  static size_t HardwareConcurrency() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
   /// Runs `body(i)` for every i in [begin, end), distributing indices across
   /// the pool. Blocks until the whole range has executed. Rethrows the
   /// exception of the lowest failing index, if any. Safe to call repeatedly;

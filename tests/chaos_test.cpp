@@ -12,6 +12,7 @@
 #include "core/aggchecker.h"
 #include "core/interactive_session.h"
 #include "corpus/generator.h"
+#include "db/relation_cache.h"
 #include "db/table.h"
 #include "test_fixtures.h"
 #include "text/document.h"
@@ -256,6 +257,105 @@ TEST(ChaosTest, FuzzLiteStarvedMemoryBudgetsDegradeGracefully) {
                     StatusCode::kBudgetExhausted);
           EXPECT_GE(report->governor_usage.memory_bytes_charged, budget);
         }
+      }
+    }
+  }
+}
+
+// A governor memory trip against a *warm* relation cache: the cached join's
+// per-run charge must trip the starved run (single-charge accounting — the
+// bytes are modeled state this run cannot afford, built or cached), the
+// entry must be withdrawn so the cache never holds unaccounted state, and a
+// fresh unbudgeted run must rebuild and verify cleanly.
+TEST(ChaosTest, WarmRelationCacheSurvivesMemoryTrips) {
+  fi::DisarmAll();
+  auto database = testing_fixtures::MakeOrdersDatabase();
+  database.relation_cache().Clear();
+  db::SimpleAggregateQuery joined = testing_fixtures::CountStar(
+      "orders", {{{"customers", "region"}, db::Value(std::string("east"))}});
+  auto direct = db::JoinedRelation::Build(database, {"orders", "customers"});
+  ASSERT_TRUE(direct.ok());
+  const uint64_t join_bytes = direct->ApproxBytes();
+
+  // Warm run (naive keeps the accounting exact: the join's bytes are the
+  // only memory charge, paid exactly once despite three evaluations).
+  {
+    db::EvalEngine engine(&database, db::EvalStrategy::kNaive);
+    ResourceGovernor governor;
+    engine.SetGovernor(&governor);
+    auto results = engine.EvaluateBatch({joined, joined, joined});
+    ASSERT_TRUE(results[0].has_value());
+    EXPECT_DOUBLE_EQ(*results[0], 3.0);
+    EXPECT_EQ(engine.stats().joins_built, 1u);
+    EXPECT_EQ(engine.stats().join_cache_hits, 2u);
+    EXPECT_EQ(governor.usage().memory_bytes_charged, join_bytes);
+  }
+  EXPECT_EQ(database.relation_cache().size(), 1u);
+
+  // Starved run against the warm cache: the cached join re-charges under
+  // the new run id, trips the budget, and is withdrawn.
+  {
+    GovernorLimits tiny;
+    tiny.max_memory_bytes = 1;
+    db::EvalEngine engine(&database, db::EvalStrategy::kNaive);
+    ResourceGovernor governor(tiny);
+    engine.SetGovernor(&governor);
+    auto results = engine.EvaluateBatch({joined});
+    EXPECT_FALSE(results[0].has_value());
+    EXPECT_EQ(engine.stats().queries_aborted, 1u);
+    EXPECT_TRUE(engine.ConsumeHardError().ok());  // a stop, not an error
+    EXPECT_TRUE(governor.exhausted());
+    EXPECT_EQ(governor.usage().stop_code, StatusCode::kBudgetExhausted);
+  }
+  EXPECT_EQ(database.relation_cache().size(), 0u);
+
+  // Fresh unbudgeted run: rebuilds the withdrawn join and verifies as if
+  // the trip never happened.
+  {
+    db::EvalEngine engine(&database, db::EvalStrategy::kNaive);
+    ResourceGovernor governor;
+    engine.SetGovernor(&governor);
+    auto results = engine.EvaluateBatch({joined});
+    ASSERT_TRUE(results[0].has_value());
+    EXPECT_DOUBLE_EQ(*results[0], 3.0);
+    EXPECT_EQ(engine.stats().joins_built, 1u);
+    EXPECT_EQ(governor.usage().memory_bytes_charged, join_bytes);
+  }
+  EXPECT_EQ(database.relation_cache().size(), 1u);
+}
+
+// Starved memory budgets through the full pipeline with the relation cache
+// left warm between budget levels (no per-run Clear, unlike the harness):
+// degradation must stay graceful and a final unbudgeted rerun bit-clean.
+TEST(ChaosTest, FuzzLiteStarvedMemoryBudgetsWithWarmRelationCache) {
+  fi::DisarmAll();
+  corpus::GeneratorOptions options;
+  options.num_cases = 2;
+  options.seed = 20260808;
+  for (size_t c = 0; c < options.num_cases; ++c) {
+    corpus::CorpusCase test_case = corpus::GenerateCase(c, options);
+    for (uint64_t budget : {uint64_t{1}, uint64_t{1} << 14, uint64_t{0}}) {
+      core::CheckOptions check_options;
+      check_options.governor.max_memory_bytes = budget;
+      auto checker =
+          core::AggChecker::Create(&test_case.database, check_options);
+      ASSERT_TRUE(checker.ok());
+      auto report = checker->Check(test_case.document);
+      ASSERT_TRUE(report.ok())
+          << "case " << c << " budget " << budget << ": "
+          << report.status().ToString();
+      for (const auto& verdict : report->verdicts) {
+        if (verdict.partial) {
+          EXPECT_FALSE(verdict.likely_erroneous)
+              << "partial claim flagged erroneous (case " << c
+              << ", memory budget " << budget << ")";
+        }
+      }
+      if (budget == 0) {
+        // Unlimited rerun after the starved ones: nothing partial, and the
+        // cache (possibly emptied by withdrawals) rebuilt what it needed.
+        EXPECT_EQ(report->NumPartial(), 0u);
+        EXPECT_FALSE(report->governor_usage.exhausted);
       }
     }
   }

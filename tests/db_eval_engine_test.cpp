@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "db/relation_cache.h"
 #include "test_fixtures.h"
 #include "util/rng.h"
 
@@ -181,6 +182,37 @@ TEST(EvalEngineTest, CrossRelationQueriesNeverShareCubes) {
   auto again = engine.EvaluateBatch({count_customers, count_orders});
   EXPECT_DOUBLE_EQ(again[0].value(), 3.0);
   EXPECT_DOUBLE_EQ(again[1].value(), 5.0);
+}
+
+TEST(EvalEngineTest, JoinsBuiltOncePerTableSetPerRun) {
+  // Acceptance property of the shared relation cache: in merged/cached
+  // mode a checking run materializes each distinct table set at most once,
+  // no matter how many batches, claims, or EM iterations ask for it.
+  auto database = MakeOrdersDatabase();
+  database.relation_cache().Clear();
+  EvalEngine engine(&database, EvalStrategy::kMergedCached);
+
+  SimpleAggregateQuery joined = CountStar(
+      "orders", {{{"customers", "region"}, Value(std::string("east"))}});
+  SimpleAggregateQuery joined_sum = joined;
+  joined_sum.fn = AggFn::kSum;
+  joined_sum.agg_column = {"orders", "amount"};
+
+  // Several batches over the same two-table relation (different aggregates,
+  // so the second batch misses the result cache and runs a new cube).
+  (void)engine.EvaluateBatch({joined});
+  (void)engine.EvaluateBatch({joined_sum});
+  (void)engine.EvaluateBatch({joined, joined_sum});
+  EXPECT_EQ(engine.stats().joins_built, 1u);
+  EXPECT_GE(engine.stats().join_cache_hits, 1u);
+  EXPECT_GE(engine.stats().cube_queries, 2u);
+
+  // A second engine over the same database reuses the shared cache: zero
+  // further builds.
+  EvalEngine second(&database, EvalStrategy::kMerged);
+  (void)second.EvaluateBatch({joined, joined_sum});
+  EXPECT_EQ(second.stats().joins_built, 0u);
+  EXPECT_GE(second.stats().join_cache_hits, 1u);
 }
 
 TEST(EvalEngineTest, RelationKeyCanonical) {

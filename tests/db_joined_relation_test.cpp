@@ -18,10 +18,10 @@ TEST(JoinedRelationTest, SingleTablePassThrough) {
   auto rel = JoinedRelation::Build(database, {"nflsuspensions"});
   ASSERT_TRUE(rel.ok());
   EXPECT_EQ(rel->num_rows(), 10u);
-  auto h = rel->ResolveColumn({"nflsuspensions", "Team"});
-  ASSERT_TRUE(h.ok());
-  EXPECT_EQ(rel->at(0, *h).ToString(), "ARI");
-  EXPECT_EQ(rel->base_row(7, *h), 7u);
+  auto b = rel->Bind({"nflsuspensions", "Team"});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->at(0).ToString(), "ARI");
+  EXPECT_EQ(b->base_row(7), 7u);
 }
 
 TEST(JoinedRelationTest, InnerJoinDropsDanglingRows) {
@@ -36,12 +36,12 @@ TEST(JoinedRelationTest, JoinedColumnsAlign) {
   auto database = MakeOrdersDatabase();
   auto rel = JoinedRelation::Build(database, {"orders", "customers"});
   ASSERT_TRUE(rel.ok());
-  auto cust = rel->ResolveColumn({"orders", "customer_id"});
-  auto id = rel->ResolveColumn({"customers", "id"});
+  auto cust = rel->Bind({"orders", "customer_id"});
+  auto id = rel->Bind({"customers", "id"});
   ASSERT_TRUE(cust.ok());
   ASSERT_TRUE(id.ok());
   for (size_t r = 0; r < rel->num_rows(); ++r) {
-    EXPECT_EQ(rel->at(r, *cust), rel->at(r, *id)) << "row " << r;
+    EXPECT_EQ(cust->at(r), id->at(r)) << "row " << r;
   }
 }
 
@@ -49,8 +49,8 @@ TEST(JoinedRelationTest, ColumnFromUnjoinedTableRejected) {
   auto database = MakeOrdersDatabase();
   auto rel = JoinedRelation::Build(database, {"orders"});
   ASSERT_TRUE(rel.ok());
-  EXPECT_FALSE(rel->ResolveColumn({"customers", "region"}).ok());
-  EXPECT_FALSE(rel->ResolveColumn({"orders", "nope"}).ok());
+  EXPECT_FALSE(rel->Bind({"customers", "region"}).ok());
+  EXPECT_FALSE(rel->Bind({"orders", "nope"}).ok());
 }
 
 TEST(JoinedRelationTest, ThreeTableChain) {
@@ -73,10 +73,10 @@ TEST(JoinedRelationTest, ThreeTableChain) {
   // items joined to orders joined to customers: 3 item rows with live
   // orders, all of whose customers exist.
   EXPECT_EQ(rel->num_rows(), 3u);
-  auto region = rel->ResolveColumn({"customers", "region"});
+  auto region = rel->Bind({"customers", "region"});
   ASSERT_TRUE(region.ok());
   for (size_t r = 0; r < rel->num_rows(); ++r) {
-    EXPECT_FALSE(rel->at(r, *region).is_null());
+    EXPECT_FALSE(region->at(r).is_null());
   }
 }
 

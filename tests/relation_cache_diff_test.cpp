@@ -1,0 +1,323 @@
+#include "db/relation_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "db/eval_engine.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aggchecker {
+namespace db {
+namespace {
+
+using testing_fixtures::MakeOrdersDatabase;
+
+/// Hexfloat fingerprint of a batch result: bit-identical or nothing.
+std::string Fingerprint(const std::vector<std::optional<double>>& results) {
+  std::string fp;
+  char buf[64];
+  for (const auto& r : results) {
+    if (r.has_value()) {
+      std::snprintf(buf, sizeof(buf), "%a;", *r);
+      fp += buf;
+    } else {
+      fp += "nullopt;";
+    }
+  }
+  return fp;
+}
+
+/// Randomized two-table PK-FK database: customers(id, region) and
+/// orders(id, customer_id, amount, status), with some dangling FKs.
+Database MakeRandomShopDatabase(uint64_t seed) {
+  Rng rng(seed);
+  Database database("shop");
+  const char* kRegions[] = {"east", "west", "north"};
+  const char* kStatus[] = {"open", "paid", "void"};
+  const int num_customers = static_cast<int>(rng.NextInt(3, 12));
+  {
+    Table customers("customers");
+    (void)customers.AddColumn("id", ValueType::kLong);
+    (void)customers.AddColumn("region", ValueType::kString);
+    for (int i = 0; i < num_customers; ++i) {
+      (void)customers.AddRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(std::string(kRegions[rng.NextBounded(3)]))});
+    }
+    (void)database.AddTable(std::move(customers));
+  }
+  {
+    Table orders("orders");
+    (void)orders.AddColumn("id", ValueType::kLong);
+    (void)orders.AddColumn("customer_id", ValueType::kLong);
+    (void)orders.AddColumn("amount", ValueType::kDouble);
+    (void)orders.AddColumn("status", ValueType::kString);
+    const int num_orders = static_cast<int>(rng.NextInt(20, 80));
+    for (int i = 0; i < num_orders; ++i) {
+      // ~10% dangling customer ids, dropped by the inner join.
+      int64_t cust = rng.NextBounded(10) == 0
+                         ? static_cast<int64_t>(num_customers + 100)
+                         : static_cast<int64_t>(
+                               rng.NextBounded(
+                                   static_cast<uint64_t>(num_customers)));
+      (void)orders.AddRow(
+          {Value(static_cast<int64_t>(i)), Value(cust),
+           Value(rng.NextDouble() * 100.0 - 20.0),
+           Value(std::string(kStatus[rng.NextBounded(3)]))});
+    }
+    (void)database.AddTable(std::move(orders));
+  }
+  (void)database.AddForeignKey({"orders", "customer_id"},
+                               {"customers", "id"});
+  return database;
+}
+
+/// A batch where every query references both tables (predicate on
+/// customers.region, aggregate over orders), so every evaluation runs over
+/// the same two-table joined relation.
+std::vector<SimpleAggregateQuery> MakeJoinBatch() {
+  std::vector<SimpleAggregateQuery> batch;
+  for (const char* region : {"east", "west", "north", "nowhere"}) {
+    SimpleAggregateQuery q;
+    q.fn = AggFn::kCount;
+    q.agg_column = {"orders", ""};
+    q.predicates.push_back(
+        {{"customers", "region"}, Value(std::string(region))});
+    batch.push_back(q);
+    q.fn = AggFn::kSum;
+    q.agg_column = {"orders", "amount"};
+    batch.push_back(q);
+    q.fn = AggFn::kAvg;
+    batch.push_back(q);
+    q.fn = AggFn::kMin;
+    batch.push_back(q);
+    q.fn = AggFn::kMax;
+    batch.push_back(q);
+    q.fn = AggFn::kCountDistinct;
+    q.agg_column = {"orders", "status"};
+    batch.push_back(q);
+    // Two-predicate variant: adds orders.status as a second dimension.
+    q.fn = AggFn::kCount;
+    q.agg_column = {"orders", ""};
+    q.predicates.push_back(
+        {{"orders", "status"}, Value(std::string("paid"))});
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+/// Property: cache on vs. off is bit-identical for every strategy and
+/// thread count, across randomized schemas.
+class RelationCacheDiffTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelationCacheDiffTest, CacheOnOffBitIdenticalAcrossStrategies) {
+  auto database = MakeRandomShopDatabase(GetParam());
+  const auto batch = MakeJoinBatch();
+
+  std::string reference;
+  bool have_reference = false;
+  for (EvalStrategy strategy : {EvalStrategy::kNaive, EvalStrategy::kMerged,
+                                EvalStrategy::kMergedCached}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (bool cache_on : {false, true}) {
+        database.relation_cache().Clear();
+        EvalEngine engine(&database, strategy);
+        if (!cache_on) engine.SetRelationCache(nullptr);
+        ThreadPool pool(threads);
+        if (threads > 1) engine.SetThreadPool(&pool);
+        std::string fp = Fingerprint(engine.EvaluateBatch(batch));
+        if (!have_reference) {
+          reference = fp;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(fp, reference)
+              << EvalStrategyName(strategy) << " threads=" << threads
+              << " cache=" << (cache_on ? "on" : "off");
+        }
+        // Cache on: the join materializes once; every further acquisition
+        // in the batch is a hit. Cache off: never a hit.
+        if (cache_on) {
+          EXPECT_EQ(engine.stats().joins_built, 1u);
+        } else {
+          EXPECT_EQ(engine.stats().join_cache_hits, 0u);
+          EXPECT_GE(engine.stats().joins_built, 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RelationCacheDiffTest, GovernorChargeTotalsMatchDedupedRebuilds) {
+  auto database = MakeRandomShopDatabase(GetParam());
+  const auto batch = MakeJoinBatch();
+  auto rel = JoinedRelation::Build(database, {"orders", "customers"});
+  ASSERT_TRUE(rel.ok());
+  const uint64_t join_bytes = rel->ApproxBytes();
+  ASSERT_GT(join_bytes, 0u);
+
+  for (EvalStrategy strategy : {EvalStrategy::kNaive, EvalStrategy::kMerged,
+                                EvalStrategy::kMergedCached}) {
+    GovernorUsage usage[2];
+    size_t joins_built[2];
+    for (int cache_on = 0; cache_on < 2; ++cache_on) {
+      database.relation_cache().Clear();
+      EvalEngine engine(&database, strategy);
+      if (cache_on == 0) engine.SetRelationCache(nullptr);
+      ResourceGovernor governor;  // unlimited: counts, never trips
+      engine.SetGovernor(&governor);
+      (void)engine.EvaluateBatch(batch);
+      usage[cache_on] = governor.usage();
+      joins_built[cache_on] = engine.stats().joins_built;
+    }
+    // Every query in the batch runs over the same two-table relation, so
+    // the only memory-charge difference between cache off and on is the
+    // deduplicated join rebuilds, each worth exactly `join_bytes`.
+    ASSERT_GE(joins_built[0], joins_built[1]) << EvalStrategyName(strategy);
+    EXPECT_EQ(usage[0].memory_bytes_charged - usage[1].memory_bytes_charged,
+              (joins_built[0] - joins_built[1]) * join_bytes)
+        << EvalStrategyName(strategy);
+    // Row/group totals are charge-identical — the cache changes join
+    // materialization only, never what gets scanned.
+    EXPECT_EQ(usage[0].rows_charged, usage[1].rows_charged)
+        << EvalStrategyName(strategy);
+    EXPECT_EQ(usage[0].cube_groups_charged, usage[1].cube_groups_charged)
+        << EvalStrategyName(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationCacheDiffTest,
+                         ::testing::Range(uint64_t{7000}, uint64_t{7008}));
+
+/// Concurrent acquirers of the same relation: one build, N-1 hits, the
+/// same shared instance for everyone, and the join's bytes charged to the
+/// governor exactly once. Run under tsan via the concurrency label.
+TEST(RelationCacheConcurrencyTest, ConcurrentAcquireBuildsOnce) {
+  auto database = MakeOrdersDatabase();
+  auto direct = JoinedRelation::Build(database, {"orders", "customers"});
+  ASSERT_TRUE(direct.ok());
+  const uint64_t join_bytes = direct->ApproxBytes();
+
+  constexpr size_t kAcquirers = 8;
+  RelationCache cache;
+  ResourceGovernor governor;
+  std::vector<std::shared_ptr<const JoinedRelation>> acquired(kAcquirers);
+  std::vector<RelationCache::AcquireInfo> infos(kAcquirers);
+  std::atomic<int> failures{0};
+  ThreadPool pool(kAcquirers);
+  pool.ParallelFor(0, kAcquirers, [&](size_t i) {
+    ResourceGovernor::Shard shard(&governor);
+    // Table order varies per acquirer; the canonical key makes them one.
+    std::vector<std::string> tables =
+        (i % 2 == 0) ? std::vector<std::string>{"orders", "customers"}
+                     : std::vector<std::string>{"Customers", "ORDERS"};
+    auto rel = cache.Acquire(database, tables, shard, &infos[i]);
+    if (!rel.ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    acquired[i] = *rel;
+  });
+
+  EXPECT_EQ(failures.load(), 0);
+  size_t built = 0, hits = 0;
+  for (size_t i = 0; i < kAcquirers; ++i) {
+    ASSERT_NE(acquired[i], nullptr) << i;
+    EXPECT_EQ(acquired[i], acquired[0]) << i;
+    built += infos[i].built ? 1 : 0;
+    hits += infos[i].hit ? 1 : 0;
+  }
+  EXPECT_EQ(built, 1u);
+  EXPECT_EQ(hits, kAcquirers - 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(governor.usage().memory_bytes_charged, join_bytes);
+}
+
+/// The per-run charge dedup keys on the governor's run id: a fresh governor
+/// (fresh run) re-charges a still-cached relation; the same run never
+/// charges it twice.
+TEST(RelationCacheTest, ChargesOncePerGovernorRun) {
+  auto database = MakeOrdersDatabase();
+  RelationCache cache;
+  ResourceGovernor first_run;
+  {
+    ResourceGovernor::Shard shard(&first_run);
+    ASSERT_TRUE(cache.Acquire(database, {"orders", "customers"}, shard).ok());
+    ASSERT_TRUE(cache.Acquire(database, {"orders", "customers"}, shard).ok());
+  }
+  const uint64_t charged = first_run.usage().memory_bytes_charged;
+  EXPECT_GT(charged, 0u);
+
+  ResourceGovernor second_run;
+  {
+    ResourceGovernor::Shard shard(&second_run);
+    RelationCache::AcquireInfo info;
+    ASSERT_TRUE(
+        cache.Acquire(database, {"orders", "customers"}, shard, &info).ok());
+    EXPECT_TRUE(info.hit);  // still cached — but a new run, so re-charged
+  }
+  EXPECT_EQ(second_run.usage().memory_bytes_charged, charged);
+  EXPECT_EQ(first_run.usage().memory_bytes_charged, charged);
+}
+
+/// A memory budget too small for the join: Acquire fails with the stop
+/// Status and withdraws the entry, so the cache never holds state the
+/// budget could not afford — and a later, larger run rebuilds cleanly.
+TEST(RelationCacheTest, BudgetTripWithdrawsEntry) {
+  auto database = MakeOrdersDatabase();
+  RelationCache cache;
+  GovernorLimits tiny;
+  tiny.max_memory_bytes = 1;  // any join materialization trips
+  ResourceGovernor governor(tiny);
+  {
+    ResourceGovernor::Shard shard(&governor);
+    auto rel = cache.Acquire(database, {"orders", "customers"}, shard);
+    ASSERT_FALSE(rel.ok());
+    EXPECT_TRUE(rel.status().IsResourceExhausted());
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(governor.exhausted());
+
+  // Already-tripped governor short-circuits before building anything.
+  {
+    ResourceGovernor::Shard shard(&governor);
+    RelationCache::AcquireInfo info;
+    auto rel = cache.Acquire(database, {"orders", "customers"}, shard, &info);
+    ASSERT_FALSE(rel.ok());
+    EXPECT_FALSE(info.built);
+    EXPECT_FALSE(info.hit);
+  }
+
+  ResourceGovernor roomy;  // unlimited
+  {
+    ResourceGovernor::Shard shard(&roomy);
+    RelationCache::AcquireInfo info;
+    auto rel = cache.Acquire(database, {"orders", "customers"}, shard, &info);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_TRUE(info.built);  // withdrawn entry rebuilt from scratch
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+/// Unknown tables are a build failure, never cached; the next acquire
+/// retries (and fails identically) instead of serving a poisoned entry.
+TEST(RelationCacheTest, BuildFailuresAreNotCached) {
+  auto database = MakeOrdersDatabase();
+  RelationCache cache;
+  ResourceGovernor::Shard shard(nullptr);
+  EXPECT_FALSE(cache.Acquire(database, {"orders", "ghosts"}, shard).ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Acquire(database, {"orders", "ghosts"}, shard).ok());
+  auto rel = cache.Acquire(database, {"orders", "customers"}, shard);
+  EXPECT_TRUE(rel.ok());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace aggchecker
