@@ -37,5 +37,32 @@ int main() {
                 study.ThroughputByArticle(a, sim::Tool::kAggChecker),
                 study.ThroughputByArticle(a, sim::Tool::kSql));
   }
+
+  // Where the backend time behind those throughputs goes: the per-phase
+  // EvalStats breakdown plus the plan-reuse counters, summed over articles.
+  db::EvalStats total;
+  for (const auto& article : study.articles) {
+    const db::EvalStats& s = article.report.eval_stats;
+    total.query_seconds += s.query_seconds;
+    total.plan_seconds += s.plan_seconds;
+    total.execute_seconds += s.execute_seconds;
+    total.fold_seconds += s.fold_seconds;
+    total.answer_seconds += s.answer_seconds;
+    total.join_seconds += s.join_seconds;
+    total.plans_built += s.plans_built;
+    total.plan_cache_hits += s.plan_cache_hits;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cube_queries += s.cube_queries;
+  }
+  std::printf("--- backend phases (all articles) ---\n");
+  std::printf("query %.4fs = plan %.4fs + execute %.4fs + fold %.4fs + "
+              "answer %.4fs (join %.4fs within execute)\n",
+              total.query_seconds, total.plan_seconds, total.execute_seconds,
+              total.fold_seconds, total.answer_seconds, total.join_seconds);
+  std::printf("cube queries %zu, result cache %zu hits / %zu misses, "
+              "plans built %zu, plan cache hits %zu\n",
+              total.cube_queries, total.cache_hits, total.cache_misses,
+              total.plans_built, total.plan_cache_hits);
   return 0;
 }

@@ -90,6 +90,7 @@ int main() {
     size_t threads;
     double total = 0, query = 0;
     double plan = 0, execute = 0, fold = 0, answer = 0;
+    size_t plans_built = 0, plan_cache_hits = 0;
   };
   std::vector<SweepResult> sweep;
   for (size_t threads : thread_counts) {
@@ -101,13 +102,16 @@ int main() {
     auto result = corpus::RunOnCorpus(scaled, options);
     sweep.push_back({threads, result.total_seconds, result.query_seconds,
                      result.plan_seconds, result.execute_seconds,
-                     result.fold_seconds, result.answer_seconds});
+                     result.fold_seconds, result.answer_seconds,
+                     result.plans_built, result.plan_cache_hits});
     std::printf(
         "  threads=%zu  total=%7.2fs  query=%7.2fs  speedup=x%.2f  "
-        "[plan=%.2fs execute=%.2fs fold=%.2fs answer=%.2fs]\n",
+        "[plan=%.2fs execute=%.2fs fold=%.2fs answer=%.2fs]  "
+        "plans=%zu (hits %zu)\n",
         threads, result.total_seconds, result.query_seconds,
         sweep[0].query / result.query_seconds, result.plan_seconds,
-        result.execute_seconds, result.fold_seconds, result.answer_seconds);
+        result.execute_seconds, result.fold_seconds, result.answer_seconds,
+        result.plans_built, result.plan_cache_hits);
   }
 
   // Machine-readable tracking (compared across commits by eye/scripts).
@@ -129,10 +133,12 @@ int main() {
                    "    {\"threads\": %zu, \"total_seconds\": %.4f, "
                    "\"query_seconds\": %.4f, \"speedup\": %.4f, "
                    "\"phases\": {\"plan\": %.4f, \"execute\": %.4f, "
-                   "\"fold\": %.4f, \"answer\": %.4f}}%s\n",
+                   "\"fold\": %.4f, \"answer\": %.4f}, "
+                   "\"plans_built\": %zu, \"plan_cache_hits\": %zu}%s\n",
                    sweep[i].threads, sweep[i].total, sweep[i].query,
                    sweep[0].query / sweep[i].query, sweep[i].plan,
                    sweep[i].execute, sweep[i].fold, sweep[i].answer,
+                   sweep[i].plans_built, sweep[i].plan_cache_hits,
                    i + 1 < sweep.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -10,6 +10,7 @@
 #include "corpus/generator.h"
 #include "db/eval_engine.h"
 #include "db/joined_relation.h"
+#include "db/query_interner.h"
 #include "util/resource_governor.h"
 #include "util/thread_pool.h"
 
@@ -164,6 +165,90 @@ void BM_CachedRepeatBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_CachedRepeatBatch);
+
+// --- Plan-phase micro benches: string keys vs interned fingerprints ----
+//
+// Steady-state EM iterations re-plan near-identical candidate batches
+// every round; these twins isolate that plan phase. The result cache is
+// warmed once so the execute phase collapses to cache hits, leaving the
+// per-query planning work. The String twin re-derives per-query grouping
+// keys (relation + dim-set strings) each round via EvaluateBatch; the
+// Fingerprint twin ships pre-encoded interner ids — as the translator
+// does after its first iteration — and hits the (relation, dim-set) plan
+// cache, so per-query work shrinks to integer lookups. Their ratio is
+// the plan-phase speedup of PR 5, swept over batch size.
+const db::Database& PlanBenchDatabase() {
+  static const db::Database* kDb = [] {
+    auto* db = new db::Database("plan-bench");
+    db::Table table("plan");
+    (void)table.AddColumn("a", db::ValueType::kString);
+    (void)table.AddColumn("b", db::ValueType::kString);
+    for (size_t r = 0; r < 1000; ++r) {
+      (void)table.AddRow({db::Value("a" + std::to_string(r % 250)),
+                          db::Value("b" + std::to_string(r % 200))});
+    }
+    (void)db->AddTable(std::move(table));
+    return db;
+  }();
+  return *kDb;
+}
+
+/// `n` distinct COUNT(*) candidates over (a, b) literal pairs; all share
+/// one dimension set, so they merge into a single cube whose result the
+/// warm-up run caches.
+std::vector<db::SimpleAggregateQuery> MakePlanBatch(int64_t n) {
+  std::vector<db::SimpleAggregateQuery> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    db::SimpleAggregateQuery q;
+    q.fn = db::AggFn::kCount;
+    q.agg_column = {"plan", ""};
+    q.predicates = {
+        {{"plan", "a"}, db::Value("a" + std::to_string((i / 200) % 250))},
+        {{"plan", "b"}, db::Value("b" + std::to_string(i % 200))}};
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+void BM_PlanPhaseString(benchmark::State& state) {
+  const auto& db = PlanBenchDatabase();
+  auto batch = MakePlanBatch(state.range(0));
+  db::EvalEngine engine(&db, db::EvalStrategy::kMergedCached);
+  engine.SetQueryFingerprints(false);
+  (void)engine.EvaluateBatch(batch);  // warm the result cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.EvaluateBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanPhaseString)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlanPhaseFingerprint(benchmark::State& state) {
+  const auto& db = PlanBenchDatabase();
+  auto batch = MakePlanBatch(state.range(0));
+  db::EvalEngine engine(&db, db::EvalStrategy::kMergedCached);
+  engine.SetQueryFingerprints(true);
+  std::vector<db::QueryInterner::Id> ids;
+  ids.reserve(batch.size());
+  for (const auto& q : batch) {
+    ids.push_back(engine.interner().InternQuery(q));
+  }
+  (void)engine.EvaluateInterned(ids);  // warm the result + plan caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.EvaluateInterned(ids));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanPhaseFingerprint)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CubeExecution(benchmark::State& state) {
   const auto& db = BenchDatabase();

@@ -1,4 +1,4 @@
-// Perf smoke gate (scripts/check.sh --perf-smoke), two checks:
+// Perf smoke gate (scripts/check.sh --perf-smoke), three checks:
 //
 //  1. Cube backend: the vectorized pipeline must beat the scalar oracle on
 //     the headline workload — a d=2 multi-aggregate cube at num_threads=1 —
@@ -10,6 +10,11 @@
 //     hardware threads, 2-thread merged evaluation must not be slower than
 //     1-thread (the morsel scheduler must not regress the scaling curve —
 //     skipped on single-core machines where there is nothing to scale to).
+//  3. Plan reuse: a multi-iteration EM run must serve repeated cube groups
+//     from the fingerprint plan cache (plan_cache_hits > 0), a second Check
+//     on the same instance must build zero new plans (each distinct plan is
+//     built at most once per engine lifetime), and the fingerprint path
+//     must report bit-identically to the string-keyed reference path.
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "core/aggchecker.h"
+#include "corpus/generator.h"
 #include "db/cube.h"
 #include "db/database.h"
 #include "db/eval_engine.h"
@@ -312,6 +319,115 @@ int RunEngineGate() {
   return 0;
 }
 
+bool VerdictsBitIdentical(const core::CheckReport& a,
+                          const core::CheckReport& b) {
+  if (a.verdicts.size() != b.verdicts.size()) return false;
+  for (size_t i = 0; i < a.verdicts.size(); ++i) {
+    const auto& va = a.verdicts[i];
+    const auto& vb = b.verdicts[i];
+    if (va.likely_erroneous != vb.likely_erroneous) return false;
+    if (std::memcmp(&va.correctness_probability,
+                    &vb.correctness_probability, sizeof(double)) != 0) {
+      return false;
+    }
+    if (va.top_queries.size() != vb.top_queries.size()) return false;
+    for (size_t q = 0; q < va.top_queries.size(); ++q) {
+      const auto& qa = va.top_queries[q];
+      const auto& qb = vb.top_queries[q];
+      if (!(qa.query == qb.query)) return false;
+      if (!BitEqual(qa.result, qb.result)) return false;
+      if (std::memcmp(&qa.probability, &qb.probability, sizeof(double)) !=
+          0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int RunPlanReuseGate() {
+  // A generated corpus case: large enough candidate spaces that a tight
+  // per-iteration budget forces the EM loop to evaluate candidates in
+  // tranches across iterations — the steady state where later tranches
+  // land in already-planned (relation, dim-set) groups. A budget that
+  // swallowed the whole space in iteration one would leave nothing for the
+  // plan cache to prove.
+  corpus::GeneratorOptions gen;
+  corpus::CorpusCase test_case = corpus::GenerateCase(3, gen);
+  db::Database& database = test_case.database;
+  core::CheckOptions options;
+  options.model.max_em_iterations = 5;
+  options.model.num_threads = 1;
+  options.model.max_eval_per_claim = 40;
+  options.model.min_eval_per_claim = 10;
+  auto checker = core::AggChecker::Create(&database, options);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "perf_smoke: FAIL — checker creation failed\n");
+    return 1;
+  }
+  auto first = checker->Check(test_case.document);
+  if (!first.ok() || first->verdicts.empty()) {
+    std::fprintf(stderr, "perf_smoke: FAIL — checking run failed\n");
+    return 1;
+  }
+  std::printf(
+      "perf_smoke: em_iterations=%d plans_built=%zu plan_cache_hits=%zu "
+      "(%zu claims)\n",
+      first->em_iterations, first->eval_stats.plans_built,
+      first->eval_stats.plan_cache_hits, first->verdicts.size());
+  if (first->eval_stats.plans_built == 0 ||
+      first->eval_stats.plan_cache_hits == 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — EM run did not exercise the plan "
+                 "cache (built=%zu hits=%zu)\n",
+                 first->eval_stats.plans_built,
+                 first->eval_stats.plan_cache_hits);
+    return 1;
+  }
+
+  // Same instance, same document: the engine (and its plan cache) persists
+  // across Check calls, so the rerun must build zero new plans. EvalStats
+  // are cumulative per engine, which is exactly what lets us assert this.
+  auto second = checker->Check(test_case.document);
+  if (!second.ok()) {
+    std::fprintf(stderr, "perf_smoke: FAIL — second checking run failed\n");
+    return 1;
+  }
+  if (second->eval_stats.plans_built != first->eval_stats.plans_built) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — rerun rebuilt plans (%zu -> %zu); "
+                 "each plan must be built at most once\n",
+                 first->eval_stats.plans_built,
+                 second->eval_stats.plans_built);
+    return 1;
+  }
+  if (second->eval_stats.plan_cache_hits <=
+      first->eval_stats.plan_cache_hits) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — rerun did not hit the plan cache\n");
+    return 1;
+  }
+
+  // The fingerprint path is an optimization, never a behavior change.
+  core::CheckOptions reference = options;
+  reference.query_fingerprints = false;
+  auto ref_checker = core::AggChecker::Create(&database, reference);
+  auto ref_report = ref_checker->Check(test_case.document);
+  if (!ref_report.ok() ||
+      !VerdictsBitIdentical(*first, *ref_report)) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — fingerprint and string paths "
+                 "disagree on verdicts\n");
+    return 1;
+  }
+  if (ref_report->eval_stats.plans_built != 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — string path touched the plan cache\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunSmoke() {
   db::Database database = MakeDatabase();
   Workload workload = MakeWorkload(database);
@@ -342,6 +458,8 @@ int RunSmoke() {
   }
   int engine_gate = RunEngineGate();
   if (engine_gate != 0) return engine_gate;
+  int plan_gate = RunPlanReuseGate();
+  if (plan_gate != 0) return plan_gate;
   std::printf("perf_smoke: OK\n");
   return 0;
 }

@@ -17,9 +17,12 @@
 # fails if (a) vectorized cube execution is not faster than the scalar
 # oracle, (b) merged+cached engine evaluation over a PK-FK join workload is
 # not at least 5x the naive cache-off path (the shared relation cache must
-# pay for itself), or (c) on machines with >= 2 hardware threads, 2-thread
-# merged evaluation is slower than 1-thread. Every gate also requires
-# bit-identical results between the compared configurations.
+# pay for itself), (c) on machines with >= 2 hardware threads, 2-thread
+# merged evaluation is slower than 1-thread, or (d) a multi-iteration EM
+# run fails to reuse cube plans: plan_cache_hits must be > 0, a repeated
+# Check must build zero new plans, and the fingerprint path must produce
+# the same verdicts as the string-keyed reference path. Every gate also
+# requires bit-identical results between the compared configurations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -49,6 +49,7 @@ Result<AggChecker> AggChecker::Create(const db::Database* db,
   checker.engine_ =
       std::make_shared<db::EvalEngine>(db, checker.options_.strategy);
   checker.engine_->SetCubeExecMode(checker.options_.cube_exec);
+  checker.engine_->SetQueryFingerprints(checker.options_.query_fingerprints);
   if (!checker.options_.relation_cache) {
     checker.engine_->SetRelationCache(nullptr);
   }

@@ -33,6 +33,12 @@ struct CheckOptions {
   /// the pre-cache reference behavior kept for differential tests and the
   /// cache-off bench columns. Reports are bit-identical either way.
   bool relation_cache = true;
+  /// Ship candidates to the engine as interned query fingerprints and plan
+  /// merged cubes against integer-keyed caches that survive EM iterations
+  /// (DESIGN.md §12). false = the string-keyed reference path, which
+  /// re-plans every batch from rebuilt SQL strings — kept for differential
+  /// tests and benches. Reports are bit-identical either way.
+  bool query_fingerprints = true;
   fragments::CatalogOptions catalog;
   /// Candidates kept per claim in the report (the UI shows top-5/top-10).
   size_t report_top_k = 10;

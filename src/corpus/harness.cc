@@ -33,6 +33,8 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
     result.execute_seconds += report->eval_stats.execute_seconds;
     result.fold_seconds += report->eval_stats.fold_seconds;
     result.answer_seconds += report->eval_stats.answer_seconds;
+    result.plans_built += report->eval_stats.plans_built;
+    result.plan_cache_hits += report->eval_stats.plan_cache_hits;
     result.num_partial += report->NumPartial();
     result.cases_exhausted += report->governor_usage.exhausted ? 1 : 0;
     result.detection.Merge(ScoreErrorDetection(test_case, *report));

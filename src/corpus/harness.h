@@ -28,6 +28,9 @@ struct CorpusRunResult {
   double execute_seconds = 0;
   double fold_seconds = 0;
   double answer_seconds = 0;
+  /// Plan-cache counters (fingerprint path; zero on the string path).
+  size_t plans_built = 0;
+  size_t plan_cache_hits = 0;
   size_t num_partial = 0;      ///< claims cut short by the resource governor
   size_t cases_exhausted = 0;  ///< cases whose governor tripped a limit
 

@@ -64,13 +64,45 @@ std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
       results = EvaluateNaive(queries);
       break;
     case EvalStrategy::kMerged:
-      results = EvaluateMerged(queries, /*use_cache=*/false);
+    case EvalStrategy::kMergedCached: {
+      const bool use_cache = strategy_ == EvalStrategy::kMergedCached;
+      if (query_fingerprints_) {
+        std::vector<QueryInterner::Id> ids;
+        ids.reserve(queries.size());
+        for (const auto& q : queries) ids.push_back(interner_.InternQuery(q));
+        results = EvaluateMergedIds(ids, use_cache);
+      } else {
+        results = EvaluateMerged(queries, use_cache);
+      }
       break;
-    case EvalStrategy::kMergedCached:
-      results = EvaluateMerged(queries, /*use_cache=*/true);
-      break;
+    }
   }
   stats_.queries_answered += queries.size();
+  stats_.query_seconds += timer.ElapsedSeconds();
+  return results;
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateInterned(
+    const std::vector<QueryInterner::Id>& ids) {
+  Timer timer;
+  std::vector<std::optional<double>> results;
+  switch (strategy_) {
+    case EvalStrategy::kNaive: {
+      // Naive has no plan to share; materialize and scan per query.
+      std::vector<SimpleAggregateQuery> queries;
+      queries.reserve(ids.size());
+      for (QueryInterner::Id id : ids) queries.push_back(interner_.Materialize(id));
+      results = EvaluateNaive(queries);
+      break;
+    }
+    case EvalStrategy::kMerged:
+      results = EvaluateMergedIds(ids, /*use_cache=*/false);
+      break;
+    case EvalStrategy::kMergedCached:
+      results = EvaluateMergedIds(ids, /*use_cache=*/true);
+      break;
+  }
+  stats_.queries_answered += ids.size();
   stats_.query_seconds += timer.ElapsedSeconds();
   return results;
 }
@@ -339,14 +371,6 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     group.query_indices.push_back(i);
   }
 
-  /// One cube to materialize: fills `shell` on a worker. `cache_keys` are
-  /// the cache entries published for it at plan time, withdrawn on failure.
-  struct CubeJob {
-    std::shared_ptr<CubeResult> shell;
-    std::vector<std::string> cache_keys;
-    Status status = Status::OK();
-    ScanStats scan;
-  };
   /// Where a query's aggregate comes from: a cube (cached or this batch's
   /// shell) and, if the cube is filled by this batch, its job index.
   struct Source {
@@ -471,6 +495,65 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
 
   stats_.plan_seconds += plan_timer.ElapsedSeconds();
 
+  ExecuteJobs(jobs);
+
+  // ---- Fold phase (serial, job order) --------------------------------
+  // Stats accumulate and failed jobs withdraw their cache entries in plan
+  // order, so cache contents and counters never depend on interleaving.
+  Timer fold_timer;
+  for (CubeJob& job : jobs) {
+    stats_.rows_scanned += job.scan.rows_scanned;
+    stats_.joins_built += job.scan.joins_built;
+    stats_.join_cache_hits += job.scan.join_cache_hits;
+    stats_.join_seconds += job.scan.join_seconds;
+    if (job.status.ok()) continue;
+    for (const std::string& key : job.cache_keys) cache_.erase(key);
+    if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
+  }
+  stats_.fold_seconds += fold_timer.ElapsedSeconds();
+
+  // ---- Answer phase (serial, group order) ----------------------------
+  Timer answer_timer;
+  for (const PlannedGroup& pg : planned) {
+    for (size_t qi : pg.query_indices) {
+      const auto& q = queries[qi];
+      CubeAggregate agg;
+      agg.column = q.agg_column;
+      agg.fn = (q.fn == AggFn::kPercentage ||
+                q.fn == AggFn::kConditionalProbability)
+                   ? AggFn::kCount
+                   : q.fn;
+      auto it = pg.sources.find(agg.Key());
+      if (it == pg.sources.end()) {
+        results[qi] = std::nullopt;
+        continue;
+      }
+      const Source& src = it->second;
+      if (src.job >= 0 && !jobs[static_cast<size_t>(src.job)].status.ok()) {
+        // Cube execution failed; a governor stop means this query was
+        // aborted (its claim degrades to a partial verdict).
+        if (jobs[static_cast<size_t>(src.job)]
+                .status.IsResourceExhausted()) {
+          ++stats_.queries_aborted;
+        }
+        results[qi] = std::nullopt;
+        continue;
+      }
+      results[qi] = AnswerFromCube(q, normalized[qi], *src.cube,
+                                   src.agg_idx);
+    }
+  }
+
+  stats_.answer_seconds += answer_timer.ElapsedSeconds();
+
+  stats_.rows_scanned += serial_scan.rows_scanned;
+  stats_.joins_built += serial_scan.joins_built;
+  stats_.join_cache_hits += serial_scan.join_cache_hits;
+  stats_.join_seconds += serial_scan.join_seconds;
+  return results;
+}
+
+void EvalEngine::ExecuteJobs(std::vector<CubeJob>& jobs) {
   // ---- Execute phase (parallel, morsel-driven) ------------------------
   // Each job fills exactly one shell; workers share nothing but the
   // database (read-only, dictionaries and flat views pre-warmed), the
@@ -549,10 +632,321 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     job.status = execs[j].Finish();
   });
   stats_.execute_seconds += execute_timer.ElapsedSeconds();
+}
+
+const EvalEngine::CompiledQuery& EvalEngine::EnsureCompiled(
+    QueryInterner::Id id) {
+  if (compiled_.size() <= id) compiled_.resize(id + 1);
+  CompiledQuery& cq = compiled_[id];
+  if (cq.compiled) return cq;
+  cq.compiled = true;
+  const SimpleAggregateQuery& q = interner_.Materialize(id);
+  cq.valid = executor_.Validate(q).ok();
+  if (!cq.valid) return cq;
+  cq.normalized = Normalize(q.predicates);
+  cq.dims.reserve(cq.normalized.preds.size());
+  for (const Predicate& p : cq.normalized.preds) cq.dims.push_back(p.column);
+  std::sort(cq.dims.begin(), cq.dims.end());
+  std::vector<QueryInterner::Id> dim_ids;
+  dim_ids.reserve(cq.dims.size());
+  for (const ColumnRef& d : cq.dims) dim_ids.push_back(interner_.InternColumn(d));
+  cq.dimset = interner_.InternDimSet(dim_ids);
+  cq.relation = interner_.InternTableSet(q.ReferencedTables());
+  AggFn base_fn = (q.fn == AggFn::kPercentage ||
+                   q.fn == AggFn::kConditionalProbability)
+                      ? AggFn::kCount
+                      : q.fn;
+  cq.agg = interner_.InternAggregate(base_fn,
+                                     interner_.InternColumn(q.agg_column));
+  return cq;
+}
+
+const EvalEngine::GroupPlan& EvalEngine::EnsureGroupPlan(
+    const CompiledQuery& cq) {
+  uint64_t key = (uint64_t{cq.relation} << 32) | uint64_t{cq.dimset};
+  auto it = group_plans_.find(key);
+  if (it != group_plans_.end()) {
+    ++stats_.plan_cache_hits;
+    return it->second;
+  }
+  GroupPlan plan;
+  plan.dims = cq.dims;
+  plan.dim_columns.reserve(plan.dims.size());
+  for (const ColumnRef& d : plan.dims) {
+    plan.dim_columns.push_back(db_->FindColumn(d));
+  }
+  plan.relation = cq.relation;
+  plan.dimset = cq.dimset;
+  plan.relation_key = interner_.relation_key(cq.relation);
+  plan.dimset_key = DimSetKey(plan.dims);
+  plan.sort_key = plan.relation_key + "||" + plan.dimset_key;
+  ++stats_.plans_built;
+  return group_plans_.emplace(key, std::move(plan)).first->second;
+}
+
+const EvalEngine::CacheEntry* EvalEngine::FindCachedIds(
+    QueryInterner::Id agg, const GroupPlan& plan,
+    const std::vector<const std::vector<Value>*>& dim_literals) const {
+  // Same coverage test as the string path's FindCached: every group
+  // dimension must be a dimension of the candidate cube, with every batch
+  // literal separately bucketed (relation equality is implied by the keys).
+  auto covers = [&](const CacheEntry& entry) {
+    const CubeResult& cube = *entry.cube;
+    for (size_t i = 0; i < plan.dims.size(); ++i) {
+      int dim = -1;
+      for (size_t d = 0; d < cube.dims().size(); ++d) {
+        if (cube.dims()[d] == plan.dims[i]) {
+          dim = static_cast<int>(d);
+          break;
+        }
+      }
+      if (dim < 0) return false;  // dimension not in this cube
+      for (const Value& v : *dim_literals[i]) {
+        if (cube.BucketOf(static_cast<size_t>(dim), v) == kDefaultBucket) {
+          return false;  // literal not separately bucketed
+        }
+      }
+    }
+    return true;
+  };
+
+  // Exact dimension-set hit first.
+  auto it = fp_cache_.find(SliceKey{agg, plan.relation, plan.dimset});
+  if (it != fp_cache_.end() && covers(it->second)) return &it->second;
+
+  // Otherwise any cached cube for the same aggregate over the same relation
+  // whose dimensions are a superset of the group's (rollup reuse, §6.3).
+  auto oit =
+      fp_cache_order_.find((uint64_t{agg} << 32) | uint64_t{plan.relation});
+  if (oit == fp_cache_order_.end()) return nullptr;
+  for (const SliceKey& key : oit->second) {
+    auto eit = fp_cache_.find(key);
+    if (eit == fp_cache_.end()) continue;  // withdrawn: stale order entry
+    if (covers(eit->second)) return &eit->second;
+  }
+  return nullptr;
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
+    const std::vector<QueryInterner::Id>& ids, bool use_cache) {
+  std::vector<std::optional<double>> results(ids.size());
+  Timer plan_timer;
+
+  // ---- Plan phase (serial) -------------------------------------------
+  // The fingerprint twin of EvaluateMerged's plan phase: same ordering,
+  // same cache decisions, but all identity work is integer hashing against
+  // state compiled once per distinct query / group and reused across
+  // batches and EM iterations.
+
+  // Compile every query once (validity, normalization, group ids).
+  for (QueryInterner::Id id : ids) EnsureCompiled(id);
+
+  // Batch-relevant literals: the union of predicate values per column over
+  // the whole batch — including invalid queries, exactly like the string
+  // path, which collects literals before validation. Dedup is by predicate
+  // id: the interner's value identity is Value::operator==, the same
+  // equivalence the string path's std::find dedup uses.
+  ++batch_epoch_;
+  if (batch_epoch_ == 0) {
+    // Epoch counter wrapped: stale stamps could alias. Reset all stamps.
+    std::fill(pred_epoch_.begin(), pred_epoch_.end(), 0u);
+    std::fill(col_epoch_.begin(), col_epoch_.end(), 0u);
+    batch_epoch_ = 1;
+  }
+  if (pred_epoch_.size() < interner_.num_predicates()) {
+    pred_epoch_.resize(interner_.num_predicates(), 0u);
+  }
+  if (col_epoch_.size() < interner_.num_columns()) {
+    col_epoch_.resize(interner_.num_columns(), 0u);
+    col_slot_.resize(interner_.num_columns(), 0u);
+  }
+  batch_cols_.clear();
+  for (QueryInterner::Id id : ids) {
+    for (QueryInterner::Id pid :
+         interner_.pred_list(interner_.query_pred_list(id))) {
+      if (pred_epoch_[pid] == batch_epoch_) continue;
+      pred_epoch_[pid] = batch_epoch_;
+      const auto& parts = interner_.predicate(pid);
+      if (col_epoch_[parts.column] != batch_epoch_) {
+        col_epoch_[parts.column] = batch_epoch_;
+        col_slot_[parts.column] = static_cast<uint32_t>(batch_cols_.size());
+        batch_cols_.push_back(parts.column);
+        if (batch_literals_.size() < batch_cols_.size()) {
+          batch_literals_.emplace_back();
+        }
+        batch_literals_[col_slot_[parts.column]].clear();
+      }
+      batch_literals_[col_slot_[parts.column]].push_back(
+          interner_.value(parts.value));
+    }
+  }
+
+  // Group queries by (relation, dimension set) — integer keys — then sort
+  // groups by the string path's composite map key so group order (and with
+  // it intra-batch cache rollup behavior) is byte-identical.
+  struct BatchGroup {
+    const GroupPlan* plan = nullptr;
+    std::vector<size_t> query_indices;
+  };
+  std::unordered_map<uint64_t, size_t> group_index;
+  std::vector<BatchGroup> batch_groups;
+  ScanStats serial_scan;
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const CompiledQuery& cq = compiled_[ids[i]];
+    if (!cq.valid) {
+      results[i] = std::nullopt;
+      continue;
+    }
+    if (cq.normalized.unsatisfiable) {
+      // Rare degenerate case: fall back to the reference executor so all
+      // strategies agree on semantics.
+      auto r = executor_.Execute(interner_.Materialize(ids[i]), &serial_scan,
+                                 governor_, relation_cache_);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) {
+          ++stats_.queries_aborted;
+        } else {
+          NoteHardError(r.status());
+        }
+      }
+      results[i] = r.ok() ? *r : std::nullopt;
+      continue;
+    }
+    uint64_t gkey = (uint64_t{cq.relation} << 32) | uint64_t{cq.dimset};
+    auto [git, inserted] = group_index.emplace(gkey, batch_groups.size());
+    if (inserted) {
+      batch_groups.push_back(BatchGroup{&EnsureGroupPlan(cq), {}});
+    }
+    batch_groups[git->second].query_indices.push_back(i);
+  }
+  std::sort(batch_groups.begin(), batch_groups.end(),
+            [](const BatchGroup& a, const BatchGroup& b) {
+              return a.plan->sort_key < b.plan->sort_key;
+            });
+
+  /// Where a query's aggregate comes from, keyed by aggregate id.
+  struct Source {
+    std::shared_ptr<CubeResult> cube;
+    size_t agg_idx = 0;
+    int job = -1;
+  };
+  struct PlannedGroup {
+    std::vector<size_t> query_indices;
+    std::unordered_map<QueryInterner::Id, Source> sources;
+  };
+  std::vector<CubeJob> jobs;
+  std::vector<PlannedGroup> planned;
+  planned.reserve(batch_groups.size());
+  std::unordered_map<const CubeResult*, int> job_of_cube;
+
+  for (BatchGroup& bg : batch_groups) {
+    const GroupPlan& plan = *bg.plan;
+    // Base aggregate ids needed by this group, deduplicated in first-need
+    // order (matches the string path's CubeAggregate dedup — aggregate ids
+    // are injective on (fn, column) identity).
+    std::vector<QueryInterner::Id> needed;
+    for (size_t qi : bg.query_indices) {
+      QueryInterner::Id agg = compiled_[ids[qi]].agg;
+      if (std::find(needed.begin(), needed.end(), agg) == needed.end()) {
+        needed.push_back(agg);
+      }
+    }
+
+    // This batch's literals per group dimension (every dimension column
+    // appeared in some raw predicate, so its batch slot exists).
+    std::vector<const std::vector<Value>*> dim_literals;
+    dim_literals.reserve(plan.dims.size());
+    for (size_t d = 0; d < plan.dims.size(); ++d) {
+      QueryInterner::Id col = interner_.dim_set(plan.dimset)[d];
+      dim_literals.push_back(&batch_literals_[col_slot_[col]]);
+    }
+
+    PlannedGroup pg;
+    pg.query_indices = std::move(bg.query_indices);
+    std::vector<QueryInterner::Id> to_execute;
+    for (QueryInterner::Id agg : needed) {
+      if (use_cache) {
+        const CacheEntry* hit = FindCachedIds(agg, plan, dim_literals);
+        if (hit != nullptr) {
+          ++stats_.cache_hits;
+          Source src;
+          src.cube = hit->cube;
+          src.agg_idx = hit->agg_idx;
+          auto jit = job_of_cube.find(hit->cube.get());
+          if (jit != job_of_cube.end()) src.job = jit->second;
+          pg.sources[agg] = std::move(src);
+          continue;
+        }
+        ++stats_.cache_misses;
+      }
+      to_execute.push_back(agg);
+    }
+
+    if (!to_execute.empty()) {
+      std::vector<std::vector<Value>> cube_literals;
+      cube_literals.reserve(plan.dims.size());
+      for (size_t d = 0; d < plan.dims.size(); ++d) {
+        cube_literals.push_back(*dim_literals[d]);
+        // Pre-warm the dimension's lazy dictionary (codes + distinct
+        // values) while still serial; cube workers then only read it.
+        if (plan.dim_columns[d] != nullptr) (void)plan.dim_columns[d]->Codes();
+      }
+      std::vector<CubeAggregate> cube_aggs;
+      cube_aggs.reserve(to_execute.size());
+      for (QueryInterner::Id agg : to_execute) {
+        const auto& parts = interner_.aggregate(agg);
+        CubeAggregate ca;
+        ca.fn = parts.fn;
+        ca.column = interner_.column(parts.column);
+        // Pre-warm what the vectorized kernels read: the flat typed view of
+        // the aggregate column, and the dictionary for CountDistinct.
+        if (!ca.is_star()) {
+          if (const Column* col = db_->FindColumn(ca.column)) {
+            (void)col->Flat();
+            if (ca.fn == AggFn::kCountDistinct) (void)col->Codes();
+          }
+        }
+        cube_aggs.push_back(std::move(ca));
+      }
+      CubeJob job;
+      job.shell = std::make_shared<CubeResult>(plan.dims, cube_literals,
+                                               cube_aggs);
+      const int job_idx = static_cast<int>(jobs.size());
+      job_of_cube[job.shell.get()] = job_idx;
+      ++stats_.cube_queries;
+      for (size_t a = 0; a < to_execute.size(); ++a) {
+        Source src;
+        src.cube = job.shell;
+        src.agg_idx = a;
+        src.job = job_idx;
+        pg.sources[to_execute[a]] = std::move(src);
+        if (use_cache) {
+          SliceKey key{to_execute[a], plan.relation, plan.dimset};
+          auto [cit, inserted] =
+              fp_cache_.emplace(key, CacheEntry{job.shell, a, {}});
+          if (!inserted) {
+            // Republished slice (the earlier cube lacked a literal bucket):
+            // replace the entry but keep its original rollup-scan position.
+            cit->second = CacheEntry{job.shell, a, {}};
+          } else {
+            fp_cache_order_[(uint64_t{to_execute[a]} << 32) |
+                            uint64_t{plan.relation}]
+                .push_back(key);
+          }
+          job.slice_keys.push_back(key);
+        }
+      }
+      jobs.push_back(std::move(job));
+    }
+    planned.push_back(std::move(pg));
+  }
+
+  stats_.plan_seconds += plan_timer.ElapsedSeconds();
+
+  ExecuteJobs(jobs);
 
   // ---- Fold phase (serial, job order) --------------------------------
-  // Stats accumulate and failed jobs withdraw their cache entries in plan
-  // order, so cache contents and counters never depend on interleaving.
   Timer fold_timer;
   for (CubeJob& job : jobs) {
     stats_.rows_scanned += job.scan.rows_scanned;
@@ -560,7 +954,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     stats_.join_cache_hits += job.scan.join_cache_hits;
     stats_.join_seconds += job.scan.join_seconds;
     if (job.status.ok()) continue;
-    for (const std::string& key : job.cache_keys) cache_.erase(key);
+    for (const SliceKey& key : job.slice_keys) fp_cache_.erase(key);
     if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
   }
   stats_.fold_seconds += fold_timer.ElapsedSeconds();
@@ -569,14 +963,8 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
   Timer answer_timer;
   for (const PlannedGroup& pg : planned) {
     for (size_t qi : pg.query_indices) {
-      const auto& q = queries[qi];
-      CubeAggregate agg;
-      agg.column = q.agg_column;
-      agg.fn = (q.fn == AggFn::kPercentage ||
-                q.fn == AggFn::kConditionalProbability)
-                   ? AggFn::kCount
-                   : q.fn;
-      auto it = pg.sources.find(agg.Key());
+      const CompiledQuery& cq = compiled_[ids[qi]];
+      auto it = pg.sources.find(cq.agg);
       if (it == pg.sources.end()) {
         results[qi] = std::nullopt;
         continue;
@@ -592,8 +980,8 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
         results[qi] = std::nullopt;
         continue;
       }
-      results[qi] = AnswerFromCube(q, normalized[qi], *src.cube,
-                                   src.agg_idx);
+      results[qi] = AnswerFromCube(interner_.Materialize(ids[qi]),
+                                   cq.normalized, *src.cube, src.agg_idx);
     }
   }
 
@@ -608,3 +996,4 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
 
 }  // namespace db
 }  // namespace aggchecker
+

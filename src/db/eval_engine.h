@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "db/database.h"
 #include "db/executor.h"
 #include "db/query.h"
+#include "db/query_interner.h"
 #include "util/thread_pool.h"
 
 namespace aggchecker {
@@ -44,6 +46,13 @@ struct EvalStats {
   /// Queries left unanswered because the resource governor tripped; their
   /// results surface as nullopt and the owning claims become partial.
   size_t queries_aborted = 0;
+  /// Plan-cache counters (fingerprint path only; the string-keyed reference
+  /// path re-plans every batch and leaves both at zero). A "plan" is the
+  /// per-(relation, dimension-set) grouping work — canonical keys, sorted
+  /// dims, column bindings — built once and reused across batches, claims,
+  /// and EM iterations.
+  size_t plans_built = 0;
+  size_t plan_cache_hits = 0;
   double query_seconds = 0.0;
   double join_seconds = 0.0;  ///< wall time spent materializing joins
   /// Per-phase breakdown of EvaluateBatch: plan (grouping, cache lookups,
@@ -86,16 +95,43 @@ class EvalEngine {
 
   /// Evaluates every query; result[i] is nullopt when query i is invalid,
   /// unsatisfiable for value-returning aggregates, or undefined.
+  /// With query fingerprints enabled (the default) merged strategies intern
+  /// the queries and run the fingerprint path; results are bit-identical
+  /// either way (the plan-cache differential test pins this down).
   std::vector<std::optional<double>> EvaluateBatch(
       const std::vector<SimpleAggregateQuery>& queries);
+
+  /// Evaluates a batch of interned queries by id (see interner()). The
+  /// fast path for callers that generate candidates as fingerprints — no
+  /// SimpleAggregateQuery strings are built except lazily for the naive
+  /// strategy and executor fallbacks. Ids must come from this engine's
+  /// interner. Requires query fingerprints enabled.
+  std::vector<std::optional<double>> EvaluateInterned(
+      const std::vector<QueryInterner::Id>& ids);
 
   /// Evaluates a single query using the engine's strategy (and cache).
   std::optional<double> Evaluate(const SimpleAggregateQuery& query);
 
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
-  void ClearCache() { cache_.clear(); }
+  void ClearCache() {
+    cache_.clear();
+    fp_cache_.clear();
+    fp_cache_order_.clear();
+  }
   EvalStrategy strategy() const { return strategy_; }
+
+  /// Toggles the fingerprint-keyed plan/cache path (default on). Off = the
+  /// string-keyed reference path, kept for differential testing exactly as
+  /// the scalar cube oracle and the uncached relation path are.
+  void SetQueryFingerprints(bool enabled) { query_fingerprints_ = enabled; }
+  bool query_fingerprints() const { return query_fingerprints_; }
+
+  /// The engine's query interner. Callers (the translator) intern candidate
+  /// fragments through this and ship ids to EvaluateInterned. Interning is
+  /// NOT thread-safe: only use it from serial sections, per the engine's
+  /// externally-single-threaded contract.
+  QueryInterner& interner() { return interner_; }
 
   /// Attaches a resource governor for subsequent evaluations (nullptr
   /// detaches). Not owned; the caller scopes it to one checking run. When a
@@ -161,10 +197,91 @@ class EvalEngine {
   };
   static NormalizedPreds Normalize(const std::vector<Predicate>& preds);
 
+  /// Slice identity on the fingerprint path: which (aggregate, relation,
+  /// dimension-set) a cached cube slice answers. The integer twin of the
+  /// string path's "AggKey|relation|dimset" cache key.
+  struct SliceKey {
+    QueryInterner::Id agg = QueryInterner::kNone;
+    QueryInterner::Id relation = QueryInterner::kNone;
+    QueryInterner::Id dimset = QueryInterner::kNone;
+    bool operator==(const SliceKey& o) const {
+      return agg == o.agg && relation == o.relation && dimset == o.dimset;
+    }
+  };
+  struct SliceKeyHasher {
+    size_t operator()(const SliceKey& k) const {
+      uint64_t h = (uint64_t{k.agg} << 40) ^ (uint64_t{k.relation} << 20) ^
+                   uint64_t{k.dimset};
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Per-query compilation cached across batches (indexed by interned query
+  /// id): validity, normalized predicates, sorted dimension columns, and the
+  /// interned ids planning groups by. Built once per distinct candidate for
+  /// the lifetime of the engine — the per-iteration plan work the string
+  /// path re-does from scratch.
+  struct CompiledQuery {
+    bool compiled = false;
+    bool valid = false;
+    NormalizedPreds normalized;
+    std::vector<ColumnRef> dims;  ///< normalized pred columns, sorted
+    QueryInterner::Id agg = QueryInterner::kNone;  ///< base-fn aggregate id
+    QueryInterner::Id relation = QueryInterner::kNone;
+    QueryInterner::Id dimset = QueryInterner::kNone;
+  };
+
+  /// Cached plan of one (relation, dimension-set) cube group: everything
+  /// the plan phase used to rebuild per batch from strings. Plans hold no
+  /// result data, so they never need governor-trip invalidation; the
+  /// catalog (hence every dim/relation here) is immutable per run.
+  struct GroupPlan {
+    std::vector<ColumnRef> dims;
+    std::vector<const Column*> dim_columns;  ///< bound once; may hold null
+    QueryInterner::Id relation = QueryInterner::kNone;
+    QueryInterner::Id dimset = QueryInterner::kNone;
+    std::string relation_key;
+    std::string dimset_key;
+    /// The string path's std::map composite key; batch groups sort by this
+    /// so group order (and thus intra-batch cache rollup behavior) is
+    /// byte-identical to the reference path.
+    std::string sort_key;
+  };
+
+  /// One cube to materialize: fills `shell` on a worker. The cache keys
+  /// (string- or fingerprint-keyed, per mode) published for it at plan time
+  /// are withdrawn on failure.
+  struct CubeJob {
+    std::shared_ptr<CubeResult> shell;
+    std::vector<std::string> cache_keys;
+    std::vector<SliceKey> slice_keys;
+    Status status = Status::OK();
+    ScanStats scan;
+  };
+
   std::vector<std::optional<double>> EvaluateNaive(
       const std::vector<SimpleAggregateQuery>& queries);
   std::vector<std::optional<double>> EvaluateMerged(
       const std::vector<SimpleAggregateQuery>& queries, bool use_cache);
+  std::vector<std::optional<double>> EvaluateMergedIds(
+      const std::vector<QueryInterner::Id>& ids, bool use_cache);
+
+  /// Compiles query `id` (validity, normalization, group ids) if not yet
+  /// cached and returns the compilation.
+  const CompiledQuery& EnsureCompiled(QueryInterner::Id id);
+
+  /// Returns the cached plan of group (cq.relation, cq.dimset), building it
+  /// from `cq` on first sight (counted in EvalStats::plans_built; hits in
+  /// plan_cache_hits).
+  const GroupPlan& EnsureGroupPlan(const CompiledQuery& cq);
+
+  /// Shared execute phase: Prepare / morsel-drained ScanBlock / Finish over
+  /// `jobs`, adding wall time to EvalStats::execute_seconds. Both merged
+  /// paths funnel through this so scheduling behavior cannot drift.
+  void ExecuteJobs(std::vector<CubeJob>& jobs);
 
   /// Runs body(i) for i in [0, n): on the attached pool when present,
   /// inline (in index order) otherwise.
@@ -194,6 +311,17 @@ class EvalEngine {
                                    needed_literals,
                                const std::string& relation_key) const;
 
+  /// Fingerprint-path twin of FindCached: exact SliceKey hit first, then a
+  /// rollup scan over the insertion-ordered slices of (agg, plan.relation).
+  /// Hit/miss *existence* matches the string path exactly (same candidate
+  /// set, same coverage test); when several cached cubes cover, the one
+  /// chosen may differ — covering cubes answer identically, so this only
+  /// shows up through job linkage under governor trips (see DESIGN.md §12).
+  /// `dim_literals[d]` are the batch literals of plan.dims[d].
+  const CacheEntry* FindCachedIds(
+      QueryInterner::Id agg, const GroupPlan& plan,
+      const std::vector<const std::vector<Value>*>& dim_literals) const;
+
   static std::string DimSetKey(const std::vector<ColumnRef>& dims);
 
   /// Records `status` as the run's hard error unless it is an expected
@@ -216,6 +344,33 @@ class EvalEngine {
   // Cache key: aggregate key + "|" + relation key + "|" + sorted dim-set
   // key. Written only from serial plan/fold phases.
   std::unordered_map<std::string, CacheEntry> cache_;
+
+  // ---- Fingerprint path state (see DESIGN.md §12) ----------------------
+  // All of it is written only from serial plan/fold phases; workers never
+  // touch the interner or these maps.
+  bool query_fingerprints_ = true;
+  QueryInterner interner_;
+  /// Indexed by interned query id (ids are dense). Deque: references stay
+  /// stable while new queries compile.
+  std::deque<CompiledQuery> compiled_;
+  /// (relation id << 32 | dimset id) -> plan. Survives batches and EM
+  /// iterations; holds no result data, so ClearCache leaves it alone.
+  std::unordered_map<uint64_t, GroupPlan> group_plans_;
+  /// Result cache, fingerprint-keyed. fp_cache_order_ lists the SliceKeys
+  /// of each (agg id << 32 | relation id) in first-publish order for the
+  /// rollup scan; withdrawn entries linger there as stale keys (skipped via
+  /// map membership) — republishing may append a duplicate, bounded by the
+  /// number of governor trips.
+  std::unordered_map<SliceKey, CacheEntry, SliceKeyHasher> fp_cache_;
+  std::unordered_map<uint64_t, std::vector<SliceKey>> fp_cache_order_;
+  /// Batch-local scratch for literal collection, epoch-stamped so clearing
+  /// between batches is O(touched), not O(interned).
+  uint32_t batch_epoch_ = 0;
+  std::vector<uint32_t> pred_epoch_;
+  std::vector<uint32_t> col_epoch_;
+  std::vector<uint32_t> col_slot_;
+  std::vector<QueryInterner::Id> batch_cols_;  ///< touched, in batch order
+  std::vector<std::vector<Value>> batch_literals_;  ///< by col_slot_
 };
 
 }  // namespace db

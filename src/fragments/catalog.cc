@@ -132,6 +132,19 @@ Result<FragmentCatalog> FragmentCatalog::Build(const db::Database& db,
       }
     }
   }
+
+  // --- Dense-id lookup maps (first occurrence wins, matching the linear
+  // scans these replace). ---
+  for (size_t i = 0; i < catalog.predicate_columns_.size(); ++i) {
+    catalog.predicate_column_index_.emplace(
+        strings::ToLower(catalog.predicate_columns_[i].ToString()),
+        static_cast<int>(i));
+  }
+  for (size_t i = 0; i < col_fragments.size(); ++i) {
+    catalog.agg_column_index_.emplace(
+        strings::ToLower(col_fragments[i].column.ToString()),
+        static_cast<int>(i));
+  }
   return catalog;
 }
 
@@ -147,25 +160,13 @@ std::vector<ScoredFragment> FragmentCatalog::Retrieve(
 }
 
 int FragmentCatalog::PredicateColumnIndex(const db::ColumnRef& column) const {
-  for (size_t i = 0; i < predicate_columns_.size(); ++i) {
-    if (strings::ToLower(predicate_columns_[i].ToString()) ==
-        strings::ToLower(column.ToString())) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
+  auto it = predicate_column_index_.find(strings::ToLower(column.ToString()));
+  return it == predicate_column_index_.end() ? -1 : it->second;
 }
 
 int FragmentCatalog::AggColumnIndex(const db::ColumnRef& column) const {
-  const auto& cols =
-      fragments_[static_cast<size_t>(FragmentType::kAggColumn)];
-  for (size_t i = 0; i < cols.size(); ++i) {
-    if (strings::ToLower(cols[i].column.ToString()) ==
-        strings::ToLower(column.ToString())) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
+  auto it = agg_column_index_.find(strings::ToLower(column.ToString()));
+  return it == agg_column_index_.end() ? -1 : it->second;
 }
 
 double FragmentCatalog::CountPossibleQueries(const db::Database& db) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.h"
@@ -59,10 +60,14 @@ class FragmentCatalog {
   }
 
   /// Index of a predicate column in predicate_columns(), or -1.
+  /// O(1): hash lookup on the lower-cased column name. The returned index
+  /// is a stable dense id for the lifetime of the catalog (the catalog is
+  /// immutable after Build), which is what query fingerprints rely on.
   int PredicateColumnIndex(const db::ColumnRef& column) const;
 
   /// Index of an aggregation-column fragment (empty column name = the "*"
-  /// fragment of that table), or -1.
+  /// fragment of that table), or -1. O(1), stable per catalog like
+  /// PredicateColumnIndex.
   int AggColumnIndex(const db::ColumnRef& column) const;
 
   /// \brief Number of Simple Aggregate Queries expressible over `db`
@@ -78,6 +83,9 @@ class FragmentCatalog {
   std::vector<QueryFragment> fragments_[kNumFragmentTypes];
   ir::InvertedIndex indexes_[kNumFragmentTypes];
   std::vector<db::ColumnRef> predicate_columns_;
+  /// Lower-cased "table.column" -> index, built once in Build.
+  std::unordered_map<std::string, int> predicate_column_index_;
+  std::unordered_map<std::string, int> agg_column_index_;
 };
 
 }  // namespace fragments

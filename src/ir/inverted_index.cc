@@ -35,9 +35,13 @@ double InvertedIndex::Idf(size_t df) const {
                             (1.0 + static_cast<double>(df)));
 }
 
-void InvertedIndex::Accumulate(
-    const std::vector<TermWeight>& query,
-    std::unordered_map<int, double>* scores) const {
+InvertedIndex::ScoreScratch& InvertedIndex::TlsScratch() {
+  static thread_local ScoreScratch scratch;
+  return scratch;
+}
+
+void InvertedIndex::Accumulate(const std::vector<TermWeight>& query,
+                               ScoreScratch* scratch) const {
   if (!finalized_) Finalize();
   // Merge duplicate query terms first.
   std::unordered_map<std::string, double> qtf;
@@ -51,19 +55,21 @@ void InvertedIndex::Accumulate(
     double idf = Idf(it->second.size());
     double qw = weight * idf;
     for (const Posting& p : it->second) {
-      (*scores)[p.doc_id] +=
-          qw * p.weight * idf / doc_norms_[static_cast<size_t>(p.doc_id)];
+      scratch->Add(p.doc_id, qw * p.weight * idf /
+                                 doc_norms_[static_cast<size_t>(p.doc_id)]);
     }
   }
 }
 
 std::vector<ScoredDoc> InvertedIndex::Search(
     const std::vector<TermWeight>& query, size_t top_k) const {
-  std::unordered_map<int, double> scores;
-  Accumulate(query, &scores);
+  ScoreScratch& scratch = TlsScratch();
+  scratch.Begin(doc_norms_.size());
+  Accumulate(query, &scratch);
   std::vector<ScoredDoc> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
+  hits.reserve(scratch.touched.size());
+  for (int doc : scratch.touched) {
+    double score = scratch.At(doc);
     if (score > 0) hits.push_back(ScoredDoc{doc, score});
   }
   std::sort(hits.begin(), hits.end(), [](const ScoredDoc& a,
@@ -77,10 +83,13 @@ std::vector<ScoredDoc> InvertedIndex::Search(
 
 double InvertedIndex::Score(const std::vector<TermWeight>& query,
                             int doc_id) const {
-  std::unordered_map<int, double> scores;
-  Accumulate(query, &scores);
-  auto it = scores.find(doc_id);
-  return it == scores.end() ? 0.0 : it->second;
+  ScoreScratch& scratch = TlsScratch();
+  scratch.Begin(doc_norms_.size());
+  Accumulate(query, &scratch);
+  if (doc_id < 0 || static_cast<size_t>(doc_id) >= scratch.stamp.size()) {
+    return 0.0;
+  }
+  return scratch.At(doc_id);
 }
 
 }  // namespace ir

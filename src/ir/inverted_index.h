@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -49,12 +50,57 @@ class InvertedIndex {
     double weight;  ///< log-scaled term frequency
   };
 
+  /// Dense per-document score accumulator, reused across queries (scoring
+  /// every claim against every fragment is the retrieval hot path; a hash
+  /// map here allocated and rehashed per query). Epoch-stamped: Begin()
+  /// invalidates previous scores in O(1), docs touched by the current query
+  /// are listed in first-touch order. Per-thread, see TlsScratch().
+  struct ScoreScratch {
+    std::vector<double> score;    ///< by doc id, valid when stamped
+    std::vector<uint32_t> stamp;  ///< epoch the score slot was written
+    std::vector<int> touched;     ///< docs scored by the current query
+    uint32_t epoch = 0;
+
+    void Begin(size_t num_docs) {
+      if (score.size() < num_docs) {
+        score.resize(num_docs, 0.0);
+        stamp.resize(num_docs, 0u);
+      }
+      ++epoch;
+      if (epoch == 0) {  // wrapped: stale stamps could alias
+        for (auto& s : stamp) s = 0u;
+        epoch = 1;
+      }
+      touched.clear();
+    }
+    void Add(int doc, double v) {
+      size_t d = static_cast<size_t>(doc);
+      if (stamp[d] != epoch) {
+        stamp[d] = epoch;
+        score[d] = 0.0;
+        touched.push_back(doc);
+      }
+      score[d] += v;
+    }
+    double At(int doc) const {
+      size_t d = static_cast<size_t>(doc);
+      return stamp[d] == epoch ? score[d] : 0.0;
+    }
+  };
+
   void Finalize() const;
   double Idf(size_t df) const;
 
-  /// Accumulates per-document scores for a query into `scores`.
+  /// The calling thread's scratch (Search/Score may run concurrently from
+  /// the per-claim parallel loops; scratches are never shared).
+  static ScoreScratch& TlsScratch();
+
+  /// Accumulates per-document scores for a query into `scratch` (which must
+  /// have Begin() called for this query already). Per-document sums run in
+  /// the same term-major order as always, so scores are bit-identical to
+  /// the old hash-map accumulation.
   void Accumulate(const std::vector<TermWeight>& query,
-                  std::unordered_map<int, double>* scores) const;
+                  ScoreScratch* scratch) const;
 
   std::unordered_map<std::string, std::vector<Posting>> postings_;
   std::vector<double> doc_norms_;

@@ -147,6 +147,35 @@ std::vector<ScoredTriple> SelectTop(const CandidateSpace& space,
 
 }  // namespace
 
+db::QueryInterner::Id CandidateInterner::Encode(size_t f, size_t c, size_t s) {
+  using fragments::FragmentType;
+  db::AggFn fn =
+      catalog_->fragment(FragmentType::kAggFunction, space_->functions()[f].frag)
+          .fn;
+  db::QueryInterner::Id& col = col_ids_[c];
+  if (col == db::QueryInterner::kNone) {
+    col = interner_->InternColumn(
+        catalog_->fragment(FragmentType::kAggColumn, space_->columns()[c].frag)
+            .column);
+  }
+  db::QueryInterner::Id& plist = predlist_ids_[s];
+  if (plist == db::QueryInterner::kNone) {
+    std::vector<db::QueryInterner::Id> pred_list;
+    const auto& frags = space_->subsets()[s].frags;
+    pred_list.reserve(frags.size());
+    for (int frag : frags) {
+      db::QueryInterner::Id& pid = pred_ids_[static_cast<size_t>(frag)];
+      if (pid == db::QueryInterner::kNone) {
+        const auto& pred = catalog_->fragment(FragmentType::kPredicate, frag);
+        pid = interner_->InternPredicate(pred.column, pred.value);
+      }
+      pred_list.push_back(pid);
+    }
+    plist = interner_->InternPredList(pred_list);
+  }
+  return interner_->InternCandidate(fn, col, plist);
+}
+
 TranslationResult Translator::Translate(
     const std::vector<claims::Claim>& claims,
     const std::vector<claims::ClaimRelevance>& relevance,
@@ -216,6 +245,21 @@ TranslationResult Translator::Translate(
   std::vector<std::unordered_map<uint64_t, EvalOutcome>> outcomes(n);
   std::vector<std::vector<ScoredTriple>> selections(n);
 
+  // Fingerprint path: candidates ship to the engine as interned query ids,
+  // encoded through per-claim memo tables that persist across iterations.
+  // Encoders are created and used only in serial sections (the interner is
+  // not thread-safe); the parallel final-distributions loop below sticks to
+  // CandidateSpace::Materialize.
+  db::QueryInterner* interner =
+      engine->query_fingerprints() ? &engine->interner() : nullptr;
+  std::vector<std::optional<CandidateInterner>> encoders(n);
+  auto encoder_for = [&](size_t i) -> CandidateInterner& {
+    if (!encoders[i].has_value()) {
+      encoders[i].emplace(*spaces[i], *catalog_, *interner);
+    }
+    return *encoders[i];
+  };
+
   Priors priors = Priors::Uniform(*catalog_);
   if (options_.trace_priors) result.prior_trace.push_back(priors);
   const ScopeBudget scope = PickScope(*db_, n, options_);
@@ -249,21 +293,28 @@ TranslationResult Translator::Translate(
     });
 
     // RefineByEval: evaluate all newly selected candidates in one batch so
-    // the engine can merge across claims (§6.2).
+    // the engine can merge across claims (§6.2). On the fingerprint path
+    // candidates are encoded to interned ids instead of materialized.
     std::vector<db::SimpleAggregateQuery> batch;
+    std::vector<db::QueryInterner::Id> id_batch;
     std::vector<std::pair<size_t, uint64_t>> batch_owner;
     for (size_t i = 0; i < n; ++i) {
       for (const ScoredTriple& t : selections[i]) {
         uint64_t key = TripleKey(t.f, t.c, t.s);
         if (outcomes[i].count(key) > 0) continue;
-        batch.push_back(spaces[i]->Materialize(t.f, t.c, t.s, *catalog_));
+        if (interner != nullptr) {
+          id_batch.push_back(encoder_for(i).Encode(t.f, t.c, t.s));
+        } else {
+          batch.push_back(spaces[i]->Materialize(t.f, t.c, t.s, *catalog_));
+        }
         batch_owner.emplace_back(i, key);
         outcomes[i][key] = EvalOutcome{};  // reserve to avoid dup enqueues
       }
     }
-    if (!batch.empty()) {
-      result.queries_evaluated += batch.size();
-      auto results = engine->EvaluateBatch(batch);
+    if (!batch_owner.empty()) {
+      result.queries_evaluated += batch_owner.size();
+      auto results = interner != nullptr ? engine->EvaluateInterned(id_batch)
+                                         : engine->EvaluateBatch(batch);
       // An unexpected engine error (not exhaustion, not a malformed
       // candidate) aborts the run: its nullopt results must not masquerade
       // as "undefined aggregate" and flip verdicts.
@@ -272,7 +323,7 @@ TranslationResult Translator::Translate(
         result.status = batch_error;
         return result;
       }
-      for (size_t b = 0; b < batch.size(); ++b) {
+      for (size_t b = 0; b < batch_owner.size(); ++b) {
         auto [claim_idx, key] = batch_owner[b];
         EvalOutcome& outcome = outcomes[claim_idx][key];
         outcome.result = results[b];
@@ -313,8 +364,14 @@ TranslationResult Translator::Translate(
         }
       }
       if (best != nullptr) {
+        // The interned materialization is content-identical to the space's
+        // (same catalog fragments), so the priors see the same queries.
         ml_queries.push_back(
-            spaces[i]->Materialize(best->f, best->c, best->s, *catalog_));
+            interner != nullptr
+                ? interner->Materialize(
+                      encoder_for(i).Encode(best->f, best->c, best->s))
+                : spaces[i]->Materialize(best->f, best->c, best->s,
+                                         *catalog_));
       }
     }
     Priors next = Priors::FromMlQueries(ml_queries, *catalog_);

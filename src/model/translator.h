@@ -56,6 +56,45 @@ struct TranslationResult {
   std::vector<bool> partial;
 };
 
+/// \brief Per-claim encoder from candidate triples (f, c, s) to interned
+/// query ids — the translator's half of the fingerprint path.
+///
+/// A claim's CandidateSpace is fixed after Build, so every fragment the
+/// claim can ever select is interned at most once and memoized by its
+/// position: per-column and per-subset ids persist across EM iterations,
+/// which is what makes re-selection of a candidate in iteration k a pure
+/// integer lookup instead of a SimpleAggregateQuery materialization.
+///
+/// Not thread-safe (it writes memo tables and the shared interner); the
+/// translator only encodes from serial sections (batch assembly, M-step).
+class CandidateInterner {
+ public:
+  CandidateInterner(const CandidateSpace& space,
+                    const fragments::FragmentCatalog& catalog,
+                    db::QueryInterner& interner)
+      : space_(&space),
+        catalog_(&catalog),
+        interner_(&interner),
+        col_ids_(space.columns().size(), db::QueryInterner::kNone),
+        predlist_ids_(space.subsets().size(), db::QueryInterner::kNone),
+        pred_ids_(
+            catalog.fragments(fragments::FragmentType::kPredicate).size(),
+            db::QueryInterner::kNone) {}
+
+  /// Interned query id of candidate (f, c, s). Identical to
+  /// interner.InternQuery(space.Materialize(f, c, s, catalog)) — the
+  /// round-trip property test pins this down — without building the query.
+  db::QueryInterner::Id Encode(size_t f, size_t c, size_t s);
+
+ private:
+  const CandidateSpace* space_;
+  const fragments::FragmentCatalog* catalog_;
+  db::QueryInterner* interner_;
+  std::vector<db::QueryInterner::Id> col_ids_;       ///< per space column
+  std::vector<db::QueryInterner::Id> predlist_ids_;  ///< per space subset
+  std::vector<db::QueryInterner::Id> pred_ids_;      ///< per catalog pred frag
+};
+
 /// \brief Implements Algorithm 3 (QueryAndLearn): learns document-specific
 /// priors while refining per-claim query distributions through candidate
 /// evaluations (Algorithm 4's RefineByEval runs on the EvalEngine).
