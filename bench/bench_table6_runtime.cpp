@@ -40,6 +40,8 @@ int main() {
     const char* paper;
     double total = 0, query = 0, join = 0;
     size_t joins_built = 0, join_cache_hits = 0;
+    size_t recovery_retries = 0, ladder_descents = 0;
+    size_t claims_recovered = 0, claims_quarantined = 0, watchdog_flags = 0;
   };
   RowResult rows[] = {
       {"Naive", db::EvalStrategy::kNaive, "paper 2587s total / 2415s query"},
@@ -58,11 +60,21 @@ int main() {
     row.join = result.join_seconds;
     row.joins_built = result.joins_built;
     row.join_cache_hits = result.join_cache_hits;
+    row.recovery_retries = result.recovery_retries;
+    row.ladder_descents = result.ladder_descents;
+    row.claims_recovered = result.claims_recovered;
+    row.claims_quarantined = result.claims_quarantined;
+    row.watchdog_flags = result.watchdog_flags;
     std::printf("%-18s total=%7.2fs  query=%7.2fs  cubes=%zu  "
                 "cache_hits=%zu  joins=%zu (hits %zu)   %s\n",
                 row.label, row.total, row.query, result.cube_queries,
                 result.cache_hits, result.joins_built,
                 result.join_cache_hits, row.paper);
+    std::printf("%-18s recovery: retries=%zu descents=%zu recovered=%zu "
+                "quarantined=%zu watchdog_flags=%zu\n",
+                "", row.recovery_retries, row.ladder_descents,
+                row.claims_recovered, row.claims_quarantined,
+                row.watchdog_flags);
   }
   std::printf("\nquery-time speedups: merging x%.1f, caching x%.1f, "
               "accumulated x%.1f (paper: x61.9, x2.1, x129.9)\n",
@@ -121,10 +133,15 @@ int main() {
       std::fprintf(out,
                    "    {\"label\": \"%s\", \"total_seconds\": %.4f, "
                    "\"query_seconds\": %.4f, \"join_seconds\": %.4f, "
-                   "\"joins_built\": %zu, \"join_cache_hits\": %zu}%s\n",
+                   "\"joins_built\": %zu, \"join_cache_hits\": %zu, "
+                   "\"recovery\": {\"retries\": %zu, \"ladder_descents\": "
+                   "%zu, \"claims_recovered\": %zu, \"claims_quarantined\": "
+                   "%zu, \"watchdog_flags\": %zu}}%s\n",
                    rows[i].label, rows[i].total, rows[i].query, rows[i].join,
                    rows[i].joins_built, rows[i].join_cache_hits,
-                   i + 1 < 3 ? "," : "");
+                   rows[i].recovery_retries, rows[i].ladder_descents,
+                   rows[i].claims_recovered, rows[i].claims_quarantined,
+                   rows[i].watchdog_flags, i + 1 < 3 ? "," : "");
     }
     std::fprintf(out, "  ],\n  \"hardware_concurrency\": %zu,\n", hw);
     std::fprintf(out, "  \"thread_sweep\": [\n");

@@ -7,11 +7,19 @@
 # -fno-sanitize-recover, so a report aborts the offending test). Run from
 # the repository root:
 #
-#   scripts/check.sh            # all presets + perf smoke
-#   scripts/check.sh default    # just the Release preset
-#   scripts/check.sh asan-ubsan # just the sanitizer preset
-#   scripts/check.sh tsan       # just the TSan concurrency subset
-#   scripts/check.sh perf-smoke # just the perf regression gates
+#   scripts/check.sh              # all presets + perf smoke
+#   scripts/check.sh default      # just the Release preset
+#   scripts/check.sh asan-ubsan   # just the sanitizer preset
+#   scripts/check.sh tsan         # just the TSan concurrency subset
+#   scripts/check.sh perf-smoke   # just the perf regression gates
+#   scripts/check.sh chaos-matrix # exhaustive fault-point sweep (ASan+UBSan)
+#
+# The chaos-matrix step first checks that the compile-time fault-point
+# manifest (src/util/fault_points.h) matches the AGG_FAULT_POINT sites
+# actually present in the source tree (drift in either direction fails),
+# then builds the ASan+UBSan preset and runs the chaos suites with
+# AGG_CHAOS_MATRIX=full, which arms every manifest point against every
+# embedded article instead of the bounded sample the default gate runs.
 #
 # The perf-smoke step builds the Release preset's `perf_smoke` binary and
 # fails if (a) vectorized cube execution is not faster than the scalar
@@ -34,6 +42,25 @@ if [[ $# -eq 0 ]]; then
 fi
 
 for preset in "${presets[@]}"; do
+  if [[ "$preset" == "chaos-matrix" ]]; then
+    echo "==> [chaos-matrix] manifest/source sync"
+    manifest="$(sed -n 's/^ *X("\([^"]*\)").*/\1/p' src/util/fault_points.h \
+                | sort)"
+    sites="$(grep -rhoE 'AGG_FAULT_POINT(_STATUS)?\("[^"]+"' src \
+             --include='*.cc' | sed 's/.*("\([^"]*\)"/\1/' | sort -u)"
+    if [[ "$manifest" != "$sites" ]]; then
+      echo "error: fault-point manifest out of sync with source tree" >&2
+      diff <(printf '%s\n' "$manifest") <(printf '%s\n' "$sites") >&2 || true
+      exit 1
+    fi
+    echo "==> [chaos-matrix] build (asan-ubsan)"
+    cmake --preset asan-ubsan
+    cmake --build --preset asan-ubsan -j "$jobs"
+    echo "==> [chaos-matrix] full sweep"
+    AGG_CHAOS_MATRIX=full ctest --preset asan-ubsan -j "$jobs" \
+      -R '(Chaos|Recovery)'
+    continue
+  fi
   if [[ "$preset" == "perf-smoke" ]]; then
     echo "==> [perf-smoke] build"
     cmake --preset default >/dev/null

@@ -1,5 +1,6 @@
 #include "core/aggchecker.h"
 
+#include "core/fault_domain.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 
@@ -21,6 +22,9 @@ std::vector<ClaimVerdict> AssembleVerdicts(
     }
     verdict.partial =
         i < translation.partial.size() && translation.partial[i];
+    if (i < translation.recovery.size()) {
+      verdict.recovery = translation.recovery[i];
+    }
     // A partial claim is "gave up", never "wrong": the budget ran out
     // before its candidates could be evaluated, so a non-matching (or
     // missing) top candidate is not evidence of an error.
@@ -53,6 +57,7 @@ Result<AggChecker> AggChecker::Create(const db::Database* db,
   if (!checker.options_.relation_cache) {
     checker.engine_->SetRelationCache(nullptr);
   }
+  checker.engine_->SetRecovery(checker.options_.recovery);
   // num_threads == 1 keeps the engine pool-free (the exact serial path);
   // 0 sizes the pool to the hardware. Results are identical either way.
   if (checker.options_.model.num_threads != 1) {
@@ -103,11 +108,22 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   std::vector<claims::ClaimRelevance> relevance =
       scorer.ScoreAll(doc, detected);
 
-  // EM translation with candidate evaluations (Algorithms 3 and 4).
+  // EM translation with candidate evaluations (Algorithms 3 and 4), inside
+  // the run-level fault domain: per-query faults are healed or quarantined
+  // by the engine's recovery pass; what surfaces here are run-level faults
+  // with no owning query, retried while transient. Engine caches persist
+  // across attempts (failed scans are never cached, so re-runs are safe).
   model::Translator translator(db_, catalog_.get(), options_.model);
-  model::TranslationResult translation =
-      translator.Translate(detected, relevance, engine_.get());
-  if (!translation.status.ok()) return translation.status;
+  model::TranslationResult translation;
+  RetryPolicy run_policy = options_.recovery.retry;
+  if (!options_.recovery.enabled) run_policy.max_attempts = 1;
+  FaultDomain run_domain(run_policy);
+  Status run_status = run_domain.Run([&] {
+    translation = translator.Translate(detected, relevance, engine_.get());
+    return translation.status;
+  });
+  report.run_attempts = run_domain.record().attempts;
+  if (!run_status.ok()) return run_status;
 
   report.verdicts =
       AssembleVerdicts(detected, translation, options_.report_top_k);

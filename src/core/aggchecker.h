@@ -12,6 +12,7 @@
 #include "model/translator.h"
 #include "text/document.h"
 #include "util/resource_governor.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace aggchecker {
@@ -48,6 +49,13 @@ struct CheckOptions {
   /// `partial` instead of erroneous (see DESIGN.md "Failure-handling
   /// contract").
   GovernorLimits governor;
+  /// Self-healing layer (DESIGN.md §13), ON by default: transient faults
+  /// retry with capped backoff, persistent faults in optimized paths
+  /// descend the fallback ladder to bit-identical reference twins, and
+  /// claims failing on every rung are quarantined as partial verdicts
+  /// instead of aborting the run. Set `recovery.enabled = false` to get the
+  /// fail-fast behavior differential tests rely on.
+  RecoveryOptions recovery;
 };
 
 /// \brief The verdict for one claim: its ranked query candidates and the
@@ -70,6 +78,11 @@ struct ClaimVerdict {
   /// evaluated. The verdict is best-effort: top_queries may be incomplete
   /// and the claim is never flagged erroneous ("gave up" ≠ "wrong").
   bool partial = false;
+  /// The claim's trip through the self-healing layer: attempts, deepest
+  /// fallback-ladder rung, and whether it was healed or quarantined
+  /// (quarantined claims are also partial). All-defaults when evaluation
+  /// never faulted.
+  model::ClaimRecovery recovery;
 
   const model::RankedCandidate* best() const {
     return top_queries.empty() ? nullptr : &top_queries[0];
@@ -88,6 +101,9 @@ struct CheckReport {
   /// materialized, whether a limit tripped and which code stopped the run).
   /// Lets callers distinguish "verified clean" from "gave up on a budget".
   GovernorUsage governor_usage;
+  /// Times the run-level fault domain executed the translation (1 = no
+  /// run-level fault; >1 = a transient run-level fault was retried).
+  uint32_t run_attempts = 1;
 
   size_t NumFlagged() const {
     size_t n = 0;
@@ -99,6 +115,20 @@ struct CheckReport {
   size_t NumPartial() const {
     size_t n = 0;
     for (const auto& v : verdicts) n += v.partial ? 1 : 0;
+    return n;
+  }
+
+  /// Claims that failed on every fallback-ladder rung (partial, isolated).
+  size_t NumQuarantined() const {
+    size_t n = 0;
+    for (const auto& v : verdicts) n += v.recovery.quarantined ? 1 : 0;
+    return n;
+  }
+
+  /// Claims the self-healing layer fully healed (faulted, then recovered).
+  size_t NumRecovered() const {
+    size_t n = 0;
+    for (const auto& v : verdicts) n += v.recovery.recovered ? 1 : 0;
     return n;
   }
 };

@@ -1,0 +1,25 @@
+#include "core/fault_domain.h"
+
+namespace aggchecker {
+namespace core {
+
+Status FaultDomain::Run(const std::function<Status()>& op) {
+  record_ = RunRecord{};
+  Status status = op();
+  while (!status.ok() && status.IsTransient() &&
+         record_.attempts < policy_.max_attempts) {
+    record_.last_error = status;
+    SleepForBackoff(policy_, record_.attempts);
+    ++record_.attempts;
+    status = op();
+  }
+  if (!status.ok()) {
+    record_.last_error = status;
+  } else if (record_.attempts > 1) {
+    record_.recovered = true;
+  }
+  return status;
+}
+
+}  // namespace core
+}  // namespace aggchecker

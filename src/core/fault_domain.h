@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace aggchecker {
+namespace core {
+
+/// \brief Run-level fault domain: executes an operation and retries it with
+/// capped exponential backoff while its failure is transient
+/// (Status::IsTransient).
+///
+/// This is the outer layer of the self-healing stack (DESIGN.md §13). The
+/// engine's per-query recovery pass heals faults attributable to individual
+/// candidate queries; what reaches this domain are run-level faults with no
+/// owning query — an EM iteration tripping on a flaky dependency, a
+/// poisoned shared structure — where re-running the whole operation is the
+/// only recovery available. Permanent errors propagate immediately.
+class FaultDomain {
+ public:
+  /// What happened inside the domain, for CheckReport/telemetry.
+  struct RunRecord {
+    uint32_t attempts = 1;  ///< total executions, the initial one included
+    bool recovered = false; ///< a retry turned a transient failure into OK
+    Status last_error;      ///< most recent failure (OK when none occurred)
+  };
+
+  explicit FaultDomain(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// Runs `op` until it returns OK, fails permanently, or the policy's
+  /// attempts run out; returns the final status. The record is reset per
+  /// call, so a domain can guard successive operations.
+  Status Run(const std::function<Status()>& op);
+
+  const RunRecord& record() const { return record_; }
+
+ private:
+  RetryPolicy policy_;
+  RunRecord record_;
+};
+
+}  // namespace core
+}  // namespace aggchecker

@@ -1,5 +1,6 @@
 #include "core/interactive_session.h"
 
+#include "core/fault_domain.h"
 #include "db/executor.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -51,12 +52,22 @@ Status InteractiveSession::Translate() {
     active_index.push_back(i);
   }
 
+  // Same two-layer fault handling as AggChecker::Check: per-query faults
+  // are healed or quarantined inside the engine; run-level transients are
+  // retried here so one flaky refresh doesn't surface as an error mid-typing.
   model::Translator translator(&checker_->database(), &checker_->catalog(),
                                checker_->options().model);
-  model::TranslationResult translation = translator.Translate(
-      active, active_relevance, &checker_->engine(), &active_pins);
+  model::TranslationResult translation;
+  RetryPolicy run_policy = checker_->options().recovery.retry;
+  if (!checker_->options().recovery.enabled) run_policy.max_attempts = 1;
+  FaultDomain run_domain(run_policy);
+  Status run_status = run_domain.Run([&] {
+    translation = translator.Translate(active, active_relevance,
+                                       &checker_->engine(), &active_pins);
+    return translation.status;
+  });
   checker_->engine().SetGovernor(nullptr);
-  if (!translation.status.ok()) return translation.status;
+  if (!run_status.ok()) return run_status;
   std::vector<ClaimVerdict> active_verdicts = AssembleVerdicts(
       active, translation, checker_->options().report_top_k);
 
@@ -75,6 +86,7 @@ Status InteractiveSession::Translate() {
   report_.total_candidates = translation.total_candidates;
   report_.queries_evaluated = translation.queries_evaluated;
   report_.governor_usage = governor.usage();
+  report_.run_attempts = run_domain.record().attempts;
   report_.total_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }

@@ -37,6 +37,13 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
     result.plan_cache_hits += report->eval_stats.plan_cache_hits;
     result.num_partial += report->NumPartial();
     result.cases_exhausted += report->governor_usage.exhausted ? 1 : 0;
+    result.recovery_retries += report->eval_stats.recovery_retries;
+    result.ladder_descents += report->eval_stats.ladder_descents;
+    result.queries_recovered += report->eval_stats.queries_recovered;
+    result.queries_quarantined += report->eval_stats.queries_quarantined;
+    result.claims_recovered += report->NumRecovered();
+    result.claims_quarantined += report->NumQuarantined();
+    result.watchdog_flags += report->eval_stats.watchdog_flags;
     result.detection.Merge(ScoreErrorDetection(test_case, *report));
     result.coverage.Merge(ScoreCoverage(test_case, *report, 20));
     result.reports.push_back(std::move(*report));

@@ -33,6 +33,15 @@ struct CorpusRunResult {
   size_t plan_cache_hits = 0;
   size_t num_partial = 0;      ///< claims cut short by the resource governor
   size_t cases_exhausted = 0;  ///< cases whose governor tripped a limit
+  /// Self-healing counters summed over cases (EvalStats / CheckReport;
+  /// DESIGN.md §13). All zero on a fault-free corpus run.
+  size_t recovery_retries = 0;     ///< same-rung retries after transients
+  size_t ladder_descents = 0;      ///< fallback-ladder rungs engaged
+  size_t queries_recovered = 0;    ///< hard-failed queries healed
+  size_t queries_quarantined = 0;  ///< queries surrendered on every rung
+  size_t claims_recovered = 0;     ///< claims fully healed by recovery
+  size_t claims_quarantined = 0;   ///< claims degraded to quarantined partials
+  size_t watchdog_flags = 0;       ///< stalled-job flags (wall-clock based)
 
   CorpusRunResult() : coverage(20) {}
 };

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "db/relation_cache.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -55,14 +56,11 @@ std::string EvalEngine::RelationKey(const SimpleAggregateQuery& query) {
   return RelationCache::KeyOf(query.ReferencedTables());
 }
 
-std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
+std::vector<std::optional<double>> EvalEngine::DispatchQueries(
     const std::vector<SimpleAggregateQuery>& queries) {
-  Timer timer;
-  std::vector<std::optional<double>> results;
   switch (strategy_) {
     case EvalStrategy::kNaive:
-      results = EvaluateNaive(queries);
-      break;
+      return EvaluateNaive(queries);
     case EvalStrategy::kMerged:
     case EvalStrategy::kMergedCached: {
       const bool use_cache = strategy_ == EvalStrategy::kMergedCached;
@@ -70,13 +68,45 @@ std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
         std::vector<QueryInterner::Id> ids;
         ids.reserve(queries.size());
         for (const auto& q : queries) ids.push_back(interner_.InternQuery(q));
-        results = EvaluateMergedIds(ids, use_cache);
-      } else {
-        results = EvaluateMerged(queries, use_cache);
+        return EvaluateMergedIds(ids, use_cache);
       }
-      break;
+      return EvaluateMerged(queries, use_cache);
     }
   }
+  return {};
+}
+
+std::vector<std::optional<double>> EvalEngine::DispatchIds(
+    const std::vector<QueryInterner::Id>& ids) {
+  switch (strategy_) {
+    case EvalStrategy::kNaive: {
+      // Naive has no plan to share; materialize and scan per query.
+      std::vector<SimpleAggregateQuery> queries;
+      queries.reserve(ids.size());
+      for (QueryInterner::Id id : ids) queries.push_back(interner_.Materialize(id));
+      return EvaluateNaive(queries);
+    }
+    case EvalStrategy::kMerged:
+      return EvaluateMergedIds(ids, /*use_cache=*/false);
+    case EvalStrategy::kMergedCached:
+      return EvaluateMergedIds(ids, /*use_cache=*/true);
+  }
+  return {};
+}
+
+std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
+    const std::vector<SimpleAggregateQuery>& queries) {
+  Timer timer;
+  batch_failed_.clear();
+  auto results = DispatchQueries(queries);
+  RecoverBatch(
+      [&](const std::vector<size_t>& subset) {
+        std::vector<SimpleAggregateQuery> sub;
+        sub.reserve(subset.size());
+        for (size_t i : subset) sub.push_back(queries[i]);
+        return DispatchQueries(sub);
+      },
+      results);
   stats_.queries_answered += queries.size();
   stats_.query_seconds += timer.ElapsedSeconds();
   return results;
@@ -85,23 +115,18 @@ std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
 std::vector<std::optional<double>> EvalEngine::EvaluateInterned(
     const std::vector<QueryInterner::Id>& ids) {
   Timer timer;
-  std::vector<std::optional<double>> results;
-  switch (strategy_) {
-    case EvalStrategy::kNaive: {
-      // Naive has no plan to share; materialize and scan per query.
-      std::vector<SimpleAggregateQuery> queries;
-      queries.reserve(ids.size());
-      for (QueryInterner::Id id : ids) queries.push_back(interner_.Materialize(id));
-      results = EvaluateNaive(queries);
-      break;
-    }
-    case EvalStrategy::kMerged:
-      results = EvaluateMergedIds(ids, /*use_cache=*/false);
-      break;
-    case EvalStrategy::kMergedCached:
-      results = EvaluateMergedIds(ids, /*use_cache=*/true);
-      break;
-  }
+  batch_failed_.clear();
+  auto results = DispatchIds(ids);
+  RecoverBatch(
+      [&](const std::vector<size_t>& subset) {
+        // Re-runs materialize and go through the query-keyed dispatch so
+        // every ladder rung (including string-keyed plans) is reachable.
+        std::vector<SimpleAggregateQuery> sub;
+        sub.reserve(subset.size());
+        for (size_t i : subset) sub.push_back(interner_.Materialize(ids[i]));
+        return DispatchQueries(sub);
+      },
+      results);
   stats_.queries_answered += ids.size();
   stats_.query_seconds += timer.ElapsedSeconds();
   return results;
@@ -158,12 +183,12 @@ std::vector<std::optional<double>> EvalEngine::EvaluateNaive(
     stats_.joins_built += slots[i].scan.joins_built;
     stats_.join_cache_hits += slots[i].scan.join_cache_hits;
     stats_.join_seconds += slots[i].scan.join_seconds;
-    if (slots[i].skipped || slots[i].status.IsResourceExhausted()) {
+    if (slots[i].skipped) {
       ++stats_.queries_aborted;
       continue;
     }
     if (!slots[i].status.ok()) {
-      NoteHardError(slots[i].status);
+      NoteQueryFailure(i, slots[i].status);
       continue;
     }
     results[i] = slots[i].value;
@@ -182,6 +207,172 @@ void EvalEngine::NoteHardError(const Status& status) {
   }
   std::lock_guard<std::mutex> lock(hard_error_mu_);
   if (hard_error_.ok()) hard_error_ = status;
+}
+
+void EvalEngine::NoteQueryFailure(size_t index, const Status& status) {
+  if (status.IsResourceExhausted()) {
+    // Governor stop: the query degrades to aborted/partial, never retried
+    // (the governor's verdict is sticky for the run).
+    ++stats_.queries_aborted;
+    return;
+  }
+  if (status.code() == StatusCode::kInvalidArgument ||
+      status.code() == StatusCode::kNotFound ||
+      status.code() == StatusCode::kUnsupported) {
+    return;  // expected shape failure: plain nullopt
+  }
+  NoteHardError(status);
+  batch_failed_.emplace_back(index, status);
+}
+
+const char* EvalEngine::RecoveryRungName(uint32_t rung) {
+  switch (rung) {
+    case 0:
+      return "primary";
+    case 1:
+      return "scalar-cube";
+    case 2:
+      return "string-plans";
+    case 3:
+      return "fresh-join";
+  }
+  return "?";
+}
+
+void EvalEngine::RecoverBatch(
+    const std::function<std::vector<std::optional<double>>(
+        const std::vector<size_t>&)>& rerun,
+    std::vector<std::optional<double>>& results) {
+  if (batch_failed_.empty()) return;
+  std::vector<std::pair<size_t, Status>> failed = std::move(batch_failed_);
+  batch_failed_.clear();
+  if (!recovery_.has_value() ||
+      (governor_ != nullptr && governor_->exhausted())) {
+    // Recovery off (raw-engine/differential use), or the run is already
+    // resource-capped — re-runs would fail their first governor charge.
+    // The hard error stays in its channel; callers see which queries died.
+    for (const auto& [index, status] : failed) {
+      (void)status;
+      failed_queries_.push_back(index);
+    }
+    return;
+  }
+
+  // Stash the primary attempt's hard error: a fully-healed batch swallows
+  // it, a quarantined one re-raises it after the ladder is exhausted.
+  const Status primary_error = ConsumeHardError();
+
+  // The fallback ladder, restricted to the downgrades that apply to this
+  // engine's current configuration, in canonical order (DESIGN.md §13):
+  // vectorized cube → scalar oracle, interned fingerprints → string-keyed
+  // plans, cached relations → fresh rebuild. Each entry is cumulative with
+  // the previous ones and tagged with its canonical position for records.
+  const CubeExecMode saved_mode = cube_exec_;
+  const bool saved_fingerprints = query_fingerprints_;
+  RelationCache* const saved_cache = relation_cache_;
+  struct LadderRung {
+    uint32_t canonical;
+    std::function<void()> apply;
+  };
+  std::vector<LadderRung> ladder;
+  if (recovery_->fallback_ladder) {
+    if (strategy_ != EvalStrategy::kNaive &&
+        cube_exec_ == CubeExecMode::kVectorized) {
+      ladder.push_back({1, [this] { cube_exec_ = CubeExecMode::kScalarOracle; }});
+    }
+    if (strategy_ != EvalStrategy::kNaive && query_fingerprints_) {
+      ladder.push_back({2, [this] { query_fingerprints_ = false; }});
+    }
+    if (relation_cache_ != nullptr) {
+      ladder.push_back({3, [this] { relation_cache_ = nullptr; }});
+    }
+  }
+
+  struct Pending {
+    size_t index;       ///< batch index of the failing query
+    Status last;        ///< its most recent failure
+    uint32_t attempts;  ///< evaluation attempts so far (initial included)
+  };
+  std::vector<Pending> pending;
+  pending.reserve(failed.size());
+  for (auto& [index, status] : failed) {
+    pending.push_back(Pending{index, std::move(status), 1});
+  }
+
+  const RetryPolicy& retry = recovery_->retry;
+  uint32_t rungs_applied = 0;   // entries of `ladder` engaged so far
+  uint32_t canonical_rung = 0;  // canonical position for records
+  uint32_t attempt_on_rung = 1;
+  while (!pending.empty()) {
+    if (governor_ != nullptr && governor_->exhausted()) break;
+    bool any_transient = false;
+    for (const Pending& p : pending) any_transient |= p.last.IsTransient();
+    if (any_transient && attempt_on_rung < retry.max_attempts) {
+      // Same-rung retry with capped exponential backoff.
+      SleepForBackoff(retry, attempt_on_rung);
+      ++attempt_on_rung;
+      ++stats_.recovery_retries;
+    } else if (rungs_applied < ladder.size()) {
+      ladder[rungs_applied].apply();
+      canonical_rung = ladder[rungs_applied].canonical;
+      ++rungs_applied;
+      attempt_on_rung = 1;
+      ++stats_.ladder_descents;
+    } else {
+      break;  // every rung exhausted: quarantine what's left
+    }
+
+    std::vector<size_t> subset;
+    subset.reserve(pending.size());
+    for (const Pending& p : pending) subset.push_back(p.index);
+    batch_failed_.clear();
+    std::vector<std::optional<double>> sub_results = rerun(subset);
+    // Re-run failures feed `pending` below, not the hard-error channel.
+    (void)ConsumeHardError();
+    std::map<size_t, Status> still_failed;
+    for (auto& [local, status] : batch_failed_) {
+      still_failed.emplace(local, std::move(status));
+    }
+    batch_failed_.clear();
+
+    std::vector<Pending> next;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      Pending p = std::move(pending[k]);
+      ++p.attempts;
+      auto it = still_failed.find(k);
+      if (it == still_failed.end()) {
+        // Healed: recovered values are the true values (every rung is a
+        // bit-identical twin of the primary path), so verdicts match the
+        // fault-free run exactly.
+        if (k < sub_results.size()) results[p.index] = sub_results[k];
+        recovery_records_.push_back(
+            QueryRecovery{p.index, p.attempts, canonical_rung, true});
+        ++stats_.queries_recovered;
+      } else {
+        p.last = it->second;
+        next.push_back(std::move(p));
+      }
+    }
+    pending = std::move(next);
+  }
+
+  cube_exec_ = saved_mode;
+  query_fingerprints_ = saved_fingerprints;
+  relation_cache_ = saved_cache;
+
+  if (pending.empty()) return;  // fully healed; primary error stays consumed
+  for (Pending& p : pending) {
+    failed_queries_.push_back(p.index);
+    recovery_records_.push_back(
+        QueryRecovery{p.index, p.attempts, canonical_rung, false});
+    ++stats_.queries_quarantined;
+  }
+  {
+    std::lock_guard<std::mutex> lock(hard_error_mu_);
+    if (hard_error_.ok()) {
+      hard_error_ = primary_error.ok() ? pending.front().last : primary_error;
+    }
+  }
 }
 
 std::optional<double> EvalEngine::AnswerFromCube(
@@ -347,13 +538,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
       // strategies agree on semantics.
       auto r = executor_.Execute(q, &serial_scan, governor_,
                                  relation_cache_);
-      if (!r.ok()) {
-        if (r.status().IsResourceExhausted()) {
-          ++stats_.queries_aborted;
-        } else {
-          NoteHardError(r.status());
-        }
-      }
+      if (!r.ok()) NoteQueryFailure(i, r.status());
       results[i] = r.ok() ? *r : std::nullopt;
       continue;
     }
@@ -531,11 +716,9 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
       const Source& src = it->second;
       if (src.job >= 0 && !jobs[static_cast<size_t>(src.job)].status.ok()) {
         // Cube execution failed; a governor stop means this query was
-        // aborted (its claim degrades to a partial verdict).
-        if (jobs[static_cast<size_t>(src.job)]
-                .status.IsResourceExhausted()) {
-          ++stats_.queries_aborted;
-        }
+        // aborted (its claim degrades to a partial verdict), anything else
+        // is recorded for the recovery pass.
+        NoteQueryFailure(qi, jobs[static_cast<size_t>(src.job)].status);
         results[qi] = std::nullopt;
         continue;
       }
@@ -605,6 +788,14 @@ void EvalEngine::ExecuteJobs(std::vector<CubeJob>& jobs) {
           Morsel{static_cast<uint32_t>(j), static_cast<uint32_t>(b)});
     }
   }
+  // The cooperative watchdog times every morsel; a job whose slowest morsel
+  // exceeds the stall multiple of the batch's median is flagged. Wall-clock
+  // based, so strictly measurement-only (never part of determinism
+  // fingerprints) — its value is surfacing scheduling pathologies in the
+  // harness/bench counters, not changing results.
+  const bool watchdog =
+      recovery_.has_value() && recovery_->watchdog_stall_multiple > 0.0;
+  std::vector<double> morsel_seconds(watchdog ? morsels.size() : 0, 0.0);
   std::vector<Status> morsel_status(morsels.size());
   RunIndexed(morsels.size(), [&](size_t m) {
     if (governor_ != nullptr) {
@@ -614,8 +805,17 @@ void EvalEngine::ExecuteJobs(std::vector<CubeJob>& jobs) {
         return;
       }
     }
+    Timer morsel_timer;
     morsel_status[m] = execs[morsels[m].job].ScanBlock(morsels[m].block);
+    if (watchdog) morsel_seconds[m] = morsel_timer.ElapsedSeconds();
   });
+  if (watchdog && morsels.size() >= 4) {
+    std::vector<uint32_t> morsel_job(morsels.size());
+    for (size_t m = 0; m < morsels.size(); ++m) morsel_job[m] = morsels[m].job;
+    stats_.watchdog_flags +=
+        CountStalledJobs(morsel_seconds, morsel_job, jobs.size(),
+                         recovery_->watchdog_stall_multiple);
+  }
   // Per-job error fold in ascending morsel order (= ascending block order
   // within a job): the failure a job reports is its lowest failing block,
   // not whichever worker lost the race.
@@ -730,6 +930,19 @@ const EvalEngine::CacheEntry* EvalEngine::FindCachedIds(
 std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
     const std::vector<QueryInterner::Id>& ids, bool use_cache) {
   std::vector<std::optional<double>> results(ids.size());
+  // Fingerprint-plan-path-only fault point: the string-keyed rung of the
+  // fallback ladder does not pass through here, so chaos tests can prove
+  // the ladder heals a poisoned fingerprint path.
+  {
+    Status planner_fault = Status::OK();
+    AGG_FAULT_POINT_STATUS("plan.fingerprint", planner_fault);
+    if (!planner_fault.ok()) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        NoteQueryFailure(i, planner_fault);
+      }
+      return results;
+    }
+  }
   Timer plan_timer;
 
   // ---- Plan phase (serial) -------------------------------------------
@@ -803,13 +1016,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
       // strategies agree on semantics.
       auto r = executor_.Execute(interner_.Materialize(ids[i]), &serial_scan,
                                  governor_, relation_cache_);
-      if (!r.ok()) {
-        if (r.status().IsResourceExhausted()) {
-          ++stats_.queries_aborted;
-        } else {
-          NoteHardError(r.status());
-        }
-      }
+      if (!r.ok()) NoteQueryFailure(i, r.status());
       results[i] = r.ok() ? *r : std::nullopt;
       continue;
     }
@@ -972,11 +1179,9 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
       const Source& src = it->second;
       if (src.job >= 0 && !jobs[static_cast<size_t>(src.job)].status.ok()) {
         // Cube execution failed; a governor stop means this query was
-        // aborted (its claim degrades to a partial verdict).
-        if (jobs[static_cast<size_t>(src.job)]
-                .status.IsResourceExhausted()) {
-          ++stats_.queries_aborted;
-        }
+        // aborted (its claim degrades to a partial verdict), anything else
+        // is recorded for the recovery pass.
+        NoteQueryFailure(qi, jobs[static_cast<size_t>(src.job)].status);
         results[qi] = std::nullopt;
         continue;
       }
@@ -992,6 +1197,30 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
   stats_.join_cache_hits += serial_scan.join_cache_hits;
   stats_.join_seconds += serial_scan.join_seconds;
   return results;
+}
+
+size_t EvalEngine::CountStalledJobs(const std::vector<double>& morsel_seconds,
+                                    const std::vector<uint32_t>& morsel_job,
+                                    size_t num_jobs, double stall_multiple) {
+  if (morsel_seconds.empty() || morsel_seconds.size() != morsel_job.size() ||
+      stall_multiple <= 0.0 || num_jobs == 0) {
+    return 0;
+  }
+  std::vector<double> sorted = morsel_seconds;
+  const size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  const double median = sorted[mid];
+  if (median <= 0.0) return 0;  // timings below clock resolution: no signal
+  std::vector<double> worst(num_jobs, 0.0);
+  for (size_t m = 0; m < morsel_seconds.size(); ++m) {
+    if (morsel_job[m] >= num_jobs) continue;
+    worst[morsel_job[m]] = std::max(worst[morsel_job[m]], morsel_seconds[m]);
+  }
+  size_t flagged = 0;
+  for (double w : worst) {
+    if (w > stall_multiple * median) ++flagged;
+  }
+  return flagged;
 }
 
 }  // namespace db

@@ -14,6 +14,7 @@
 #include "db/executor.h"
 #include "db/query.h"
 #include "db/query_interner.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace aggchecker {
@@ -63,6 +64,17 @@ struct EvalStats {
   double execute_seconds = 0.0;
   double fold_seconds = 0.0;
   double answer_seconds = 0.0;
+  /// Self-healing counters (recovery enabled via SetRecovery; see
+  /// DESIGN.md §13). Deterministic for a fixed fault schedule — except
+  /// watchdog_flags, which is wall-clock based (measurement-only, excluded
+  /// from determinism fingerprints like the phase timers above).
+  size_t recovery_retries = 0;    ///< same-rung re-attempts after transients
+  size_t ladder_descents = 0;     ///< fallback-ladder rungs engaged
+  size_t queries_recovered = 0;   ///< hard-failed queries healed by recovery
+  size_t queries_quarantined = 0; ///< failed on every rung; owning claims
+                                  ///< degrade to quarantined partials
+  size_t watchdog_flags = 0;      ///< jobs whose slowest morsel exceeded the
+                                  ///< stall multiple of the batch median
 
   void Reset() { *this = EvalStats{}; }
 };
@@ -158,6 +170,59 @@ class EvalEngine {
   /// either way — differential tests switch this to pin that down.
   void SetCubeExecMode(CubeExecMode mode) { cube_exec_ = mode; }
   CubeExecMode cube_exec_mode() const { return cube_exec_; }
+
+  /// \brief One query's trip through the recovery layer (consumed per batch
+  /// via ConsumeRecoveryRecords). `rung` is the canonical ladder position
+  /// the query ended on: 0 = healed by same-rung retries on the primary
+  /// configuration, 1 = scalar cube oracle, 2 = string-keyed plans,
+  /// 3 = fresh (uncached) joins; see RecoveryRungName.
+  struct QueryRecovery {
+    size_t query_index = 0;  ///< index within the batch that failed
+    uint32_t attempts = 1;   ///< total evaluation attempts, initial included
+    uint32_t rung = 0;       ///< canonical ladder position (0 = primary)
+    bool recovered = false;  ///< false = quarantined on every rung
+  };
+
+  /// Enables (options.enabled, the default) or disables the self-healing
+  /// layer: hard-failed queries are retried with backoff while their error
+  /// is transient, then re-run down the fallback ladder (scalar cube →
+  /// string-keyed plans → uncached joins), and only queries failing on every
+  /// rung are surrendered (ConsumeFailedQueries / queries_quarantined).
+  /// Raw engines default to OFF so differential tests observe unmasked
+  /// errors; core::AggChecker turns it on from CheckOptions::recovery.
+  void SetRecovery(const RecoveryOptions& options) {
+    if (options.enabled) {
+      recovery_ = options;
+    } else {
+      recovery_.reset();
+    }
+  }
+  bool recovery_enabled() const { return recovery_.has_value(); }
+
+  /// Returns (and clears) the batch-local indices of queries whose hard
+  /// failure survived recovery (or recovery was disabled). Callers that map
+  /// queries to claims use this to quarantine the owners instead of
+  /// aborting the run.
+  std::vector<size_t> ConsumeFailedQueries() {
+    return std::move(failed_queries_);
+  }
+
+  /// Returns (and clears) the per-query recovery records accumulated since
+  /// the last call (only queries that entered recovery appear).
+  std::vector<QueryRecovery> ConsumeRecoveryRecords() {
+    return std::move(recovery_records_);
+  }
+
+  /// Human-readable name of a canonical ladder position: "primary",
+  /// "scalar-cube", "string-plans", "fresh-join".
+  static const char* RecoveryRungName(uint32_t rung);
+
+  /// Watchdog core, exposed for deterministic unit tests: given per-morsel
+  /// wall times and their owning job, counts jobs whose slowest morsel
+  /// exceeds `stall_multiple` times the median morsel time.
+  static size_t CountStalledJobs(const std::vector<double>& morsel_seconds,
+                                 const std::vector<uint32_t>& morsel_job,
+                                 size_t num_jobs, double stall_multiple);
 
   /// Returns (and clears) the first *unexpected* execution error since the
   /// last call. Expected failures stay out of this channel: query-shape
@@ -269,6 +334,31 @@ class EvalEngine {
   std::vector<std::optional<double>> EvaluateMergedIds(
       const std::vector<QueryInterner::Id>& ids, bool use_cache);
 
+  /// Strategy dispatch without the public wrappers' stats bumping or
+  /// recovery pass — the single evaluation primitive both the primary
+  /// attempt and recovery re-runs go through.
+  std::vector<std::optional<double>> DispatchQueries(
+      const std::vector<SimpleAggregateQuery>& queries);
+  std::vector<std::optional<double>> DispatchIds(
+      const std::vector<QueryInterner::Id>& ids);
+
+  /// Routes one query's execution failure: resource-exhausted counts as
+  /// aborted, shape errors are an expected nullopt, anything else raises
+  /// the hard-error channel AND records (index, status) in batch_failed_
+  /// for the recovery pass.
+  void NoteQueryFailure(size_t index, const Status& status);
+
+  /// The recovery pass (DESIGN.md §13): retries batch_failed_ queries with
+  /// capped backoff while transient, then re-runs the still-failing subset
+  /// down the fallback ladder via `rerun` (which evaluates a subset of the
+  /// original batch under the engine's current configuration and refills
+  /// batch_failed_ with subset-local indices). Healed results are written
+  /// into `results`; queries failing on every rung are quarantined.
+  void RecoverBatch(
+      const std::function<std::vector<std::optional<double>>(
+          const std::vector<size_t>&)>& rerun,
+      std::vector<std::optional<double>>& results);
+
   /// Compiles query `id` (validity, normalization, group ids) if not yet
   /// cached and returns the compilation.
   const CompiledQuery& EnsureCompiled(QueryInterner::Id id);
@@ -341,6 +431,13 @@ class EvalEngine {
   CubeExecMode cube_exec_ = CubeExecMode::kVectorized;
   std::mutex hard_error_mu_;
   Status hard_error_;  ///< first unexpected error; see ConsumeHardError()
+  // ---- Recovery state (see SetRecovery) --------------------------------
+  std::optional<RecoveryOptions> recovery_;  ///< nullopt = recovery off
+  /// (batch index, status) of this dispatch's hard-failed queries; filled
+  /// serially by fold/answer phases, drained by RecoverBatch.
+  std::vector<std::pair<size_t, Status>> batch_failed_;
+  std::vector<size_t> failed_queries_;       ///< see ConsumeFailedQueries
+  std::vector<QueryRecovery> recovery_records_;
   // Cache key: aggregate key + "|" + relation key + "|" + sorted dim-set
   // key. Written only from serial plan/fold phases.
   std::unordered_map<std::string, CacheEntry> cache_;

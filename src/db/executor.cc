@@ -173,6 +173,10 @@ Result<std::optional<double>> QueryExecutor::Execute(
     return std::optional<double>(num->value_or(0.0) * 100.0 / d);
   }
 
+  // Fires once per aggregate scan, after validation and join acquisition —
+  // a path every strategy shares, so injected faults here exercise
+  // quarantine (no ladder rung avoids it) rather than ladder recovery.
+  AGG_FAULT_POINT("executor.scan");
   Aggregator agg(query.fn);
   const Value star_placeholder(static_cast<int64_t>(1));
   const size_t num_rows = rel.num_rows();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -25,6 +26,10 @@ std::string RelationCache::KeyOf(const std::vector<std::string>& tables) {
 Result<std::shared_ptr<const JoinedRelation>> RelationCache::Acquire(
     const Database& db, const std::vector<std::string>& tables,
     ResourceGovernor::Shard& shard, AcquireInfo* info) {
+  // Cached-path-only fault point (AcquireOrBuildRelation's uncached build
+  // bypasses it): models a poisoned cache entry; the ladder's fresh-join
+  // rung is the rung that heals it.
+  AGG_FAULT_POINT("relation.cache.acquire");
   const ResourceGovernor* governor = shard.governor();
   if (governor != nullptr) {
     Status trip = governor->TripStatus();

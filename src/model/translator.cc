@@ -185,7 +185,43 @@ TranslationResult Translator::Translate(
   TranslationResult result;
   const size_t n = claims.size();
   result.partial.assign(n, false);
+  result.recovery.assign(n, ClaimRecovery{});
   if (n == 0) return result;
+
+  // Folds the engine's per-query recovery records and surviving failures
+  // into per-claim state; `owner_of` maps a batch index to its claim.
+  // Returns false only when a hard error has no owning queries to
+  // quarantine (a run-level fault) — the one case that still aborts.
+  auto absorb_engine_failures =
+      [&](db::EvalEngine* eng, const std::function<size_t(size_t)>& owner_of) {
+        for (const auto& rec : eng->ConsumeRecoveryRecords()) {
+          ClaimRecovery& cr = result.recovery[owner_of(rec.query_index)];
+          cr.attempts = std::max(cr.attempts, rec.attempts);
+          cr.deepest_rung = std::max(cr.deepest_rung, rec.rung);
+          if (rec.recovered) cr.recovered = true;
+        }
+        std::vector<size_t> failed = eng->ConsumeFailedQueries();
+        Status batch_error = eng->ConsumeHardError();
+        if (!failed.empty()) {
+          // Poison claims: quarantined partials, never erroneous — the run
+          // itself continues.
+          for (size_t b : failed) {
+            const size_t claim_idx = owner_of(b);
+            result.recovery[claim_idx].quarantined = true;
+            result.partial[claim_idx] = true;
+          }
+          return true;
+        }
+        if (!batch_error.ok()) {
+          // An unexpected engine error with no query attribution (not
+          // exhaustion, not a malformed candidate) aborts the run: its
+          // nullopt results must not masquerade as "undefined aggregate"
+          // and flip verdicts.
+          result.status = batch_error;
+          return false;
+        }
+        return true;
+      };
 
   // Cooperative cancellation: the governor (if any) is scoped to this run
   // by the caller and shared with the evaluation engine.
@@ -209,7 +245,8 @@ TranslationResult Translator::Translate(
   auto is_pinned = [&](size_t i) {
     return pinned != nullptr && i < pinned->size() && (*pinned)[i].has_value();
   };
-  // Evaluate pinned queries once, up front.
+  // Evaluate pinned queries once, up front (each a one-query batch, so
+  // engine failures attribute to the pinned claim directly).
   std::vector<EvalOutcome> pinned_outcomes(n);
   for (size_t i = 0; i < n; ++i) {
     if (!is_pinned(i)) continue;
@@ -220,11 +257,7 @@ TranslationResult Translator::Translate(
         rounding::Matches(*value, claims[i].claimed_value(),
                           options_.rounding_mode,
                           options_.rounding_tolerance);
-  }
-  {
-    Status pinned_error = engine->ConsumeHardError();
-    if (!pinned_error.ok()) {
-      result.status = pinned_error;
+    if (!absorb_engine_failures(engine, [i](size_t) { return i; })) {
       return result;
     }
   }
@@ -315,12 +348,9 @@ TranslationResult Translator::Translate(
       result.queries_evaluated += batch_owner.size();
       auto results = interner != nullptr ? engine->EvaluateInterned(id_batch)
                                          : engine->EvaluateBatch(batch);
-      // An unexpected engine error (not exhaustion, not a malformed
-      // candidate) aborts the run: its nullopt results must not masquerade
-      // as "undefined aggregate" and flip verdicts.
-      Status batch_error = engine->ConsumeHardError();
-      if (!batch_error.ok()) {
-        result.status = batch_error;
+      if (!absorb_engine_failures(engine, [&](size_t b) {
+            return batch_owner[std::min(b, batch_owner.size() - 1)].first;
+          })) {
         return result;
       }
       for (size_t b = 0; b < batch_owner.size(); ++b) {
@@ -350,6 +380,10 @@ TranslationResult Translator::Translate(
         ml_queries.push_back(*(*pinned)[i]);
         continue;
       }
+      // Quarantined claims sit out the maximization: their unevaluated
+      // (nullopt) outcomes would bias the priors toward whatever happened
+      // to fail, poisoning every other claim's translation.
+      if (result.recovery[i].quarantined) continue;
       const ScoredTriple* best = nullptr;
       double best_post = -1;
       for (const ScoredTriple& t : selections[i]) {
@@ -450,6 +484,11 @@ TranslationResult Translator::Translate(
                 return a.probability > b.probability;
               });
   });
+  // A claim counts as recovered only when every one of its failing queries
+  // healed; a later quarantine overrides earlier successes.
+  for (ClaimRecovery& cr : result.recovery) {
+    if (cr.quarantined) cr.recovered = false;
+  }
   return result;
 }
 

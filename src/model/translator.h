@@ -36,6 +36,22 @@ struct ClaimDistribution {
   }
 };
 
+/// \brief One claim's trip through the engine's self-healing layer
+/// (DESIGN.md §13), folded over the recovery records of every candidate
+/// query the claim owned.
+struct ClaimRecovery {
+  uint32_t attempts = 0;      ///< max evaluation attempts over its queries
+  uint32_t deepest_rung = 0;  ///< deepest canonical ladder rung engaged
+  bool recovered = false;     ///< entered recovery and every query healed
+  bool quarantined = false;   ///< some query failed on every rung; the
+                              ///< claim degrades to a partial verdict
+  bool engaged() const { return attempts > 0; }
+  /// "primary" / "scalar-cube" / "string-plans" / "fresh-join".
+  const char* final_path() const {
+    return db::EvalEngine::RecoveryRungName(deepest_rung);
+  }
+};
+
 /// \brief Output of the expectation-maximization translation.
 struct TranslationResult {
   std::vector<ClaimDistribution> distributions;  ///< one per claim
@@ -54,6 +70,12 @@ struct TranslationResult {
   /// claim's candidates were (fully) evaluated. Partial claims keep their
   /// best-effort distribution but must never be flagged erroneous.
   std::vector<bool> partial;
+  /// One record per claim. Poison claims — candidates that hard-fail on
+  /// every ladder rung — are quarantined (and marked partial) instead of
+  /// aborting the run, so one bad claim can never starve the batch; see
+  /// ClaimRecovery. `status` above is reserved for run-level failures with
+  /// no owning queries to quarantine.
+  std::vector<ClaimRecovery> recovery;
 };
 
 /// \brief Per-claim encoder from candidate triples (f, c, s) to interned

@@ -16,7 +16,26 @@ struct PointState {
   bool armed = false;
   FaultSpec spec;
   uint64_t hits = 0;  ///< hits since last Arm (only counted while armed)
+  uint64_t rng = 0;   ///< trip-rate RNG state, reseeded on Arm
 };
+
+/// splitmix64 step — small, seedable, and good enough for trip-rate draws.
+uint64_t NextRandom(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t SeedFor(const std::string& point, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;  // FNV-1a over the point name
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 std::mutex& Mutex() {
   static std::mutex* mu = new std::mutex;
@@ -48,6 +67,12 @@ Status Trip(const char* point) {
                          ? state.hits >= state.spec.trigger_on_hit
                          : state.hits == state.spec.trigger_on_hit;
   if (!fires) return Status::OK();
+  if (state.spec.trip_rate < 1.0) {
+    // One draw per eligible hit keeps the sequence aligned with hit order.
+    const double draw =
+        static_cast<double>(NextRandom(state.rng) >> 11) * 0x1.0p-53;
+    if (draw >= state.spec.trip_rate) return Status::OK();
+  }
   std::string message = state.spec.message.empty()
                             ? "injected fault at " + std::string(point)
                             : state.spec.message;
@@ -63,6 +88,7 @@ void Arm(const std::string& point, FaultSpec spec) {
   state.armed = true;
   state.spec = std::move(spec);
   state.hits = 0;
+  state.rng = SeedFor(point, state.spec.seed);
 }
 
 void Disarm(const std::string& point) {

@@ -21,6 +21,14 @@ struct FaultSpec {
   uint64_t trigger_on_hit = 1;
   /// Fire on every hit from `trigger_on_hit` on, or exactly once.
   bool every_hit = true;
+  /// Probability in [0, 1] that an eligible hit actually fires. 1.0 keeps
+  /// the deterministic always-trip behaviour; anything below draws from a
+  /// per-point RNG seeded from `seed` and the point name, so a given
+  /// (seed, hit sequence) always trips the same hits — flaky faults are
+  /// reproducible.
+  double trip_rate = 1.0;
+  /// Seed for the per-point trip-rate RNG. Reset on every Arm.
+  uint64_t seed = 0;
 };
 
 /// Registers a fault point name (idempotent). Called once per call site via

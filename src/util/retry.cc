@@ -1,0 +1,25 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace aggchecker {
+
+uint32_t BackoffMillis(const RetryPolicy& policy, uint32_t retry_index) {
+  if (retry_index == 0 || policy.initial_backoff_ms == 0) return 0;
+  uint64_t delay = policy.initial_backoff_ms;
+  for (uint32_t i = 1; i < retry_index; ++i) {
+    delay *= policy.backoff_multiplier == 0 ? 1 : policy.backoff_multiplier;
+    if (delay >= policy.max_backoff_ms) break;
+  }
+  if (delay > policy.max_backoff_ms) delay = policy.max_backoff_ms;
+  return static_cast<uint32_t>(delay);
+}
+
+void SleepForBackoff(const RetryPolicy& policy, uint32_t retry_index) {
+  const uint32_t ms = BackoffMillis(policy, retry_index);
+  if (ms == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace aggchecker

@@ -22,6 +22,10 @@ enum class StatusCode {
   /// A governor work budget (row scans, cube groups) was spent; the
   /// operation was cancelled cooperatively and may carry partial results.
   kBudgetExhausted,
+  /// A dependency was momentarily unavailable (allocation pressure, a
+  /// poisoned cache entry, a flaky I/O layer). Transient by definition:
+  /// retrying the same operation may succeed. See Status::IsTransient().
+  kUnavailable,
 };
 
 /// \brief Lightweight status object carrying an error code and message.
@@ -59,6 +63,9 @@ class Status {
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   /// True for the cooperative-cancellation codes issued by the resource
@@ -68,6 +75,11 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded ||
            code_ == StatusCode::kBudgetExhausted;
   }
+  /// True for errors where retrying the same operation can plausibly
+  /// succeed (see the taxonomy in DESIGN.md §13). Resource-exhausted codes
+  /// are deliberately NOT transient: the governor's verdict is sticky for
+  /// the run, so a retry would fail its first charge.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -99,9 +111,13 @@ class Result {
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
 
-  /// Returns the contained value, or `fallback` on error.
-  T value_or(T fallback) const {
+  /// Returns the contained value, or `fallback` on error. The rvalue
+  /// overload moves the contained value out instead of copying it.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

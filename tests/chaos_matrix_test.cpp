@@ -1,0 +1,318 @@
+// The exhaustive chaos matrix over the compile-time fault-point manifest
+// (util/fault_points.h): every manifest point must be registered AND
+// executed by the drivers below (a never-executed point is dead chaos
+// coverage and fails), and arming any single point at 100% must produce a
+// documented outcome — for faults inside an optimized path, that means the
+// fallback ladder heals the claim to a verdict bit-identical to the
+// fault-free reference, with the recovery recorded and nothing surrendered.
+//
+// By default the armed-point sweep runs on a bounded sample of the embedded
+// articles (the default gate); AGG_CHAOS_MATRIX=full sweeps every article
+// (scripts/check.sh chaos-matrix runs that under ASan+UBSan).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/aggchecker.h"
+#include "corpus/embedded_articles.h"
+#include "db/joined_relation.h"
+#include "db/relation_cache.h"
+#include "test_fixtures.h"
+#include "text/document.h"
+#include "util/csv.h"
+#include "util/fault_injection.h"
+#include "util/fault_points.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace {
+
+namespace fi = fault_injection;
+
+bool FullMatrix() {
+  const char* v = std::getenv("AGG_CHAOS_MATRIX");
+  return v != nullptr && std::string(v) == "full";
+}
+
+/// Fast recovery for chaos sweeps: no backoff sleeps, same ladder.
+core::CheckOptions FastRecoveryOptions() {
+  core::CheckOptions options;
+  options.recovery.retry.initial_backoff_ms = 0;
+  return options;
+}
+
+struct RunOutcome {
+  Status status;
+  core::CheckReport report;
+};
+
+RunOutcome RunArticle(const corpus::CorpusCase& test_case,
+                      core::CheckOptions options) {
+  RunOutcome out;
+  test_case.database.relation_cache().Clear();
+  auto checker = core::AggChecker::Create(&test_case.database, options);
+  if (!checker.ok()) {
+    out.status = checker.status();
+    return out;
+  }
+  auto report = checker->Check(test_case.document);
+  if (!report.ok()) {
+    out.status = report.status();
+    return out;
+  }
+  out.report = std::move(*report);
+  return out;
+}
+
+/// Exact (hexfloat) rendering of the verdict surface two runs must agree on
+/// bit-for-bit. Recovery metadata is deliberately excluded: a healed run
+/// records its trip through the ladder, the fault-free reference does not.
+std::string VerdictFingerprint(const core::CheckReport& report) {
+  std::string out;
+  auto bits = [](double v) { return strings::Format("%a", v); };
+  for (const auto& v : report.verdicts) {
+    out += strings::Format(
+        "claim %s cand=%zu correct=%s err=%d partial=%d\n", v.claim.id.c_str(),
+        v.total_candidates, bits(v.correctness_probability).c_str(),
+        v.likely_erroneous ? 1 : 0, v.partial ? 1 : 0);
+    for (const auto& q : v.top_queries) {
+      out += strings::Format(
+          "  p=%s result=%s match=%d sql=%s\n", bits(q.probability).c_str(),
+          q.result.has_value() ? bits(*q.result).c_str() : "none",
+          q.matches ? 1 : 0, q.query.ToSql().c_str());
+    }
+  }
+  return out;
+}
+
+/// The closed outcome vocabulary of a chaos run (OK is documented: the
+/// recovery layer healing or quarantining a fault is the expected path).
+bool IsDocumentedOutcome(const Status& status) {
+  return status.ok() || status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kParseError ||
+         status.IsResourceExhausted();
+}
+
+/// Drivers that together execute every manifest point: CSV ingestion, the
+/// merged (vectorized + fingerprints + relation cache) pipeline, the naive
+/// pipeline, and a multi-table join build.
+void RunAllDrivers() {
+  {
+    auto parsed = csv::Parse(testing_fixtures::kNflCsv);  // csv.row
+    (void)parsed;
+  }
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  const corpus::CorpusCase& article = articles.front();
+  (void)RunArticle(article, FastRecoveryOptions());  // merged/default points
+  core::CheckOptions naive = FastRecoveryOptions();
+  naive.strategy = db::EvalStrategy::kNaive;
+  (void)RunArticle(article, naive);  // executor.execute / executor.scan
+  auto orders = testing_fixtures::MakeOrdersDatabase();
+  auto join = db::JoinedRelation::Build(orders, {"orders", "customers"});
+  ASSERT_TRUE(join.ok());  // join.materialize
+}
+
+// Satellite (a): the manifest is the ground truth. Every manifest point must
+// be registered (the macro ran its static initializer), every registered
+// point must be in the manifest (no unregistered sites), and — armed with an
+// unreachable trigger so hits are counted without firing — every point must
+// actually execute under the drivers. A point that never executes is dead
+// chaos coverage: the sweep below would silently skip it.
+TEST(ChaosMatrixTest, ManifestMatchesRegistryAndEveryPointExecutes) {
+  fi::DisarmAll();
+  std::vector<std::string> manifest = fi::ManifestPoints();
+  ASSERT_FALSE(manifest.empty());
+  EXPECT_TRUE(std::is_sorted(manifest.begin(), manifest.end()))
+      << "keep util/fault_points.h alphabetized";
+
+  // Arm every manifest point far beyond any real hit count: Trip records
+  // the hit but never fires, so the drivers run fault-free while counting.
+  fi::FaultSpec count_only;
+  count_only.trigger_on_hit = std::numeric_limits<uint64_t>::max();
+  for (const std::string& point : manifest) fi::Arm(point, count_only);
+
+  RunAllDrivers();
+
+  std::vector<std::string> registered = fi::RegisteredPoints();
+  EXPECT_EQ(registered, manifest)
+      << "fault-point registry and manifest drifted apart; update "
+         "util/fault_points.h (and scripts/check.sh chaos-matrix greps the "
+         "same truth from the source tree)";
+  for (const std::string& point : manifest) {
+    EXPECT_GT(fi::HitCount(point), 0u)
+        << "manifest point never executed by the chaos drivers: " << point;
+  }
+  fi::DisarmAll();
+}
+
+// The matrix itself: each manifest point armed at 100% (permanent
+// kInternal), swept over the article sample. Outcomes must stay in the
+// documented vocabulary, quarantined claims must degrade to partial (never
+// erroneous), and for the three optimized-path points the fallback ladder
+// must fully heal the run: verdicts bit-identical to the fault-free
+// reference, ladder engaged, nothing surrendered.
+TEST(ChaosMatrixTest, EveryManifestPointArmedAtFullRate) {
+  fi::DisarmAll();
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  const size_t sample =
+      FullMatrix() ? articles.size() : std::min<size_t>(articles.size(), 2);
+  // Points whose faults live strictly inside an optimized path with a
+  // reference twin below it on the ladder: these must heal completely.
+  const std::set<std::string> healed_by_ladder = {
+      "cube.scan.vectorized", "plan.fingerprint", "relation.cache.acquire"};
+
+  for (size_t a = 0; a < sample; ++a) {
+    const corpus::CorpusCase& article = articles[a];
+    const RunOutcome reference = RunArticle(article, FastRecoveryOptions());
+    ASSERT_TRUE(reference.status.ok())
+        << article.name << ": " << reference.status.ToString();
+    const std::string reference_fp = VerdictFingerprint(reference.report);
+
+    for (const std::string& point : fi::ManifestPoints()) {
+      if (point == "csv.row" || point == "join.materialize") {
+        continue;  // not on this driver's path: articles ship parsed,
+                   // single-table databases never build joins
+      }
+      fi::Arm(point);
+      RunOutcome outcome = RunArticle(article, FastRecoveryOptions());
+      const uint64_t hits = fi::HitCount(point);
+      fi::DisarmAll();
+
+      EXPECT_TRUE(IsDocumentedOutcome(outcome.status))
+          << article.name << " / " << point << ": "
+          << outcome.status.ToString();
+      if (hits == 0) continue;  // point not on this article's path
+
+      if (healed_by_ladder.count(point) > 0) {
+        ASSERT_TRUE(outcome.status.ok())
+            << article.name << " / " << point
+            << " should have healed down the ladder: "
+            << outcome.status.ToString();
+        EXPECT_EQ(VerdictFingerprint(outcome.report), reference_fp)
+            << article.name << " / " << point
+            << ": healed verdicts must be bit-identical to the reference";
+        EXPECT_EQ(outcome.report.NumQuarantined(), 0u)
+            << article.name << " / " << point << " surrendered a claim";
+        EXPECT_GT(outcome.report.eval_stats.ladder_descents, 0u)
+            << article.name << " / " << point << " never engaged the ladder";
+        EXPECT_GT(outcome.report.eval_stats.queries_recovered, 0u)
+            << article.name << " / " << point << " recorded no recovery";
+      } else if (outcome.status.ok()) {
+        // Permanent fault the ladder cannot shed (it fires on every rung)
+        // or a run-level fault: an OK run must show the quarantine trail,
+        // and quarantined claims degrade to partial, never erroneous.
+        EXPECT_GT(outcome.report.NumQuarantined() +
+                      outcome.report.eval_stats.queries_quarantined,
+                  0u)
+            << article.name << " / " << point
+            << " reported success without any failure or quarantine trace";
+        for (const auto& verdict : outcome.report.verdicts) {
+          if (!verdict.recovery.quarantined) continue;
+          EXPECT_TRUE(verdict.partial)
+              << article.name << " / " << point
+              << ": quarantined claim not partial";
+          EXPECT_FALSE(verdict.likely_erroneous)
+              << article.name << " / " << point
+              << ": quarantined claim flagged erroneous";
+        }
+      }
+    }
+  }
+}
+
+// Satellite (f): trip_rate 0.5 with a fixed seed makes the vectorized-scan
+// fault flaky-but-reproducible and transient — the same-rung retry loop
+// must heal at least one claim on the primary configuration (deepest rung
+// 0, no ladder descent for that claim), and healed verdicts still match
+// the fault-free reference bit-for-bit.
+TEST(ChaosMatrixTest, HalfTripRateRecoversOnPrimaryRung) {
+  fi::DisarmAll();
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  const corpus::CorpusCase& article = articles.front();
+  const RunOutcome reference = RunArticle(article, FastRecoveryOptions());
+  ASSERT_TRUE(reference.status.ok());
+
+  fi::FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;  // transient: retried before descent
+  spec.message = "flaky vectorized scan";
+  spec.trip_rate = 0.5;
+  spec.seed = 20260808;
+  fi::Arm("cube.scan.vectorized", spec);
+  RunOutcome outcome = RunArticle(article, FastRecoveryOptions());
+  const uint64_t hits = fi::HitCount("cube.scan.vectorized");
+  fi::DisarmAll();
+
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_GT(hits, 0u);
+  EXPECT_EQ(VerdictFingerprint(outcome.report),
+            VerdictFingerprint(reference.report));
+  EXPECT_GT(outcome.report.eval_stats.recovery_retries, 0u)
+      << "a transient fault at 50% must trigger same-rung retries";
+  bool healed_on_primary = false;
+  for (const auto& verdict : outcome.report.verdicts) {
+    if (verdict.recovery.recovered && verdict.recovery.deepest_rung == 0) {
+      healed_on_primary = true;
+    }
+  }
+  EXPECT_TRUE(healed_on_primary)
+      << "no claim recovered on the primary rung without descending";
+
+  // Determinism of the seeded schedule: the same (seed, hit sequence)
+  // trips the same hits, so a rerun reproduces the exact recovery counters.
+  fi::Arm("cube.scan.vectorized", spec);
+  RunOutcome rerun = RunArticle(article, FastRecoveryOptions());
+  fi::DisarmAll();
+  ASSERT_TRUE(rerun.status.ok());
+  EXPECT_EQ(rerun.report.eval_stats.recovery_retries,
+            outcome.report.eval_stats.recovery_retries);
+  EXPECT_EQ(rerun.report.eval_stats.ladder_descents,
+            outcome.report.eval_stats.ladder_descents);
+  EXPECT_EQ(rerun.report.eval_stats.queries_recovered,
+            outcome.report.eval_stats.queries_recovered);
+}
+
+// Poison-claim quarantine keeps the run alive: a fault that fires on every
+// rung (cube materialization runs identically under both cube backends)
+// cannot be shed, so its claims are surrendered as quarantined partials —
+// the report still arrives, nothing is flagged erroneous on the quarantined
+// claims, and a subsequent clean run is untouched.
+TEST(ChaosMatrixTest, UnsheddableFaultQuarantinesInsteadOfAborting) {
+  fi::DisarmAll();
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  const corpus::CorpusCase& article = articles.front();
+
+  fi::Arm("cube.materialize");
+  RunOutcome outcome = RunArticle(article, FastRecoveryOptions());
+  fi::DisarmAll();
+
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_GT(outcome.report.NumQuarantined(), 0u);
+  EXPECT_EQ(outcome.report.NumRecovered(), 0u)
+      << "a claim cannot be both healed and quarantined";
+  for (const auto& verdict : outcome.report.verdicts) {
+    if (!verdict.recovery.quarantined) continue;
+    EXPECT_TRUE(verdict.partial);
+    EXPECT_FALSE(verdict.likely_erroneous);
+    EXPECT_GT(verdict.recovery.attempts, 1u)
+        << "quarantine must come after the ladder was actually tried";
+  }
+
+  // Nothing sticky: the fault disarmed, the same article verifies cleanly.
+  RunOutcome clean = RunArticle(article, FastRecoveryOptions());
+  ASSERT_TRUE(clean.status.ok());
+  EXPECT_EQ(clean.report.NumQuarantined(), 0u);
+}
+
+}  // namespace
+}  // namespace aggchecker

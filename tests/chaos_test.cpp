@@ -33,7 +33,10 @@ for repeated substance abuse offenses, one was for gambling.</p>
 
 /// Runs the whole pipeline from raw CSV text to a report, routing every
 /// failure into the returned Status (no step may crash under injection).
-Status RunPipeline(core::CheckOptions options = {}) {
+/// When `report_out` is non-null, a successful run's report is copied out so
+/// callers can inspect recovery/quarantine state.
+Status RunPipeline(core::CheckOptions options = {},
+                   core::CheckReport* report_out = nullptr) {
   auto data = csv::Parse(testing_fixtures::kNflCsv);
   if (!data.ok()) return data.status();
   auto table = db::Table::FromCsv("nflsuspensions", *data);
@@ -49,6 +52,7 @@ Status RunPipeline(core::CheckOptions options = {}) {
   if (!report.ok()) return report.status();
   // Sanity: a successful run must have produced verdicts.
   if (report->verdicts.empty()) return Status::Internal("no verdicts");
+  if (report_out != nullptr) *report_out = std::move(*report);
   return Status::OK();
 }
 
@@ -83,6 +87,16 @@ TEST(ChaosTest, CleanRunRegistersFaultPoints) {
   }
 }
 
+/// True when a report carries any trace of the self-healing layer acting on
+/// a fault: a healed or quarantined claim, or raw engine recovery counters.
+bool RecoveryVisible(const core::CheckReport& report) {
+  return report.NumRecovered() + report.NumQuarantined() > 0 ||
+         report.eval_stats.queries_recovered +
+                 report.eval_stats.queries_quarantined >
+             0 ||
+         report.run_attempts > 1;
+}
+
 TEST(ChaosTest, EveryFaultPointOneAtATime) {
   fi::DisarmAll();
   // Populate the registry across both evaluation strategies.
@@ -92,8 +106,10 @@ TEST(ChaosTest, EveryFaultPointOneAtATime) {
   ASSERT_FALSE(points.empty());
   for (const std::string& point : points) {
     fi::Arm(point);
-    Status merged_status = RunPipeline();
-    Status naive_status = RunPipeline(NaiveOptions());
+    core::CheckReport merged_report;
+    core::CheckReport naive_report;
+    Status merged_status = RunPipeline({}, &merged_report);
+    Status naive_status = RunPipeline(NaiveOptions(), &naive_report);
     EXPECT_TRUE(IsDocumentedOutcome(merged_status))
         << point << " surfaced undocumented status: "
         << merged_status.ToString();
@@ -103,11 +119,59 @@ TEST(ChaosTest, EveryFaultPointOneAtATime) {
     // Registered points sit on an executed path of one of the two
     // strategies, so arming one must reach it (join.materialize only runs
     // for multi-table databases, so it may be registered but unhit here).
+    // With recovery ON (the default), an evaluation-layer fault no longer
+    // fails the run — but it must leave a trace: either a pipeline failed
+    // (fault outside the recovery layer's reach) or its report shows the
+    // fault was healed or quarantined.
     if (point != "join.materialize") {
       EXPECT_GT(fi::HitCount(point), 0u) << point << " was never hit";
-      EXPECT_TRUE(!merged_status.ok() || !naive_status.ok())
-          << point << " fired but both pipelines still reported success";
+      const bool merged_visible =
+          !merged_status.ok() || RecoveryVisible(merged_report);
+      const bool naive_visible =
+          !naive_status.ok() || RecoveryVisible(naive_report);
+      EXPECT_TRUE(merged_visible || naive_visible)
+          << point << " fired but left no failure or recovery trace";
     }
+    fi::DisarmAll();
+  }
+}
+
+// The fail-fast contract survives behind the recovery switch: with
+// `recovery.enabled = false`, quarantine still keeps per-query faults from
+// aborting the run (failed queries have owners), but nothing is retried and
+// nothing heals — every armed evaluation fault must surface as a failure or
+// a quarantined claim, never as a silent success.
+TEST(ChaosTest, RecoveryDisabledNeverHealsSilently) {
+  fi::DisarmAll();
+  ASSERT_TRUE(RunPipeline().ok());
+  ASSERT_TRUE(RunPipeline(NaiveOptions()).ok());
+  std::vector<std::string> points = fi::RegisteredPoints();
+  ASSERT_FALSE(points.empty());
+  for (const std::string& point : points) {
+    if (point == "join.materialize") continue;  // unhit on one-table runs
+    fi::Arm(point);
+    core::CheckOptions merged_options;
+    merged_options.recovery.enabled = false;
+    core::CheckOptions naive_options = NaiveOptions();
+    naive_options.recovery.enabled = false;
+    core::CheckReport merged_report;
+    core::CheckReport naive_report;
+    Status merged_status = RunPipeline(merged_options, &merged_report);
+    Status naive_status = RunPipeline(naive_options, &naive_report);
+    EXPECT_TRUE(IsDocumentedOutcome(merged_status)) << point;
+    EXPECT_TRUE(IsDocumentedOutcome(naive_status)) << point;
+    EXPECT_EQ(merged_report.NumRecovered() + merged_report.eval_stats
+                  .queries_recovered, 0u)
+        << point << " healed with recovery disabled";
+    EXPECT_EQ(naive_report.NumRecovered() +
+                  naive_report.eval_stats.queries_recovered,
+              0u)
+        << point << " healed with recovery disabled";
+    EXPECT_TRUE(!merged_status.ok() || !naive_status.ok() ||
+                merged_report.NumQuarantined() +
+                        naive_report.NumQuarantined() >
+                    0)
+        << point << " fired but both fail-fast pipelines looked clean";
     fi::DisarmAll();
   }
 }

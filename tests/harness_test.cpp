@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "corpus/embedded_articles.h"
+#include "util/fault_injection.h"
 
 namespace aggchecker {
 namespace corpus {
@@ -39,6 +40,32 @@ TEST(HarnessTest, ForcesTop20Reporting) {
     }
   }
   FAIL() << "report_top_k was not widened";
+}
+
+TEST(HarnessTest, RecoveryCountersSurfaceInRunResult) {
+  fault_injection::DisarmAll();
+  auto corpus = SmallCorpus();
+
+  core::CheckOptions options;
+  options.recovery.retry.initial_backoff_ms = 0;  // sleep-free sweep
+  auto clean = RunOnCorpus(corpus, options);
+  EXPECT_EQ(clean.recovery_retries, 0u);
+  EXPECT_EQ(clean.ladder_descents, 0u);
+  EXPECT_EQ(clean.claims_recovered, 0u);
+  EXPECT_EQ(clean.claims_quarantined, 0u);
+
+  fault_injection::Arm("cube.scan.vectorized");
+  auto healed = RunOnCorpus(corpus, options);
+  fault_injection::DisarmAll();
+  EXPECT_GT(healed.ladder_descents, 0u)
+      << "harness must aggregate engine recovery counters";
+  EXPECT_GT(healed.queries_recovered, 0u);
+  EXPECT_GT(healed.claims_recovered, 0u);
+  EXPECT_EQ(healed.claims_quarantined, 0u);
+  // Recovery heals to the bit-identical twin path: verdicts match.
+  ASSERT_EQ(healed.reports.size(), clean.reports.size());
+  EXPECT_EQ(healed.detection.true_positives, clean.detection.true_positives);
+  EXPECT_EQ(healed.detection.false_positives, clean.detection.false_positives);
 }
 
 TEST(HarnessTest, CoverageMonotoneInK) {

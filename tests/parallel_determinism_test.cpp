@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cinttypes>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/aggchecker.h"
@@ -280,6 +282,77 @@ TEST(ParallelDeterminismTest, FaultPointsStillDocumentedWithThreads) {
       }
     }
   }
+}
+
+// Self-healing under concurrency (the TSan interplay regression): one
+// thread's run trips its max_memory_bytes budget while another thread's
+// fault domain is mid-backoff retrying a transient vectorized-scan fault.
+// The two runs share only the global fault registry (mutex-guarded); the
+// recovering run must heal without quarantine and produce verdicts
+// bit-identical across 1, 2, and 8 worker threads, no matter how the
+// starved neighbor's trip interleaves with the backoff sleeps.
+TEST(ParallelDeterminismTest, MemoryTripDuringBackoffStaysDeterministic) {
+  fi::DisarmAll();
+  corpus::GeneratorOptions options;
+  options.num_cases = 2;
+  options.seed = 20260808;
+  corpus::CorpusCase starved_case = corpus::GenerateCase(0, options);
+  corpus::CorpusCase healing_case = corpus::GenerateCase(1, options);
+
+  // Transient + every hit: the recovering run retries with backoff on the
+  // primary rung (both retries re-fault), then heals on the scalar-cube
+  // rung. trip_rate 1.0 keeps firing independent of how the two runs'
+  // shared hit counter interleaves.
+  fi::FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  spec.message = "transient vectorized scan";
+  fi::Arm("cube.scan.vectorized", spec);
+
+  std::string baseline;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    std::atomic<bool> starved_ok{true};
+    std::string starved_error;
+    std::thread starved([&] {
+      core::CheckOptions starved_options;
+      starved_options.governor.max_memory_bytes = 1;  // trips immediately
+      auto checker =
+          core::AggChecker::Create(&starved_case.database, starved_options);
+      if (!checker.ok()) {
+        starved_ok = false;
+        starved_error = checker.status().ToString();
+        return;
+      }
+      auto report = checker->Check(starved_case.document);
+      // Budget starvation degrades to partial verdicts; a documented
+      // resource stop is the only acceptable failure.
+      if (!report.ok() && !report.status().IsResourceExhausted()) {
+        starved_ok = false;
+        starved_error = report.status().ToString();
+      }
+    });
+
+    core::CheckOptions healing_options = ThreadedOptions(threads);
+    auto checker =
+        core::AggChecker::Create(&healing_case.database, healing_options);
+    ASSERT_TRUE(checker.ok());
+    auto report = checker->Check(healing_case.document);
+    starved.join();
+
+    EXPECT_TRUE(starved_ok) << starved_error;
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report->eval_stats.recovery_retries, 0u)
+        << "the transient fault must put the fault domain into backoff";
+    EXPECT_GT(report->eval_stats.queries_recovered, 0u);
+    EXPECT_EQ(report->NumQuarantined(), 0u);
+    std::string fingerprint = Fingerprint(*report);
+    if (threads == 1) {
+      baseline = fingerprint;
+    } else {
+      EXPECT_EQ(fingerprint, baseline)
+          << threads << " threads diverged while a neighbor tripped memory";
+    }
+  }
+  fi::DisarmAll();
 }
 
 // Starved budgets with workers: still no errors, partial-never-erroneous,

@@ -1,0 +1,97 @@
+// Status/Result semantics: the transient/permanent error taxonomy behind
+// the self-healing layer (DESIGN.md §13) and Result<T>::value_or's
+// move-vs-copy contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace aggchecker {
+namespace {
+
+TEST(StatusTest, TaxonomyOnlyUnavailableIsTransient) {
+  EXPECT_TRUE(Status::Unavailable("cache poisoned").IsTransient());
+  // Hard errors are permanent: retrying the identical operation cannot
+  // plausibly change the outcome.
+  EXPECT_FALSE(Status::Internal("invariant broke").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("bad column").IsTransient());
+  EXPECT_FALSE(Status::NotFound("no table").IsTransient());
+  EXPECT_FALSE(Status::ParseError("bad csv").IsTransient());
+  EXPECT_FALSE(Status::Unsupported("no median").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("rank").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+  // Governor stops are resource-exhausted, NOT transient: the verdict is
+  // sticky for the run, a retry would fail its first charge.
+  EXPECT_FALSE(Status::DeadlineExceeded("deadline").IsTransient());
+  EXPECT_FALSE(Status::BudgetExhausted("rows").IsTransient());
+}
+
+TEST(StatusTest, TaxonomyClassesAreDisjoint) {
+  EXPECT_TRUE(Status::DeadlineExceeded("d").IsResourceExhausted());
+  EXPECT_TRUE(Status::BudgetExhausted("b").IsResourceExhausted());
+  EXPECT_FALSE(Status::Unavailable("u").IsResourceExhausted());
+  EXPECT_FALSE(Status::Internal("i").IsResourceExhausted());
+}
+
+TEST(StatusTest, UnavailableRendersItsCode) {
+  Status status = Status::Unavailable("flaky io");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.ToString().find("Unavailable"), std::string::npos);
+  EXPECT_NE(status.ToString().find("flaky io"), std::string::npos);
+}
+
+/// Counts how many copies were taken along this instance's history.
+struct CopyCounter {
+  int copies = 0;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& other) : copies(other.copies + 1) {}
+  CopyCounter(CopyCounter&& other) noexcept : copies(other.copies) {}
+  CopyCounter& operator=(const CopyCounter& other) {
+    copies = other.copies + 1;
+    return *this;
+  }
+  CopyCounter& operator=(CopyCounter&& other) noexcept {
+    copies = other.copies;
+    return *this;
+  }
+};
+
+TEST(ResultTest, ValueOrMovesOutOfRvalueResult) {
+  // Construction moves the temporary in: zero copies on the way into the
+  // Result, zero on the way out of the rvalue overload.
+  Result<CopyCounter> result(CopyCounter{});
+  CopyCounter out = std::move(result).value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, 0)
+      << "rvalue value_or must move the contained value, not copy it";
+}
+
+TEST(ResultTest, ValueOrCopiesFromLvalueResult) {
+  Result<CopyCounter> result(CopyCounter{});
+  CopyCounter out = result.value_or(CopyCounter{});
+  EXPECT_EQ(out.copies, 1) << "lvalue value_or copies exactly once";
+  // The contained value is still usable after an lvalue value_or.
+  EXPECT_EQ(result.value().copies, 0);
+}
+
+TEST(ResultTest, ValueOrMovesFallbackOnError) {
+  Result<CopyCounter> error(Status::Internal("boom"));
+  CopyCounter from_lvalue = error.value_or(CopyCounter{});
+  EXPECT_EQ(from_lvalue.copies, 0) << "fallback is moved, never copied";
+  CopyCounter from_rvalue = std::move(error).value_or(CopyCounter{});
+  EXPECT_EQ(from_rvalue.copies, 0);
+}
+
+TEST(ResultTest, ValueOrReturnsContainedValue) {
+  Result<int> ok(42);
+  EXPECT_EQ(ok.value_or(7), 42);
+  Result<int> bad(Status::NotFound("x"));
+  EXPECT_EQ(bad.value_or(7), 7);
+  Result<std::string> text(std::string("hello"));
+  EXPECT_EQ(std::move(text).value_or("fallback"), "hello");
+}
+
+}  // namespace
+}  // namespace aggchecker
