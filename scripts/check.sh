@@ -12,6 +12,8 @@
 #   scripts/check.sh asan-ubsan   # just the sanitizer preset
 #   scripts/check.sh tsan         # just the TSan concurrency subset
 #   scripts/check.sh perf-smoke   # just the perf regression gates
+#   scripts/check.sh fleet-smoke  # small fleet end to end (generator +
+#                                 # cross-document scheduler)
 #   scripts/check.sh chaos-matrix # exhaustive fault-point sweep (ASan+UBSan)
 #
 # The chaos-matrix step first checks that the compile-time fault-point
@@ -20,6 +22,13 @@
 # then builds the ASan+UBSan preset and runs the chaos suites with
 # AGG_CHAOS_MATRIX=full, which arms every manifest point against every
 # embedded article instead of the bounded sample the default gate runs.
+#
+# The fleet-smoke step builds the Release preset's `bench_fleet_throughput`
+# binary and runs it with --smoke: a ~50-article fleet is generated and
+# drained through the cross-document scheduler, and the run fails unless
+# throughput is nonzero, every verdict matches the generator's
+# by-construction ground truth (zero erroneous verdicts), and the scheduled
+# run is bit-identical to the one-at-a-time reference.
 #
 # The perf-smoke step builds the Release preset's `perf_smoke` binary and
 # fails if (a) vectorized cube execution is not faster than the scalar
@@ -38,7 +47,7 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}")
 if [[ $# -eq 0 ]]; then
-  presets=(default asan-ubsan tsan perf-smoke)
+  presets=(default asan-ubsan tsan perf-smoke fleet-smoke)
 fi
 
 for preset in "${presets[@]}"; do
@@ -67,6 +76,14 @@ for preset in "${presets[@]}"; do
     cmake --build --preset default -j "$jobs" --target perf_smoke
     echo "==> [perf-smoke] run"
     ./build/bench/perf_smoke
+    continue
+  fi
+  if [[ "$preset" == "fleet-smoke" ]]; then
+    echo "==> [fleet-smoke] build"
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$jobs" --target bench_fleet_throughput
+    echo "==> [fleet-smoke] run"
+    (cd build/bench && ./bench_fleet_throughput --smoke)
     continue
   fi
   echo "==> [$preset] configure"

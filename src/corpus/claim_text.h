@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace aggchecker {
+namespace corpus {
+namespace claim_text {
+
+/// \brief A value rendered the way a journalist writes numbers: rounded to
+/// significant digits, spelled out for small integers, "N million" above a
+/// million — plus the exact value that surface form parses back to.
+///
+/// Shared by the article-scale generator (generator.cc) and the fleet-scale
+/// generator (fleet_generator.cc) so both emit claims with identical number
+/// semantics: the claim detector parses `text` back to exactly
+/// `claimed_value`, and the erroneous flag of a generated claim is always
+/// recomputed from `claimed_value` under the checker's own rounding.
+struct Rendered {
+  std::string text;      ///< surface form used in the sentence
+  double claimed_value;  ///< the value the surface form parses to
+};
+
+/// Renders `v` as prose (rounded, occasionally spelled out for 1..12).
+Rendered RenderValue(double v, Rng* rng);
+
+/// True if rendering `v` yields a year-like four-digit literal the claim
+/// detector would skip (generators must avoid such truths and corruptions).
+bool RendersAsYear(double v);
+
+/// Produces a corrupted value that does not round from `truth` (and does
+/// not render as a year) — the error-injection primitive whose output keeps
+/// ground-truth verdicts known by construction.
+double Corrupt(double truth, Rng* rng);
+
+}  // namespace claim_text
+}  // namespace corpus
+}  // namespace aggchecker

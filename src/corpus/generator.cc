@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "corpus/claim_text.h"
 #include "db/executor.h"
 #include "text/number_parser.h"
 #include "util/rng.h"
@@ -104,78 +105,13 @@ const std::vector<DomainSpec>& Domains() {
 const char* kSources[] = {"538", "NYT", "Vox", "StackOverflow", "Wikipedia"};
 
 // ---------------------------------------------------------------------------
-// Number rendering
+// Number rendering — shared with the fleet generator (corpus/claim_text.h).
 // ---------------------------------------------------------------------------
 
-const char* kSmallWords[] = {"zero", "one", "two",   "three", "four",
-                             "five", "six", "seven", "eight", "nine",
-                             "ten",  "eleven", "twelve"};
-
-struct Rendered {
-  std::string text;      ///< surface form used in the sentence
-  double claimed_value;  ///< the value the surface form parses to
-};
-
-/// Renders a value the way a journalist would (rounded, occasionally
-/// spelled out) and reports the exact value the rendering parses back to.
-Rendered RenderValue(double v, Rng* rng) {
-  Rendered r;
-  if (v >= 1e6) {
-    double millions = rounding::RoundToSignificant(v / 1e6, 3);
-    r.text = strings::Format("%g million", millions);
-    r.claimed_value = millions * 1e6;
-    return r;
-  }
-  if (v >= 10000) {
-    double rounded = rounding::RoundToSignificant(v, 3);
-    r.text = strings::Format("%.0f", rounded);
-    r.claimed_value = rounded;
-    return r;
-  }
-  bool integral = std::fabs(v - std::round(v)) < 1e-9;
-  if (integral) {
-    auto iv = static_cast<long long>(std::llround(v));
-    if (iv >= 1 && iv <= 12 && rng->NextBool(0.35)) {
-      r.text = kSmallWords[iv];
-    } else {
-      r.text = std::to_string(iv);
-    }
-    r.claimed_value = static_cast<double>(iv);
-    return r;
-  }
-  double rounded = rounding::RoundToSignificant(v, 3);
-  r.text = strings::Format("%g", rounded);
-  r.claimed_value = std::strtod(r.text.c_str(), nullptr);
-  return r;
-}
-
-/// True if rendering `v` yields a year-like four-digit literal the claim
-/// detector would skip.
-bool RendersAsYear(double v) {
-  return v >= 1900 && v <= 2099 &&
-         std::fabs(v - std::round(v)) < 1e-9;
-}
-
-/// Produces a corrupted value that does not round from `truth`.
-double Corrupt(double truth, Rng* rng) {
-  for (int attempt = 0; attempt < 20; ++attempt) {
-    double wrong;
-    if (std::fabs(truth - std::round(truth)) < 1e-9 && truth < 1000) {
-      int64_t delta = rng->NextInt(1, std::max<int64_t>(
-                                          2, static_cast<int64_t>(truth / 3)));
-      wrong = truth + (rng->NextBool(0.5) ? delta : -delta);
-      if (wrong < 1) wrong = truth + delta;
-    } else {
-      double factor = rng->NextBool(0.5) ? rng->NextDouble() * 0.22 + 0.7
-                                         : rng->NextDouble() * 0.3 + 1.12;
-      wrong = truth * factor;
-    }
-    if (!rounding::RoundsTo(truth, wrong) && !RendersAsYear(wrong)) {
-      return wrong;
-    }
-  }
-  return truth * 2 + 7;
-}
+using claim_text::Corrupt;
+using claim_text::Rendered;
+using claim_text::RendersAsYear;
+using claim_text::RenderValue;
 
 // ---------------------------------------------------------------------------
 // Sentence templates

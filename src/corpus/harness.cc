@@ -51,5 +51,45 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
   return result;
 }
 
+std::vector<core::FleetDocument> FleetDocuments(const FleetCorpus& corpus) {
+  std::vector<core::FleetDocument> documents;
+  documents.reserve(corpus.articles.size());
+  for (const FleetArticle& article : corpus.articles) {
+    core::FleetDocument doc;
+    doc.name = article.name;
+    doc.database = corpus.datasets[article.dataset].get();
+    doc.document = &article.document;
+    doc.num_claims_hint = article.ground_truth.size();
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+FleetHarnessResult RunOnFleet(const FleetCorpus& corpus,
+                              const core::FleetOptions& options) {
+  FleetHarnessResult result;
+  result.run = core::RunFleet(FleetDocuments(corpus), options);
+  for (const core::FleetDocumentResult& doc : result.run.documents) {
+    if (!doc.status.ok()) continue;  // failed documents carry no verdicts
+    const FleetArticle& article = corpus.articles[doc.index];
+    if (doc.report.verdicts.size() != article.ground_truth.size()) {
+      ++result.documents_misaligned;
+    }
+    ErrorDetectionMetrics m;
+    size_t n = std::min(doc.report.verdicts.size(),
+                        article.ground_truth.size());
+    m.total_claims = n;
+    for (size_t i = 0; i < n; ++i) {
+      bool flagged = doc.report.verdicts[i].likely_erroneous;
+      bool erroneous = article.ground_truth[i].is_erroneous;
+      if (flagged && erroneous) ++m.true_positives;
+      if (flagged && !erroneous) ++m.false_positives;
+      if (!flagged && erroneous) ++m.false_negatives;
+    }
+    result.detection.Merge(m);
+  }
+  return result;
+}
+
 }  // namespace corpus
 }  // namespace aggchecker

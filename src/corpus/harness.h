@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "core/aggchecker.h"
+#include "core/fleet_scheduler.h"
 #include "corpus/corpus_case.h"
+#include "corpus/fleet_generator.h"
 #include "corpus/metrics.h"
 
 namespace aggchecker {
@@ -51,6 +53,35 @@ struct CorpusRunResult {
 /// k=20 is measurable.
 CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
                             core::CheckOptions options);
+
+/// \brief Fleet-mode outcome: the scheduler's run plus accuracy scored
+/// against the generator's by-construction ground truth.
+struct FleetHarnessResult {
+  core::FleetRunResult run;
+  /// Detection scored by position against each article's ground truth
+  /// (the fleet generator emits one claim per sentence in detection order,
+  /// the same alignment contract the article-scale corpus upholds).
+  ErrorDetectionMetrics detection;
+  /// Documents whose verdict count did not match their ground-truth claim
+  /// count — an alignment bug, not a detection miss. Zero on a healthy run.
+  size_t documents_misaligned = 0;
+};
+
+/// Adapts a generated fleet to scheduler work items. The returned documents
+/// borrow the corpus' datasets and article documents; the corpus must
+/// outlive any run over them. `num_claims_hint` is the ground-truth claim
+/// count (the exact benefit term).
+std::vector<core::FleetDocument> FleetDocuments(const FleetCorpus& corpus);
+
+/// \brief Fleet mode: drains the whole corpus through the cross-document
+/// scheduler and scores verdicts against ground truth.
+///
+/// Unlike RunOnCorpus, relation caches are NOT cleared between documents —
+/// cache warmth carried across documents sharing a dataset is exactly what
+/// the scheduler's priority function exploits, and reports are bit-identical
+/// warm or cold (the PR4 invariant).
+FleetHarnessResult RunOnFleet(const FleetCorpus& corpus,
+                              const core::FleetOptions& options);
 
 }  // namespace corpus
 }  // namespace aggchecker

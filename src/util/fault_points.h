@@ -27,6 +27,8 @@ namespace fault_injection {
   X("em.iterate")                   \
   X("executor.execute")             \
   X("executor.scan")                \
+  X("fleet.generator.emit")         \
+  X("fleet.schedule.pop")           \
   X("join.materialize")             \
   X("plan.fingerprint")             \
   X("relation.cache.acquire")

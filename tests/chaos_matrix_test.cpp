@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "core/aggchecker.h"
+#include "core/fleet_scheduler.h"
 #include "corpus/embedded_articles.h"
+#include "corpus/fleet_generator.h"
+#include "corpus/harness.h"
 #include "db/joined_relation.h"
 #include "db/relation_cache.h"
 #include "test_fixtures.h"
@@ -100,9 +103,26 @@ bool IsDocumentedOutcome(const Status& status) {
          status.IsResourceExhausted();
 }
 
+/// A fleet small enough to generate and schedule in milliseconds; drives
+/// the `fleet.generator.emit` and `fleet.schedule.pop` points.
+corpus::FleetSpec TinyFleetSpec() {
+  corpus::FleetSpec spec;
+  spec.seed = 3;
+  spec.num_articles = 3;
+  spec.num_datasets = 1;
+  spec.claims_per_article = 3;
+  spec.num_dim_columns = 4;
+  spec.num_measure_columns = 2;
+  spec.rows_per_dataset = 300;
+  spec.dim_cardinality = 6;
+  spec.error_rate = 0.2;
+  return spec;
+}
+
 /// Drivers that together execute every manifest point: CSV ingestion, the
 /// merged (vectorized + fingerprints + relation cache) pipeline, the naive
-/// pipeline, and a multi-table join build.
+/// pipeline, a multi-table join build, and a tiny fleet generate+schedule
+/// cycle (fleet.generator.emit / fleet.schedule.pop).
 void RunAllDrivers() {
   {
     auto parsed = csv::Parse(testing_fixtures::kNflCsv);  // csv.row
@@ -118,6 +138,10 @@ void RunAllDrivers() {
   auto orders = testing_fixtures::MakeOrdersDatabase();
   auto join = db::JoinedRelation::Build(orders, {"orders", "customers"});
   ASSERT_TRUE(join.ok());  // join.materialize
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(TinyFleetSpec());
+  core::FleetOptions fleet_options;
+  fleet_options.check = FastRecoveryOptions();
+  (void)core::RunFleet(corpus::FleetDocuments(fleet), fleet_options);
 }
 
 // Satellite (a): the manifest is the ground truth. Every manifest point must
@@ -178,9 +202,11 @@ TEST(ChaosMatrixTest, EveryManifestPointArmedAtFullRate) {
     const std::string reference_fp = VerdictFingerprint(reference.report);
 
     for (const std::string& point : fi::ManifestPoints()) {
-      if (point == "csv.row" || point == "join.materialize") {
+      if (point == "csv.row" || point == "join.materialize" ||
+          point == "fleet.generator.emit" || point == "fleet.schedule.pop") {
         continue;  // not on this driver's path: articles ship parsed,
-                   // single-table databases never build joins
+                   // single-table databases never build joins, and the
+                   // fleet points have their own quarantine tests below
       }
       fi::Arm(point);
       RunOutcome outcome = RunArticle(article, FastRecoveryOptions());
@@ -312,6 +338,85 @@ TEST(ChaosMatrixTest, UnsheddableFaultQuarantinesInsteadOfAborting) {
   RunOutcome clean = RunArticle(article, FastRecoveryOptions());
   ASSERT_TRUE(clean.status.ok());
   EXPECT_EQ(clean.report.NumQuarantined(), 0u);
+}
+
+// A scheduler-pop fault quarantines exactly the popped document: the fault
+// is attributed to that document's result slot, every other document drains
+// normally with verdicts bit-identical to the fault-free run — the queue
+// never stalls on a poisoned item.
+TEST(ChaosMatrixTest, FleetPopFaultQuarantinesOneDocumentAlone) {
+  fi::DisarmAll();
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(TinyFleetSpec());
+  auto documents = corpus::FleetDocuments(fleet);
+  ASSERT_EQ(documents.size(), 3u);
+
+  core::FleetOptions options;
+  options.check = FastRecoveryOptions();
+  core::FleetRunResult reference = core::RunFleet(documents, options);
+  ASSERT_EQ(reference.documents_failed, 0u);
+
+  fi::FaultSpec spec;
+  spec.trigger_on_hit = 2;  // the second pop, wherever it lands
+  spec.every_hit = false;
+  fi::Arm("fleet.schedule.pop", spec);
+  core::FleetRunResult faulted = core::RunFleet(documents, options);
+  const uint64_t hits = fi::HitCount("fleet.schedule.pop");
+  fi::DisarmAll();
+
+  ASSERT_EQ(hits, documents.size());  // every pop passed the point
+  EXPECT_EQ(faulted.documents_failed, 1u);
+  size_t failed = 0;
+  for (size_t i = 0; i < faulted.documents.size(); ++i) {
+    const auto& doc = faulted.documents[i];
+    const auto& ref = reference.documents[i];
+    if (!doc.status.ok()) {
+      ++failed;
+      EXPECT_EQ(doc.schedule_position, 1u)
+          << "the fault must land on the second-popped document";
+      EXPECT_EQ(doc.status.code(), StatusCode::kInternal);
+      continue;
+    }
+    EXPECT_EQ(core::FleetVerdictFingerprint(doc.report),
+              core::FleetVerdictFingerprint(ref.report))
+        << "surviving document " << i << " diverged from the fault-free run";
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+// A generator-emit fault drops exactly the faulted article: the corpus
+// keeps its remaining articles, counts the drop, and — per-article rng
+// streams being independent — every survivor is byte-identical to its
+// fault-free twin.
+TEST(ChaosMatrixTest, FleetEmitFaultDropsOnlyTheFaultedArticle) {
+  fi::DisarmAll();
+  const corpus::FleetSpec spec = TinyFleetSpec();
+  corpus::FleetCorpus reference = corpus::GenerateFleet(spec);
+  ASSERT_EQ(reference.articles.size(), spec.num_articles);
+  ASSERT_EQ(reference.articles_dropped, 0u);
+
+  fi::FaultSpec fault;
+  fault.trigger_on_hit = 2;  // drop the second article
+  fault.every_hit = false;
+  fi::Arm("fleet.generator.emit", fault);
+  corpus::FleetCorpus faulted = corpus::GenerateFleet(spec);
+  fi::DisarmAll();
+
+  ASSERT_EQ(faulted.articles.size(), spec.num_articles - 1);
+  EXPECT_EQ(faulted.articles_dropped, 1u);
+  // Survivors are the fault-free twins, byte for byte: same name, text,
+  // and ground truth as the corresponding article of the reference corpus.
+  auto text = [](const corpus::FleetArticle& a) {
+    std::string out = a.name + "|" + a.document.title();
+    for (const auto& s : a.document.sentences()) out += "|" + s.text;
+    for (const auto& g : a.ground_truth) {
+      out += strings::Format("|%s=%a/%a/%d", g.query.CanonicalKey().c_str(),
+                             g.claimed_value, g.true_value,
+                             g.is_erroneous ? 1 : 0);
+    }
+    return out;
+  };
+  EXPECT_EQ(text(faulted.articles[0]), text(reference.articles[0]));
+  EXPECT_EQ(text(faulted.articles[1]), text(reference.articles[2]));
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+#include "core/fleet_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/fleet_generator.h"
+#include "corpus/harness.h"
+#include "util/thread_pool.h"
+
+namespace aggchecker {
+namespace core {
+namespace {
+
+corpus::FleetSpec SmallSpec() {
+  corpus::FleetSpec spec;
+  spec.seed = 11;
+  spec.num_articles = 8;
+  spec.num_datasets = 2;
+  spec.claims_per_article = 4;
+  spec.num_dim_columns = 5;
+  spec.num_measure_columns = 3;
+  spec.rows_per_dataset = 400;
+  spec.dim_cardinality = 8;
+  spec.error_rate = 0.2;
+  return spec;
+}
+
+/// Collects per-document fingerprints in input order ("" for failed docs).
+std::vector<std::string> Fingerprints(const FleetRunResult& run) {
+  std::vector<std::string> fps(run.documents.size());
+  for (const auto& doc : run.documents) {
+    fps[doc.index] = doc.status.ok() ? FleetVerdictFingerprint(doc.report)
+                                     : std::string();
+  }
+  return fps;
+}
+
+/// The tentpole invariant: per-document verdicts are bit-identical between
+/// the scheduler (at any thread count, any priority order) and the
+/// one-at-a-time reference run.
+TEST(FleetSchedulerTest, VerdictsBitIdenticalAcrossThreadCounts) {
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(SmallSpec());
+  auto documents = corpus::FleetDocuments(fleet);
+
+  FleetOptions options;
+  FleetRunResult reference = RunFleetSequential(documents, options);
+  ASSERT_EQ(reference.documents_failed, 0u);
+  const auto reference_fps = Fingerprints(reference);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (bool prioritize : {true, false}) {
+      FleetOptions run_options;
+      run_options.num_threads = threads;
+      run_options.prioritize = prioritize;
+      FleetRunResult run = RunFleet(documents, run_options);
+      ASSERT_EQ(run.documents_failed, 0u)
+          << threads << " threads, prioritize=" << prioritize;
+      EXPECT_EQ(Fingerprints(run), reference_fps)
+          << threads << " threads, prioritize=" << prioritize;
+    }
+  }
+}
+
+/// Same invariant under a global budget tight enough to trip every slice:
+/// partial verdicts must also be interleaving-independent.
+TEST(FleetSchedulerTest, BudgetedVerdictsBitIdenticalAcrossThreadCounts) {
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(SmallSpec());
+  auto documents = corpus::FleetDocuments(fleet);
+
+  // Measure the unconstrained appetite, then grant half of it globally.
+  FleetOptions unlimited;
+  FleetRunResult probe = RunFleetSequential(documents, unlimited);
+  ASSERT_EQ(probe.documents_failed, 0u);
+  ASSERT_GT(probe.usage.rows_charged, 0u);
+
+  FleetOptions budgeted;
+  budgeted.check.governor.max_row_scans = probe.usage.rows_charged / 2;
+  FleetRunResult reference = RunFleetSequential(documents, budgeted);
+  const auto reference_fps = Fingerprints(reference);
+  EXPECT_GT(reference.claims_partial, 0u);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    FleetOptions run_options = budgeted;
+    run_options.num_threads = threads;
+    FleetRunResult run = RunFleet(documents, run_options);
+    EXPECT_EQ(Fingerprints(run), reference_fps) << threads << " threads";
+    EXPECT_EQ(run.documents_exhausted, reference.documents_exhausted)
+        << threads << " threads";
+  }
+}
+
+/// Fairness: N identical documents under a global budget that trips
+/// mid-run degrade together — every document lands partial verdicts, none
+/// is starved by queue position.
+TEST(FleetSchedulerTest, BudgetTripsFairlyAcrossEqualDocuments) {
+  corpus::FleetSpec spec = SmallSpec();
+  spec.num_articles = 1;
+  spec.num_datasets = 1;
+  spec.rows_per_dataset = 1500;
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(spec);
+  ASSERT_EQ(fleet.articles.size(), 1u);
+
+  // Six equal documents: the same article checked six times.
+  constexpr size_t kDocs = 6;
+  auto one = corpus::FleetDocuments(fleet);
+  std::vector<FleetDocument> documents;
+  for (size_t i = 0; i < kDocs; ++i) {
+    FleetDocument doc = one[0];
+    doc.name = doc.name + "-copy";
+    documents.push_back(doc);
+  }
+
+  FleetOptions unlimited;
+  FleetRunResult probe = RunFleetSequential(documents, unlimited);
+  ASSERT_EQ(probe.documents_failed, 0u);
+
+  FleetOptions budgeted;
+  budgeted.num_threads = 2;
+  budgeted.check.governor.max_row_scans = probe.usage.rows_charged / 2;
+  FleetRunResult run = RunFleet(documents, budgeted);
+
+  // The global budget tripped — and tripped everywhere, not on a victim
+  // subset: identical documents get identical slices, so every one of them
+  // runs out at the same point and carries partial verdicts.
+  EXPECT_EQ(run.documents_exhausted, kDocs);
+  for (const auto& doc : run.documents) {
+    ASSERT_TRUE(doc.status.ok());
+    EXPECT_TRUE(doc.report.governor_usage.exhausted);
+    EXPECT_GT(doc.report.NumPartial(), 0u) << "document " << doc.index;
+  }
+  // The fleet-wide spend respects the global ledger: per-slice enforcement
+  // keeps the total within one slice's overshoot of the budget.
+  const uint64_t slice =
+      SliceGovernorBudget(budgeted.check.governor, kDocs).max_row_scans;
+  EXPECT_LE(run.usage.rows_charged,
+            budgeted.check.governor.max_row_scans +
+                kDocs * ResourceGovernor::kCheckIntervalRows + kDocs * slice);
+}
+
+/// Governor charge totals are a pure function of the input — equal across
+/// schedule orders and thread counts.
+TEST(FleetSchedulerTest, ChargeTotalsEqualAcrossScheduleOrders) {
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(SmallSpec());
+  auto documents = corpus::FleetDocuments(fleet);
+
+  FleetOptions fifo;
+  fifo.prioritize = false;
+  FleetRunResult a = RunFleetSequential(documents, fifo);
+
+  FleetOptions prioritized;
+  prioritized.prioritize = true;
+  prioritized.num_threads = 2;
+  FleetRunResult b = RunFleet(documents, prioritized);
+
+  FleetOptions fifo_pooled;
+  fifo_pooled.prioritize = false;
+  fifo_pooled.num_threads = 8;
+  FleetRunResult c = RunFleet(documents, fifo_pooled);
+
+  EXPECT_EQ(a.usage.rows_charged, b.usage.rows_charged);
+  EXPECT_EQ(a.usage.cube_groups_charged, b.usage.cube_groups_charged);
+  EXPECT_EQ(a.usage.memory_bytes_charged, b.usage.memory_bytes_charged);
+  EXPECT_EQ(b.usage.rows_charged, c.usage.rows_charged);
+  EXPECT_EQ(b.usage.cube_groups_charged, c.usage.cube_groups_charged);
+  EXPECT_EQ(b.usage.memory_bytes_charged, c.usage.memory_bytes_charged);
+}
+
+/// The greedy priority groups documents by dataset: once a dataset is warm,
+/// its remaining documents always outrank every cold document (the warm
+/// priority is 1/(scan+group unit cost), the cold one strictly less).
+TEST(FleetSchedulerTest, PrioritySchedulesSharedDatasetsTogether) {
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(SmallSpec());
+  auto documents = corpus::FleetDocuments(fleet);
+
+  FleetOptions options;
+  options.prioritize = true;
+  FleetRunResult run = RunFleet(documents, options);
+
+  // Walk the schedule order; the dataset may only change when the previous
+  // dataset has no documents left.
+  std::vector<size_t> by_position(documents.size());
+  for (const auto& doc : run.documents) {
+    by_position[doc.schedule_position] = doc.index;
+  }
+  std::set<const db::Database*> drained;
+  const db::Database* current = nullptr;
+  for (size_t pos = 0; pos < by_position.size(); ++pos) {
+    const db::Database* db = documents[by_position[pos]].database;
+    if (db != current) {
+      EXPECT_EQ(drained.count(db), 0u)
+          << "dataset revisited at schedule position " << pos;
+      if (current != nullptr) drained.insert(current);
+      current = db;
+    }
+  }
+}
+
+/// Satellite: the scheduler self-reports the host's concurrency so a
+/// thread-sweep on a clamped (1-core) container is legible in the results
+/// instead of silently recording phantom scaling.
+TEST(FleetSchedulerTest, SelfReportsHardwareClamp) {
+  corpus::FleetSpec spec = SmallSpec();
+  spec.num_articles = 2;
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(spec);
+  auto documents = corpus::FleetDocuments(fleet);
+
+  FleetOptions options;
+  options.num_threads = 8;
+  FleetRunResult run = RunFleet(documents, options);
+  EXPECT_EQ(run.threads_used, 8u);
+  EXPECT_EQ(run.hardware_concurrency, ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(run.threads_oversubscribed,
+            run.threads_used > run.hardware_concurrency);
+
+  FleetOptions defaulted;
+  defaulted.num_threads = 0;  // 0 = hardware concurrency: never oversubscribed
+  FleetRunResult hw = RunFleet(documents, defaulted);
+  EXPECT_EQ(hw.threads_used, ThreadPool::HardwareConcurrency());
+  EXPECT_FALSE(hw.threads_oversubscribed);
+}
+
+/// Fleet-mode harness: detection scored against ground truth by position.
+TEST(FleetSchedulerTest, HarnessScoresFleetAgainstGroundTruth) {
+  corpus::FleetCorpus fleet = corpus::GenerateFleet(SmallSpec());
+
+  FleetOptions options;
+  options.num_threads = 2;
+  corpus::FleetHarnessResult result = corpus::RunOnFleet(fleet, options);
+  EXPECT_EQ(result.run.documents_failed, 0u);
+  EXPECT_EQ(result.documents_misaligned, 0u);
+  EXPECT_EQ(result.detection.total_claims, fleet.TotalClaims());
+  // The generator's claims are sharply detectable by construction: perfect
+  // precision and recall on a small fleet (the fleet-smoke gate).
+  EXPECT_EQ(result.detection.false_positives, 0u);
+  EXPECT_EQ(result.detection.false_negatives, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aggchecker
