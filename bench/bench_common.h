@@ -5,14 +5,70 @@
 // reference column for side-by-side comparison (absolute numbers differ —
 // different corpus and machine; the shape is the reproduction target).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "corpus/corpus.h"
 #include "corpus/harness.h"
+#include "util/thread_pool.h"
 
 namespace aggchecker {
 namespace bench {
+
+/// \brief Thread-environment self-report: what a bench asked for vs what
+/// the host can run. Scaling numbers measured with fewer threads than
+/// requested are not comparable across machines, so every bench records
+/// the clamp instead of silently measuring oversubscription.
+struct ThreadReport {
+  size_t hardware_concurrency = 0;
+  size_t threads_requested = 0;
+  size_t threads_used = 0;  ///< min(requested, hardware_concurrency)
+  bool clamped = false;     ///< host has fewer cores than requested
+};
+
+inline ThreadReport MakeThreadReport(size_t threads_requested) {
+  ThreadReport report;
+  report.hardware_concurrency = ThreadPool::HardwareConcurrency();
+  report.threads_requested = threads_requested;
+  report.threads_used =
+      std::min(threads_requested, report.hardware_concurrency);
+  report.clamped = report.threads_used < threads_requested;
+  return report;
+}
+
+inline void PrintThreadReport(const ThreadReport& report) {
+  std::printf("threads: requested=%zu used=%zu hardware_concurrency=%zu%s\n",
+              report.threads_requested, report.threads_used,
+              report.hardware_concurrency,
+              report.clamped
+                  ? "  [CLAMPED: host has fewer cores than requested; "
+                    "scaling numbers are not meaningful]"
+                  : "");
+}
+
+/// Emits the four thread keys as a JSON fragment (no braces, no trailing
+/// comma) for splicing into a bench's machine-readable output.
+inline void WriteThreadReportJson(FILE* out, const ThreadReport& report) {
+  std::fprintf(out,
+               "\"hardware_concurrency\": %zu, \"threads_requested\": %zu, "
+               "\"threads_used\": %zu, \"threads_clamped\": %s",
+               report.hardware_concurrency, report.threads_requested,
+               report.threads_used, report.clamped ? "true" : "false");
+}
+
+/// Clamps a requested thread sweep to the host's core count and dedups:
+/// a 1-core host runs (and records) only threads=1. Thread counts above
+/// the core count cannot speed anything up and would only measure
+/// oversubscription noise.
+inline std::vector<size_t> ClampedThreadSweep(std::vector<size_t> requested) {
+  const size_t hw = ThreadPool::HardwareConcurrency();
+  for (size_t& threads : requested) threads = std::min(threads, hw);
+  requested.erase(std::unique(requested.begin(), requested.end()),
+                  requested.end());
+  return requested;
+}
 
 inline void Header(const char* experiment, const char* paper_caption) {
   std::printf("==========================================================\n");

@@ -107,15 +107,9 @@ int main(int argc, char** argv) {
   // Worker breadth: request up to 4, use what the host has — and say so.
   // On a 1-core container the sweep collapses to threads=1; the clamp is
   // recorded in the JSON instead of silently measuring oversubscription.
-  const size_t hw = ThreadPool::HardwareConcurrency();
-  const size_t threads_requested = 4;
-  const size_t threads_used = std::min(threads_requested, hw);
-  const bool clamped = threads_used < threads_requested;
-  std::printf("threads: requested=%zu used=%zu hardware_concurrency=%zu%s\n",
-              threads_requested, threads_used, hw,
-              clamped ? "  [CLAMPED: host has fewer cores than the sweep "
-                        "requests; scaling numbers are not meaningful]"
-                      : "");
+  const bench::ThreadReport threads = bench::MakeThreadReport(4);
+  const size_t threads_used = threads.threads_used;
+  bench::PrintThreadReport(threads);
 
   std::vector<size_t> loads =
       smoke ? std::vector<size_t>{fleet.articles.size()}
@@ -201,12 +195,10 @@ int main(int argc, char** argv) {
                  spec.claims_per_article, spec.num_dim_columns,
                  spec.num_measure_columns, spec.rows_per_dataset,
                  spec.dim_cardinality, spec.error_rate);
-    std::fprintf(out,
-                 "  \"hardware_concurrency\": %zu, \"threads_requested\": "
-                 "%zu, \"threads_used\": %zu, \"threads_clamped\": %s,\n"
-                 "  \"generation_seconds\": %.3f,\n  \"loads\": [\n",
-                 hw, threads_requested, threads_used,
-                 clamped ? "true" : "false", generation_seconds);
+    std::fprintf(out, "  ");
+    bench::WriteThreadReportJson(out, threads);
+    std::fprintf(out, ",\n  \"generation_seconds\": %.3f,\n  \"loads\": [\n",
+                 generation_seconds);
     for (size_t i = 0; i < results.size(); ++i) {
       const LoadResult& r = results[i];
       std::fprintf(

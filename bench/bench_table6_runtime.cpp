@@ -84,17 +84,9 @@ int main() {
   // Thread-count sweep over the best strategy (cube jobs are split into
   // (job, row-block) morsels drained by the worker pool; results are
   // bit-identical for any thread count). The sweep is clamped to the
-  // machine's hardware concurrency: thread counts above the core count
-  // cannot speed anything up and would only measure oversubscription
-  // noise, so a single-core host runs (and records) only threads=1.
+  // machine's hardware concurrency (bench_common.h).
   const size_t hw = ThreadPool::HardwareConcurrency();
-  std::vector<size_t> thread_counts;
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
-    thread_counts.push_back(std::min(threads, hw));
-  }
-  thread_counts.erase(
-      std::unique(thread_counts.begin(), thread_counts.end()),
-      thread_counts.end());
+  std::vector<size_t> thread_counts = bench::ClampedThreadSweep({1, 2, 4});
   std::printf("\nthread sweep (+ Caching strategy, identical results; "
               "hardware_concurrency=%zu):\n",
               hw);
@@ -143,8 +135,11 @@ int main() {
                    rows[i].claims_recovered, rows[i].claims_quarantined,
                    rows[i].watchdog_flags, i + 1 < 3 ? "," : "");
     }
-    std::fprintf(out, "  ],\n  \"hardware_concurrency\": %zu,\n", hw);
-    std::fprintf(out, "  \"thread_sweep\": [\n");
+    std::fprintf(out, "  ],\n  ");
+    // The sweep requests up to 4 threads; the report records what the
+    // host actually allowed (uniform keys across all bench JSON files).
+    bench::WriteThreadReportJson(out, bench::MakeThreadReport(4));
+    std::fprintf(out, ",\n  \"thread_sweep\": [\n");
     for (size_t i = 0; i < sweep.size(); ++i) {
       std::fprintf(out,
                    "    {\"threads\": %zu, \"total_seconds\": %.4f, "

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/aggchecker.h"
 #include "corpus/generator.h"
 #include "db/cube.h"
@@ -282,11 +283,12 @@ int RunEngineGate() {
     return 1;
   }
 
-  if (ThreadPool::HardwareConcurrency() < 2) {
+  const bench::ThreadReport threads = bench::MakeThreadReport(2);
+  if (threads.clamped) {
     std::printf(
         "perf_smoke: thread-scaling check skipped "
         "(hardware_concurrency=%zu < 2)\n",
-        ThreadPool::HardwareConcurrency());
+        threads.hardware_concurrency);
     return 0;
   }
   // kMerged (no result cache) keeps every rep doing real cube work; the

@@ -14,6 +14,8 @@
 #   scripts/check.sh perf-smoke   # just the perf regression gates
 #   scripts/check.sh fleet-smoke  # small fleet end to end (generator +
 #                                 # cross-document scheduler)
+#   scripts/check.sh snapshot-smoke # snapshot cold start: save/load round
+#                                 # trip, >= 5x load-vs-build, bit-identity
 #   scripts/check.sh chaos-matrix # exhaustive fault-point sweep (ASan+UBSan)
 #
 # The chaos-matrix step first checks that the compile-time fault-point
@@ -29,6 +31,13 @@
 # throughput is nonzero, every verdict matches the generator's
 # by-construction ground truth (zero erroneous verdicts), and the scheduled
 # run is bit-identical to the one-at-a-time reference.
+#
+# The snapshot-smoke step builds the Release preset's
+# `bench_snapshot_coldstart` binary and runs it with --smoke: every case is
+# published to CSV, snapshotted, and cold-started both ways; the run fails
+# unless loading the mmap snapshot is at least 5x faster than rebuilding
+# from CSV, the two paths report bit-identically on every case, and a
+# corrupted snapshot fails cleanly instead of loading.
 #
 # The perf-smoke step builds the Release preset's `perf_smoke` binary and
 # fails if (a) vectorized cube execution is not faster than the scalar
@@ -47,7 +56,7 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}")
 if [[ $# -eq 0 ]]; then
-  presets=(default asan-ubsan tsan perf-smoke fleet-smoke)
+  presets=(default asan-ubsan tsan perf-smoke fleet-smoke snapshot-smoke)
 fi
 
 for preset in "${presets[@]}"; do
@@ -84,6 +93,15 @@ for preset in "${presets[@]}"; do
     cmake --build --preset default -j "$jobs" --target bench_fleet_throughput
     echo "==> [fleet-smoke] run"
     (cd build/bench && ./bench_fleet_throughput --smoke)
+    continue
+  fi
+  if [[ "$preset" == "snapshot-smoke" ]]; then
+    echo "==> [snapshot-smoke] build"
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$jobs" \
+      --target bench_snapshot_coldstart
+    echo "==> [snapshot-smoke] run"
+    (cd build/bench && ./bench_snapshot_coldstart --smoke)
     continue
   fi
   echo "==> [$preset] configure"

@@ -45,11 +45,17 @@ Result<AggChecker> AggChecker::Create(const db::Database* db,
     return Status::InvalidArgument("AggChecker needs a non-empty database");
   }
   AggChecker checker(db, std::move(options));
-  auto catalog = fragments::FragmentCatalog::Build(*db,
-                                                   checker.options_.catalog);
-  if (!catalog.ok()) return catalog.status();
-  checker.catalog_ = std::make_shared<fragments::FragmentCatalog>(
-      std::move(*catalog));
+  if (checker.options_.prebuilt_catalog != nullptr) {
+    // Snapshot path: adopt the restored catalog instead of re-generating
+    // fragments and re-indexing keywords (the dominant cold-start cost).
+    checker.catalog_ = checker.options_.prebuilt_catalog;
+  } else {
+    auto catalog = fragments::FragmentCatalog::Build(*db,
+                                                     checker.options_.catalog);
+    if (!catalog.ok()) return catalog.status();
+    checker.catalog_ = std::make_shared<const fragments::FragmentCatalog>(
+        std::move(*catalog));
+  }
   checker.engine_ =
       std::make_shared<db::EvalEngine>(db, checker.options_.strategy);
   checker.engine_->SetCubeExecMode(checker.options_.cube_exec);

@@ -41,6 +41,14 @@ struct CheckOptions {
   /// tests and benches. Reports are bit-identical either way.
   bool query_fingerprints = true;
   fragments::CatalogOptions catalog;
+  /// Pre-built fragment catalog — the snapshot load path (DESIGN.md §15):
+  /// when set, Create adopts it instead of building one from the database,
+  /// skipping fragment generation and keyword indexing entirely. It must
+  /// have been built (or snapshot-restored) from the same database
+  /// contents; `catalog` options are ignored. Reports are bit-identical to
+  /// a fresh Build — the catalog's dense ids and index scores round-trip
+  /// exactly.
+  std::shared_ptr<const fragments::FragmentCatalog> prebuilt_catalog;
   /// Candidates kept per claim in the report (the UI shows top-5/top-10).
   size_t report_top_k = 10;
   /// Per-run resource limits (wall-clock deadline, row-scan budget,
@@ -171,7 +179,7 @@ class AggChecker {
 
   const db::Database* db_;
   CheckOptions options_;
-  std::shared_ptr<fragments::FragmentCatalog> catalog_;
+  std::shared_ptr<const fragments::FragmentCatalog> catalog_;
   /// Worker pool sized by ModelOptions::num_threads, shared with the engine
   /// (and through it the translator) for the instance's lifetime. Null when
   /// num_threads == 1 — the fully serial path. Declared before engine_ so

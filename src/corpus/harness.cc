@@ -1,6 +1,9 @@
 #include "corpus/harness.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <optional>
 
 #include "db/relation_cache.h"
 #include "util/timer.h"
@@ -10,17 +13,83 @@ namespace corpus {
 
 CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
                             core::CheckOptions options) {
+  return RunOnCorpus(corpus, std::move(options), SnapshotRunOptions{},
+                     nullptr);
+}
+
+std::string SnapshotPathForCase(const std::string& dir,
+                                const std::string& case_name) {
+  std::string safe;
+  safe.reserve(case_name.size());
+  for (char c : case_name) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ||
+                           c == '-' || c == '_'
+                       ? c
+                       : '_');
+  }
+  return dir + "/" + safe + ".snap";
+}
+
+CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
+                            core::CheckOptions options,
+                            const SnapshotRunOptions& snapshot,
+                            SnapshotRunStats* snapshot_stats) {
   options.report_top_k = std::max<size_t>(options.report_top_k, 20);
   CorpusRunResult result;
   for (const CorpusCase& test_case : corpus) {
     // Cold start per configuration: relations cached by a previous run over
     // the same corpus database must not bleed into this run's timings.
     test_case.database.relation_cache().Clear();
-    auto checker = core::AggChecker::Create(&test_case.database, options);
+
+    // Snapshot load path: the case's database and catalog come out of the
+    // mapped image; an unusable snapshot degrades to a rebuild with a
+    // warning (snapshots are a cache, never a source of truth).
+    std::optional<snapshot::LoadedSnapshot> loaded;
+    const db::Database* database = &test_case.database;
+    core::CheckOptions case_options = options;
+    if (snapshot.load) {
+      std::string path = SnapshotPathForCase(snapshot.dir, test_case.name);
+      auto l = snapshot::LoadSnapshot(path);
+      if (l.ok()) {
+        loaded = std::move(*l);
+        database = &loaded->database;
+        case_options.prebuilt_catalog = loaded->catalog;
+        if (snapshot_stats != nullptr) ++snapshot_stats->cases_loaded;
+      } else {
+        std::fprintf(stderr,
+                     "warning: snapshot %s unusable (%s); rebuilding\n",
+                     path.c_str(), l.status().message().c_str());
+        if (snapshot_stats != nullptr) ++snapshot_stats->cases_rebuilt;
+      }
+    }
+
+    auto checker = core::AggChecker::Create(database, case_options);
     if (!checker.ok()) continue;
+    if (loaded.has_value() && loaded->has_interner()) {
+      Status seeded = loaded->SeedInterner(&checker->engine().interner());
+      if (!seeded.ok()) {
+        // A diverged replay leaves the engine unseeded-but-correct: extra
+        // interned components never change verdicts, only id pre-warming.
+        std::fprintf(stderr, "warning: %s\n", seeded.message().c_str());
+      }
+    }
     Timer timer;
     auto report = checker->Check(test_case.document);
     if (!report.ok()) continue;
+    if (snapshot.save) {
+      snapshot::SnapshotStats write_stats;
+      Status saved = snapshot::WriteSnapshot(
+          SnapshotPathForCase(snapshot.dir, test_case.name),
+          checker->database(), &checker->catalog(),
+          &checker->engine().interner(), &write_stats);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: snapshot save failed: %s\n",
+                     saved.message().c_str());
+      } else if (snapshot_stats != nullptr) {
+        ++snapshot_stats->cases_saved;
+        snapshot_stats->snapshot_bytes += write_stats.file_bytes;
+      }
+    }
     result.total_seconds += timer.ElapsedSeconds();
     result.query_seconds += report->eval_stats.query_seconds;
     result.queries_evaluated += report->queries_evaluated;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/aggchecker.h"
@@ -7,6 +8,7 @@
 #include "corpus/corpus_case.h"
 #include "corpus/fleet_generator.h"
 #include "corpus/metrics.h"
+#include "snapshot/snapshot.h"
 
 namespace aggchecker {
 namespace corpus {
@@ -53,6 +55,38 @@ struct CorpusRunResult {
 /// k=20 is measurable.
 CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
                             core::CheckOptions options);
+
+/// \brief Snapshot persistence wiring for corpus runs — the library side of
+/// the bench binaries' `--snapshot=<dir>` flag (DESIGN.md §15).
+struct SnapshotRunOptions {
+  std::string dir;    ///< directory holding one `<case>.snap` per case
+  bool save = false;  ///< write each case's built state after checking it
+  bool load = false;  ///< start each case from its snapshot when usable
+};
+
+/// \brief What the snapshot wiring actually did during a run.
+struct SnapshotRunStats {
+  size_t cases_loaded = 0;    ///< cases started from a usable snapshot
+  size_t cases_rebuilt = 0;   ///< load requested but fell back to a rebuild
+  size_t cases_saved = 0;     ///< snapshots written
+  uint64_t snapshot_bytes = 0;  ///< total bytes of snapshots written
+};
+
+/// The `.snap` path for one case (name sanitized for the filesystem).
+std::string SnapshotPathForCase(const std::string& dir,
+                                const std::string& case_name);
+
+/// RunOnCorpus with snapshot persistence: with `snapshot.load`, each case
+/// starts from its mapped snapshot — database, catalog, and interned query
+/// space — and any unusable snapshot (missing, corrupt, version-mismatched)
+/// degrades to a full rebuild with a warning on stderr, never an error.
+/// Reports are bit-identical either way (the snapshot differential tests
+/// enumerate this). With `snapshot.save`, each case's fully built state is
+/// written after its Check completes (so the interner is warm).
+CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
+                            core::CheckOptions options,
+                            const SnapshotRunOptions& snapshot,
+                            SnapshotRunStats* snapshot_stats = nullptr);
 
 /// \brief Fleet-mode outcome: the scheduler's run plus accuracy scored
 /// against the generator's by-construction ground truth.

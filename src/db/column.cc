@@ -3,14 +3,81 @@
 namespace aggchecker {
 namespace db {
 
+std::unique_ptr<Column> Column::FromSnapshot(std::string name, ValueType type,
+                                             ColumnSnapshotData data) {
+  auto column = std::unique_ptr<Column>(new Column(std::move(name), type));
+  column->num_rows_ = data.rows;
+  column->null_count_ = data.null_count;
+  column->snap_ = std::make_unique<ColumnSnapshotData>(std::move(data));
+  column->values_built_.store(false, std::memory_order_release);
+  return column;
+}
+
 void Column::Append(Value v) {
+  // A snapshot-backed column materializes its boxed values before the first
+  // mutation and then owns its storage like a freshly built column; the
+  // reset lazy flags below force dictionary/flat rebuilds from `values_`.
+  if (snap_ != nullptr) {
+    EnsureValues();
+    snap_.reset();
+  }
   if (v.is_null()) ++null_count_;
   values_.push_back(std::move(v));
+  ++num_rows_;
   dict_built_.store(false, std::memory_order_release);
   flat_built_.store(false, std::memory_order_release);
 }
 
+void Column::MaterializeValues() const {
+  values_.clear();
+  values_.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    switch (static_cast<ValueType>(snap_->tags[r])) {
+      case ValueType::kNull:
+        values_.push_back(Value::Null());
+        break;
+      case ValueType::kLong:
+        values_.push_back(Value(snap_->longs[r]));
+        break;
+      case ValueType::kDouble:
+        // doubles[r] is ToDouble() of the cell, which for a double cell is
+        // the stored double verbatim — exact bits round-trip.
+        values_.push_back(Value(snap_->doubles[r]));
+        break;
+      case ValueType::kString: {
+        uint32_t begin = snap_->string_offsets[r];
+        uint32_t end = snap_->string_offsets[r + 1];
+        values_.push_back(
+            Value(std::string(snap_->string_heap + begin, end - begin)));
+        break;
+      }
+    }
+  }
+}
+
+void Column::EnsureValues() const {
+  if (values_built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (values_built_.load(std::memory_order_relaxed)) return;
+  MaterializeValues();
+  values_built_.store(true, std::memory_order_release);
+}
+
 void Column::BuildDictionary() const {
+  if (snap_ != nullptr) {
+    // Adopt the serialized dictionary: codes verbatim (one memcpy), the
+    // distinct list as decoded at load, and the index map replayed in
+    // first-appearance order — exactly how a fresh build assigns ids.
+    // (NaN distinct entries never win a find(), same as a fresh map.)
+    codes_.assign(snap_->codes, snap_->codes + num_rows_);
+    distinct_ = std::move(snap_->distinct);
+    distinct_index_.clear();
+    distinct_index_.reserve(distinct_.size());
+    for (size_t i = 0; i < distinct_.size(); ++i) {
+      distinct_index_.emplace(distinct_[i], static_cast<int>(i));
+    }
+    return;
+  }
   distinct_.clear();
   distinct_index_.clear();
   codes_.clear();
@@ -36,6 +103,16 @@ void Column::EnsureDictionary() const {
 }
 
 void Column::BuildFlat() const {
+  if (snap_ != nullptr) {
+    // Zero-copy: the flat view aliases the mapped snapshot image. The
+    // writer serialized these arrays with BuildFlat's exact formulas, so
+    // kernels see bit-for-bit what a fresh build would hand them.
+    flat_view_.longs = type_ == ValueType::kLong ? snap_->longs : nullptr;
+    flat_view_.doubles = is_numeric() ? snap_->doubles : nullptr;
+    flat_view_.nulls = snap_->nulls;
+    flat_view_.size = num_rows_;
+    return;
+  }
   flat_longs_.clear();
   flat_doubles_.clear();
   flat_nulls_.clear();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,41 @@
 
 namespace aggchecker {
 namespace db {
+
+/// \brief External backing for a snapshot-loaded column (DESIGN.md §15).
+///
+/// Raw typed arrays aliasing a read-only memory-mapped snapshot image; the
+/// column adopts them zero-copy (`Flat()` points straight into the mapping)
+/// and materializes boxed `Value`s / the dictionary lazily, on first use.
+/// `keepalive` pins the mapping for as long as any pointer here is alive.
+///
+/// Array semantics mirror the build path exactly, so a loaded column is
+/// bit-identical to one rebuilt from the same cells:
+///  - `nulls[r]`    1 for NULL cells (always present),
+///  - `tags[r]`     the cell's ValueType (always present),
+///  - `doubles[r]`  `Value::ToDouble()` of every cell, 0.0 for NULL — the
+///                  `Flat().doubles` contract; present iff some cell is
+///                  numeric,
+///  - `longs[r]`    `AsLong()` for long cells, 0 otherwise — the
+///                  `Flat().longs` contract; present iff some cell is long,
+///  - string cells  live in `string_heap` delimited by `string_offsets`
+///                  (rows + 1 entries); present iff some cell is a string,
+///  - `codes` / `distinct`  the dictionary exactly as BuildDictionary
+///                  assigns it (codes[r] = -1 for NULL, NaN cells each get
+///                  their own code).
+struct ColumnSnapshotData {
+  size_t rows = 0;
+  size_t null_count = 0;
+  const uint8_t* nulls = nullptr;
+  const uint8_t* tags = nullptr;
+  const int64_t* longs = nullptr;
+  const double* doubles = nullptr;
+  const uint32_t* string_offsets = nullptr;
+  const char* string_heap = nullptr;
+  const int32_t* codes = nullptr;
+  std::vector<Value> distinct;  ///< first-appearance order
+  std::shared_ptr<const void> keepalive;
+};
 
 /// \brief A named, typed column of values.
 ///
@@ -51,15 +87,30 @@ class Column {
   Column(const Column&) = delete;
   Column& operator=(const Column&) = delete;
 
+  /// Snapshot hook: a column whose storage lives in a mapped snapshot
+  /// image. `Flat()` is free (pointers into the mapping); boxed values and
+  /// the dictionary materialize lazily. Bit-identical to a column built by
+  /// appending the same cells (the snapshot differential tests enumerate
+  /// this).
+  static std::unique_ptr<Column> FromSnapshot(std::string name,
+                                              ValueType type,
+                                              ColumnSnapshotData data);
+
   const std::string& name() const { return name_; }
   ValueType type() const { return type_; }
   bool is_numeric() const {
     return type_ == ValueType::kLong || type_ == ValueType::kDouble;
   }
 
-  size_t size() const { return values_.size(); }
-  const Value& at(size_t row) const { return values_[row]; }
-  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return num_rows_; }
+  const Value& at(size_t row) const {
+    if (!values_built_.load(std::memory_order_acquire)) EnsureValues();
+    return values_[row];
+  }
+  const std::vector<Value>& values() const {
+    if (!values_built_.load(std::memory_order_acquire)) EnsureValues();
+    return values_;
+  }
 
   void Append(Value v);
 
@@ -87,18 +138,27 @@ class Column {
  private:
   void EnsureDictionary() const;
   void EnsureFlat() const;
+  void EnsureValues() const;
   void BuildDictionary() const;
   void BuildFlat() const;
+  void MaterializeValues() const;
 
   std::string name_;
   ValueType type_;
-  std::vector<Value> values_;
+  mutable std::vector<Value> values_;
+  size_t num_rows_ = 0;
   size_t null_count_ = 0;
+
+  /// Set for snapshot-loaded columns: the typed arrays live in the mapped
+  /// image and `values_` starts empty (values_built_ == false). Cleared by
+  /// Append (the column materializes first, then owns its storage again).
+  mutable std::unique_ptr<ColumnSnapshotData> snap_;
 
   // Lazy-build guard: acquire-load on the built flag, first builder takes
   // the mutex. Append resets the flags (no concurrent readers allowed
   // during mutation, per the class contract).
   mutable std::mutex lazy_mu_;
+  mutable std::atomic<bool> values_built_{true};
   mutable std::atomic<bool> dict_built_{false};
   mutable std::vector<Value> distinct_;
   mutable std::unordered_map<Value, int, ValueHasher> distinct_index_;

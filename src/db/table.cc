@@ -86,6 +86,25 @@ Result<Table> Table::FromCsv(std::string name, const csv::CsvData& data) {
   return table;
 }
 
+Result<Table> Table::FromSnapshotParts(
+    std::string name, std::vector<std::unique_ptr<Column>> columns,
+    size_t num_rows) {
+  Table table(std::move(name));
+  for (auto& column : columns) {
+    if (column == nullptr || column->size() != num_rows) {
+      return Status::InvalidArgument(strings::Format(
+          "snapshot table %s: column size disagrees with row count %zu",
+          table.name_.c_str(), num_rows));
+    }
+    if (table.ColumnIndex(column->name()) >= 0) {
+      return Status::InvalidArgument("duplicate column: " + column->name());
+    }
+    table.columns_.push_back(std::move(column));
+  }
+  table.num_rows_ = num_rows;
+  return table;
+}
+
 int Table::ColumnIndex(const std::string& name) const {
   std::string lower = strings::ToLower(name);
   for (size_t i = 0; i < columns_.size(); ++i) {

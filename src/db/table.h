@@ -22,6 +22,13 @@ class Table {
   /// string rendering).
   static Result<Table> FromCsv(std::string name, const csv::CsvData& data);
 
+  /// Snapshot hook: assembles a table directly from restored columns (all
+  /// already sized to `num_rows`), bypassing the AddColumn-before-AddRow
+  /// staging rules. Fails if any column's size disagrees with `num_rows`.
+  static Result<Table> FromSnapshotParts(
+      std::string name, std::vector<std::unique_ptr<Column>> columns,
+      size_t num_rows);
+
   const std::string& name() const { return name_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

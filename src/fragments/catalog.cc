@@ -133,19 +133,38 @@ Result<FragmentCatalog> FragmentCatalog::Build(const db::Database& db,
     }
   }
 
-  // --- Dense-id lookup maps (first occurrence wins, matching the linear
-  // scans these replace). ---
-  for (size_t i = 0; i < catalog.predicate_columns_.size(); ++i) {
-    catalog.predicate_column_index_.emplace(
-        strings::ToLower(catalog.predicate_columns_[i].ToString()),
+  catalog.BuildLookupMaps();
+  return catalog;
+}
+
+FragmentCatalog FragmentCatalog::FromParts(Parts parts) {
+  FragmentCatalog catalog;
+  for (int t = 0; t < kNumFragmentTypes; ++t) {
+    catalog.fragments_[t] = std::move(parts.fragments[t]);
+    catalog.indexes_[t] = std::move(parts.indexes[t]);
+  }
+  catalog.predicate_columns_ = std::move(parts.predicate_columns);
+  catalog.BuildLookupMaps();
+  return catalog;
+}
+
+void FragmentCatalog::BuildLookupMaps() {
+  // Dense-id lookup maps (first occurrence wins, matching the linear scans
+  // these replace).
+  predicate_column_index_.clear();
+  agg_column_index_.clear();
+  for (size_t i = 0; i < predicate_columns_.size(); ++i) {
+    predicate_column_index_.emplace(
+        strings::ToLower(predicate_columns_[i].ToString()),
         static_cast<int>(i));
   }
+  const auto& col_fragments =
+      fragments_[static_cast<size_t>(FragmentType::kAggColumn)];
   for (size_t i = 0; i < col_fragments.size(); ++i) {
-    catalog.agg_column_index_.emplace(
+    agg_column_index_.emplace(
         strings::ToLower(col_fragments[i].column.ToString()),
         static_cast<int>(i));
   }
-  return catalog;
 }
 
 std::vector<ScoredFragment> FragmentCatalog::Retrieve(

@@ -42,8 +42,27 @@ class FragmentCatalog {
   static Result<FragmentCatalog> Build(const db::Database& db,
                                        const CatalogOptions& options = {});
 
+  /// \brief The parts Build assembles, exposed for snapshot serialization.
+  struct Parts {
+    std::vector<QueryFragment> fragments[kNumFragmentTypes];
+    ir::InvertedIndex indexes[kNumFragmentTypes];
+    std::vector<db::ColumnRef> predicate_columns;
+  };
+
+  /// Snapshot hook: reassembles a catalog from previously built (snapshot-
+  /// restored) parts. The dense-id lookup maps are rebuilt with the same
+  /// first-occurrence-wins rule as Build, so fragment and predicate-column
+  /// ids — and with them query fingerprints — match a fresh Build over the
+  /// same database exactly.
+  static FragmentCatalog FromParts(Parts parts);
+
   const std::vector<QueryFragment>& fragments(FragmentType type) const {
     return fragments_[static_cast<size_t>(type)];
+  }
+
+  /// The keyword index of one fragment category (snapshot serialization).
+  const ir::InvertedIndex& index(FragmentType type) const {
+    return indexes_[static_cast<size_t>(type)];
   }
   const QueryFragment& fragment(FragmentType type, int index) const {
     return fragments_[static_cast<size_t>(type)][static_cast<size_t>(index)];
@@ -79,6 +98,10 @@ class FragmentCatalog {
 
  private:
   FragmentCatalog() = default;
+
+  /// Rebuilds the dense-id lookup maps from fragments_/predicate_columns_
+  /// (shared by Build and FromParts; first occurrence wins).
+  void BuildLookupMaps();
 
   std::vector<QueryFragment> fragments_[kNumFragmentTypes];
   ir::InvertedIndex indexes_[kNumFragmentTypes];

@@ -30,6 +30,34 @@ int InvertedIndex::AddDocument(const std::vector<TermWeight>& terms) {
 
 void InvertedIndex::Finalize() const { finalized_ = true; }
 
+std::vector<InvertedIndex::TermPostings> InvertedIndex::ExportPostings()
+    const {
+  std::vector<TermPostings> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, postings] : postings_) {
+    out.push_back(TermPostings{term, postings});
+  }
+  // Deterministic serialization order; restore order does not affect
+  // scoring (per-term lookups), but byte-identical snapshots of the same
+  // state make the format testable.
+  std::sort(out.begin(), out.end(),
+            [](const TermPostings& a, const TermPostings& b) {
+              return a.term < b.term;
+            });
+  return out;
+}
+
+InvertedIndex InvertedIndex::FromParts(std::vector<TermPostings> postings,
+                                       std::vector<double> doc_norms) {
+  InvertedIndex index;
+  index.doc_norms_ = std::move(doc_norms);
+  index.postings_.reserve(postings.size());
+  for (TermPostings& tp : postings) {
+    index.postings_.emplace(std::move(tp.term), std::move(tp.postings));
+  }
+  return index;
+}
+
 double InvertedIndex::Idf(size_t df) const {
   return std::log(1.0 + static_cast<double>(doc_norms_.size()) /
                             (1.0 + static_cast<double>(df)));

@@ -28,6 +28,19 @@ class InvertedIndex {
  public:
   using TermWeight = std::pair<std::string, double>;
 
+  /// One posting: document id plus its log-scaled term frequency. Public
+  /// because the snapshot subsystem serializes postings lists verbatim.
+  struct Posting {
+    int doc_id;
+    double weight;  ///< log-scaled term frequency
+  };
+
+  /// One stemmed term's postings list, in document-insertion order.
+  struct TermPostings {
+    std::string term;
+    std::vector<Posting> postings;
+  };
+
   /// Adds a document; returns its id (dense, starting at 0).
   /// Documents added after the first Search call are an error in spirit —
   /// the index finalizes lazily and asserts immutability via idf caching.
@@ -44,12 +57,16 @@ class InvertedIndex {
 
   size_t num_documents() const { return doc_norms_.size(); }
 
- private:
-  struct Posting {
-    int doc_id;
-    double weight;  ///< log-scaled term frequency
-  };
+  /// Snapshot hooks (DESIGN.md §15). Scores depend only on the posting
+  /// vectors, the document norms, and the document count — all exact
+  /// doubles — so an index reassembled by FromParts from ExportPostings'
+  /// output scores bit-identically to the original.
+  std::vector<TermPostings> ExportPostings() const;  ///< sorted by term
+  const std::vector<double>& doc_norms() const { return doc_norms_; }
+  static InvertedIndex FromParts(std::vector<TermPostings> postings,
+                                 std::vector<double> doc_norms);
 
+ private:
   /// Dense per-document score accumulator, reused across queries (scoring
   /// every claim against every fragment is the retrieval hot path; a hash
   /// map here allocated and rehashed per query). Epoch-stamped: Begin()

@@ -1,0 +1,76 @@
+#include "snapshot/format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace aggchecker {
+namespace snapshot {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  // A failed map / short read is the canonical snapshot-load fault: the
+  // injected status surfaces exactly like a real EIO and the caller's
+  // rebuild fallback takes over (chaos_matrix_test arms this point).
+  Status injected;
+  AGG_FAULT_POINT_STATUS("snapshot.load.map", injected);
+  if (!injected.ok()) return injected;
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(
+        strings::Format("snapshot %s: %s", path.c_str(), strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::Unavailable(
+        strings::Format("snapshot %s: fstat: %s", path.c_str(),
+                        strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* addr = ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr != MAP_FAILED) {
+      file->data_ = static_cast<const uint8_t*>(addr);
+      file->mmapped_ = true;
+    } else {
+      // Heap fallback: read the whole file. Loses cross-process page
+      // sharing but keeps the load path working.
+      file->heap_buffer_.resize(file->size_);
+      size_t done = 0;
+      while (done < file->size_) {
+        ssize_t n = ::read(fd, file->heap_buffer_.data() + done,
+                           file->size_ - done);
+        if (n <= 0) {
+          ::close(fd);
+          return Status::Unavailable(
+              strings::Format("snapshot %s: short read at %zu/%zu",
+                              path.c_str(), done, file->size_));
+        }
+        done += static_cast<size_t>(n);
+      }
+      file->data_ =
+          reinterpret_cast<const uint8_t*>(file->heap_buffer_.data());
+    }
+  }
+  ::close(fd);
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace snapshot
+}  // namespace aggchecker

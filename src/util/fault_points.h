@@ -31,7 +31,8 @@ namespace fault_injection {
   X("fleet.schedule.pop")           \
   X("join.materialize")             \
   X("plan.fingerprint")             \
-  X("relation.cache.acquire")
+  X("relation.cache.acquire")       \
+  X("snapshot.load.map")
 
 /// The manifest as a vector, for tests and tooling.
 inline std::vector<std::string> ManifestPoints() {

@@ -11,9 +11,11 @@
 // (scripts/check.sh chaos-matrix runs that under ASan+UBSan).
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <set>
@@ -27,6 +29,7 @@
 #include "corpus/harness.h"
 #include "db/joined_relation.h"
 #include "db/relation_cache.h"
+#include "snapshot/snapshot.h"
 #include "test_fixtures.h"
 #include "text/document.h"
 #include "util/csv.h"
@@ -121,8 +124,9 @@ corpus::FleetSpec TinyFleetSpec() {
 
 /// Drivers that together execute every manifest point: CSV ingestion, the
 /// merged (vectorized + fingerprints + relation cache) pipeline, the naive
-/// pipeline, a multi-table join build, and a tiny fleet generate+schedule
-/// cycle (fleet.generator.emit / fleet.schedule.pop).
+/// pipeline, a multi-table join build, a snapshot write/load round trip
+/// (snapshot.load.map), and a tiny fleet generate+schedule cycle
+/// (fleet.generator.emit / fleet.schedule.pop).
 void RunAllDrivers() {
   {
     auto parsed = csv::Parse(testing_fixtures::kNflCsv);  // csv.row
@@ -138,6 +142,15 @@ void RunAllDrivers() {
   auto orders = testing_fixtures::MakeOrdersDatabase();
   auto join = db::JoinedRelation::Build(orders, {"orders", "customers"});
   ASSERT_TRUE(join.ok());  // join.materialize
+  {
+    const std::string path = "chaos_matrix_driver.snap";
+    ASSERT_TRUE(
+        snapshot::WriteSnapshot(path, article.database, nullptr, nullptr)
+            .ok());
+    auto loaded = snapshot::LoadSnapshot(path);  // snapshot.load.map
+    ASSERT_TRUE(loaded.ok());
+    std::remove(path.c_str());
+  }
   corpus::FleetCorpus fleet = corpus::GenerateFleet(TinyFleetSpec());
   core::FleetOptions fleet_options;
   fleet_options.check = FastRecoveryOptions();
@@ -203,10 +216,13 @@ TEST(ChaosMatrixTest, EveryManifestPointArmedAtFullRate) {
 
     for (const std::string& point : fi::ManifestPoints()) {
       if (point == "csv.row" || point == "join.materialize" ||
-          point == "fleet.generator.emit" || point == "fleet.schedule.pop") {
+          point == "fleet.generator.emit" || point == "fleet.schedule.pop" ||
+          point == "snapshot.load.map") {
         continue;  // not on this driver's path: articles ship parsed,
-                   // single-table databases never build joins, and the
-                   // fleet points have their own quarantine tests below
+                   // single-table databases never build joins, the fleet
+                   // points have their own quarantine tests below, and
+                   // RunArticle never loads a snapshot (the snapshot map
+                   // fault has its own rebuild-fallback test below)
       }
       fi::Arm(point);
       RunOutcome outcome = RunArticle(article, FastRecoveryOptions());
@@ -417,6 +433,59 @@ TEST(ChaosMatrixTest, FleetEmitFaultDropsOnlyTheFaultedArticle) {
   };
   EXPECT_EQ(text(faulted.articles[0]), text(reference.articles[0]));
   EXPECT_EQ(text(faulted.articles[1]), text(reference.articles[2]));
+}
+
+// An armed snapshot-map fault makes every load attempt fail cleanly; the
+// harness falls back to a full rebuild with verdicts bit-identical to the
+// snapshot-free reference — a poisoned snapshot file can degrade cold-start
+// latency, never correctness. Disarmed, the same snapshot loads normally.
+TEST(ChaosMatrixTest, SnapshotMapFaultFallsBackToRebuild) {
+  fi::DisarmAll();
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  std::vector<corpus::CorpusCase> one;
+  one.push_back(std::move(articles.front()));
+
+  ::mkdir("chaos_matrix_snapshots", 0755);
+  corpus::SnapshotRunOptions save;
+  save.dir = "chaos_matrix_snapshots";
+  save.save = true;
+  corpus::SnapshotRunStats save_stats;
+  auto reference =
+      corpus::RunOnCorpus(one, FastRecoveryOptions(), save, &save_stats);
+  ASSERT_EQ(reference.reports.size(), 1u);
+  ASSERT_EQ(save_stats.cases_saved, 1u);
+  const std::string reference_fp = VerdictFingerprint(reference.reports[0]);
+
+  corpus::SnapshotRunOptions load;
+  load.dir = save.dir;
+  load.load = true;
+
+  fi::Arm("snapshot.load.map");
+  corpus::SnapshotRunStats faulted_stats;
+  auto faulted =
+      corpus::RunOnCorpus(one, FastRecoveryOptions(), load, &faulted_stats);
+  const uint64_t hits = fi::HitCount("snapshot.load.map");
+  fi::DisarmAll();
+
+  ASSERT_GT(hits, 0u);
+  EXPECT_EQ(faulted_stats.cases_loaded, 0u);
+  EXPECT_EQ(faulted_stats.cases_rebuilt, 1u);
+  ASSERT_EQ(faulted.reports.size(), 1u);
+  EXPECT_EQ(VerdictFingerprint(faulted.reports[0]), reference_fp)
+      << "the rebuild fallback must be bit-identical to the reference";
+
+  // Disarmed, the same snapshot loads and still reports identically.
+  corpus::SnapshotRunStats loaded_stats;
+  auto loaded =
+      corpus::RunOnCorpus(one, FastRecoveryOptions(), load, &loaded_stats);
+  EXPECT_EQ(loaded_stats.cases_loaded, 1u);
+  EXPECT_EQ(loaded_stats.cases_rebuilt, 0u);
+  ASSERT_EQ(loaded.reports.size(), 1u);
+  EXPECT_EQ(VerdictFingerprint(loaded.reports[0]), reference_fp);
+
+  std::remove(
+      corpus::SnapshotPathForCase(save.dir, one.front().name).c_str());
 }
 
 }  // namespace
