@@ -1,0 +1,200 @@
+// Incremental re-verification (DESIGN.md §16): after appending rows to one
+// table of one case in the Table 6 corpus, re-verifying the whole corpus
+// through AggChecker::ReCheck must be >= 10x faster than re-running every
+// case cold — and report bit-identically. The timed regions:
+//
+//   cold:     per case, AggChecker::Create (adopting the warm catalog, so
+//             both paths translate over the identical fragment space) +
+//             a from-scratch Check on the current data
+//   recheck:  per case, AggChecker::ReCheck against the prior report —
+//             untouched cases splice their entire report after claim
+//             re-detection; the mutated case re-evaluates against caches
+//             the version sweep has already narrowed to the touched table
+//
+// Gate (scripts/check.sh incremental-smoke runs --smoke): recheck >= 10x
+// faster than cold, bit-identical reports. Results land in
+// BENCH_incremental.json. The thread×budget identity sweep lives in
+// incremental_recheck_diff_test; this bench measures the fleet scenario.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/aggchecker.h"
+#include "core/fleet_scheduler.h"
+#include "corpus/embedded_articles.h"
+#include "corpus/generator.h"
+#include "corpus/harness.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace aggchecker;
+
+constexpr double kSpeedupGate = 10.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::Header("Incremental re-verification: ReCheck vs cold re-Check",
+                "1-of-N table mutated; gate: >= 10x faster, bit-identical");
+
+  // The Table 6 dataset: embedded articles plus the scaled synthetic
+  // corpus. Smoke keeps the same shape, smaller.
+  corpus::GeneratorOptions gen;
+  gen.num_cases = smoke ? 7 : 50;
+  gen.row_scale = smoke ? 2 : 20;
+  std::vector<corpus::CorpusCase> cases = corpus::EmbeddedArticles();
+  for (auto& c : corpus::GenerateCorpus(gen)) cases.push_back(std::move(c));
+  size_t total_rows = 0, total_tables = 0;
+  for (const auto& c : cases) {
+    total_rows += c.database.TotalRows();
+    total_tables += c.database.num_tables();
+  }
+  std::printf("corpus: %zu cases, %zu tables, %zu total rows (mode=%s)\n",
+              cases.size(), total_tables, total_rows,
+              smoke ? "smoke" : "full");
+
+  // Warm phase (untimed): one checker per case, checked once — the state
+  // an always-on verification service holds between data refreshes.
+  std::vector<core::AggChecker> checkers;
+  std::vector<core::CheckReport> priors;
+  checkers.reserve(cases.size());
+  priors.reserve(cases.size());
+  for (const corpus::CorpusCase& c : cases) {
+    auto checker = core::AggChecker::Create(&c.database, {});
+    if (!checker.ok()) {
+      std::fprintf(stderr, "create %s: %s\n", c.name.c_str(),
+                   checker.status().ToString().c_str());
+      return 1;
+    }
+    auto report = checker->Check(c.document);
+    if (!report.ok()) {
+      std::fprintf(stderr, "check %s: %s\n", c.name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    checkers.push_back(std::move(*checker));
+    priors.push_back(std::move(*report));
+  }
+
+  // The data refresh: rows land in one table of one case — the NFL
+  // suspensions article, the paper's running example — and every other
+  // table of every other case keeps its version.
+  const size_t mutated_case = 0;
+  const std::string mutated_table =
+      cases[mutated_case].database.table(0).name();
+  const size_t appended = smoke ? 8 : 64;
+  Status ingested = corpus::AppendSyntheticRows(
+      &cases[mutated_case].database, mutated_table, appended);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", ingested.ToString().c_str());
+    return 1;
+  }
+  std::printf("appended %zu rows to %s.%s (case %zu of %zu)\n", appended,
+              cases[mutated_case].name.c_str(), mutated_table.c_str(),
+              mutated_case + 1, cases.size());
+
+  // Timed incremental path: ReCheck every case against its prior report.
+  Timer recheck_timer;
+  std::vector<core::CheckReport> rechecked;
+  rechecked.reserve(cases.size());
+  size_t claims_spliced = 0, claims_rechecked = 0;
+  uint64_t invalidations = 0;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    auto report = checkers[i].ReCheck(cases[i].document, priors[i]);
+    if (!report.ok()) {
+      std::fprintf(stderr, "recheck %s: %s\n", cases[i].name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    claims_spliced += report->claims_spliced;
+    claims_rechecked += report->claims_rechecked;
+    if (i == mutated_case) {
+      invalidations = report->eval_stats.cache_invalidations;
+    }
+    rechecked.push_back(std::move(*report));
+  }
+  const double recheck_seconds = recheck_timer.ElapsedSeconds();
+
+  // Timed cold path: what a non-incremental deployment does on any data
+  // change — new checker, full Check, for every case. The cold checkers
+  // adopt the warm catalogs (the catalog deliberately does not track
+  // ingestion) so the two paths answer over the same fragment space.
+  Timer cold_timer;
+  std::vector<core::CheckReport> cold;
+  cold.reserve(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    core::CheckOptions options;
+    options.prebuilt_catalog = checkers[i].shared_catalog();
+    auto checker = core::AggChecker::Create(&cases[i].database, options);
+    if (!checker.ok()) return 1;
+    auto report = checker->Check(cases[i].document);
+    if (!report.ok()) return 1;
+    cold.push_back(std::move(*report));
+  }
+  const double cold_seconds = cold_timer.ElapsedSeconds();
+
+  // Differential step (untimed): spliced and cold reports must agree byte
+  // for byte on every case.
+  bool bit_identical = true;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (core::FleetVerdictFingerprint(rechecked[i]) !=
+        core::FleetVerdictFingerprint(cold[i])) {
+      std::printf("BIT-IDENTITY VIOLATION on %s\n", cases[i].name.c_str());
+      bit_identical = false;
+    }
+  }
+
+  const double speedup =
+      recheck_seconds > 0 ? cold_seconds / recheck_seconds : 0;
+  std::printf("cold re-check:  %8.3fs\n", cold_seconds);
+  std::printf("incremental:    %8.3fs\n", recheck_seconds);
+  std::printf("speedup:        x%.1f (gate: >= x%.0f)\n", speedup,
+              kSpeedupGate);
+  std::printf("claims spliced: %zu, re-checked: %zu, cube invalidations in "
+              "the mutated case: %llu\n",
+              claims_spliced, claims_rechecked,
+              static_cast<unsigned long long>(invalidations));
+  std::printf("bit-identity recheck-vs-cold over %zu cases: %s\n",
+              cases.size(), bit_identical ? "OK" : "FAILED");
+
+  if (FILE* out = std::fopen("BENCH_incremental.json", "w")) {
+    std::fprintf(out, "{\n  \"mode\": \"%s\",\n  \"cases\": %zu,\n",
+                 smoke ? "smoke" : "full", cases.size());
+    std::fprintf(out,
+                 "  \"appended_rows\": %zu,\n  \"cold_seconds\": %.6f,\n"
+                 "  \"recheck_seconds\": %.6f,\n  \"speedup\": %.2f,\n"
+                 "  \"speedup_gate\": %.1f,\n",
+                 appended, cold_seconds, recheck_seconds, speedup,
+                 kSpeedupGate);
+    std::fprintf(out,
+                 "  \"claims_spliced\": %zu,\n  \"claims_rechecked\": %zu,\n"
+                 "  \"cache_invalidations\": %llu,\n",
+                 claims_spliced, claims_rechecked,
+                 static_cast<unsigned long long>(invalidations));
+    std::fprintf(out, "  \"bit_identical\": %s,\n  ",
+                 bit_identical ? "true" : "false");
+    bench::WriteThreadReportJson(out, bench::MakeThreadReport(1));
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_incremental.json\n");
+  }
+
+  if (!bit_identical) return 1;
+  if (speedup < kSpeedupGate) {
+    std::fprintf(stderr,
+                 "bench_incremental_recheck: FAIL — ReCheck is only x%.2f "
+                 "the cold path (gate: >= x%.0f)\n",
+                 speedup, kSpeedupGate);
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,8 @@
 #                                 # cross-document scheduler)
 #   scripts/check.sh snapshot-smoke # snapshot cold start: save/load round
 #                                 # trip, >= 5x load-vs-build, bit-identity
+#   scripts/check.sh incremental-smoke # incremental re-verification:
+#                                 # ReCheck >= 10x cold, bit-identity
 #   scripts/check.sh chaos-matrix # exhaustive fault-point sweep (ASan+UBSan)
 #
 # The chaos-matrix step first checks that the compile-time fault-point
@@ -39,6 +41,13 @@
 # from CSV, the two paths report bit-identically on every case, and a
 # corrupted snapshot fails cleanly instead of loading.
 #
+# The incremental-smoke step builds the Release preset's
+# `bench_incremental_recheck` binary and runs it with --smoke: one table of
+# one corpus case ingests new rows, the whole corpus is re-verified through
+# AggChecker::ReCheck, and the run fails unless the incremental pass is at
+# least 10x faster than re-checking every case cold or any spliced report
+# diverges from its from-scratch reference.
+#
 # The perf-smoke step builds the Release preset's `perf_smoke` binary and
 # fails if (a) vectorized cube execution is not faster than the scalar
 # oracle, (b) merged+cached engine evaluation over a PK-FK join workload is
@@ -56,7 +65,8 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 presets=("${@:-default}")
 if [[ $# -eq 0 ]]; then
-  presets=(default asan-ubsan tsan perf-smoke fleet-smoke snapshot-smoke)
+  presets=(default asan-ubsan tsan perf-smoke fleet-smoke snapshot-smoke
+           incremental-smoke)
 fi
 
 for preset in "${presets[@]}"; do
@@ -93,6 +103,15 @@ for preset in "${presets[@]}"; do
     cmake --build --preset default -j "$jobs" --target bench_fleet_throughput
     echo "==> [fleet-smoke] run"
     (cd build/bench && ./bench_fleet_throughput --smoke)
+    continue
+  fi
+  if [[ "$preset" == "incremental-smoke" ]]; then
+    echo "==> [incremental-smoke] build"
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$jobs" \
+      --target bench_incremental_recheck
+    echo "==> [incremental-smoke] run"
+    (cd build/bench && ./bench_incremental_recheck --smoke)
     continue
   fi
   if [[ "$preset" == "snapshot-smoke" ]]; then

@@ -96,6 +96,15 @@ class GovernorScope {
 
 Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   AGG_FAULT_POINT("check.run");
+  // Claim detection (§3); everything downstream of the detected list is
+  // shared with ReCheck through CheckDetected.
+  claims::ClaimDetector detector(options_.detector);
+  return CheckDetected(doc, detector.Detect(doc), options_.model);
+}
+
+Result<CheckReport> AggChecker::CheckDetected(
+    const text::TextDocument& doc, std::vector<claims::Claim> detected,
+    const model::ModelOptions& model) {
   Timer timer;
   CheckReport report;
 
@@ -104,13 +113,10 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   ResourceGovernor governor(options_.governor);
   GovernorScope governor_scope(engine_.get(), &governor);
 
-  // Claim detection (§3) and keyword matching (Algorithm 1).
-  claims::ClaimDetector detector(options_.detector);
-  std::vector<claims::Claim> detected = detector.Detect(doc);
-
+  // Keyword matching (Algorithm 1).
   claims::KeywordExtractor extractor(options_.context);
   claims::RelevanceScorer scorer(catalog_.get(), extractor,
-                                 options_.model.lucene_hits);
+                                 model.lucene_hits);
   std::vector<claims::ClaimRelevance> relevance =
       scorer.ScoreAll(doc, detected);
 
@@ -119,7 +125,7 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   // by the engine's recovery pass; what surfaces here are run-level faults
   // with no owning query, retried while transient. Engine caches persist
   // across attempts (failed scans are never cached, so re-runs are safe).
-  model::Translator translator(db_, catalog_.get(), options_.model);
+  model::Translator translator(db_, catalog_.get(), model);
   model::TranslationResult translation;
   RetryPolicy run_policy = options_.recovery.retry;
   if (!options_.recovery.enabled) run_policy.max_attempts = 1;
@@ -134,11 +140,127 @@ Result<CheckReport> AggChecker::Check(const text::TextDocument& doc) {
   report.verdicts =
       AssembleVerdicts(detected, translation, options_.report_top_k);
 
+  // Stamp each verdict's dependency versions: the (table, version) pairs
+  // ReCheck compares against the live database to decide splice vs re-check.
+  for (size_t i = 0; i < report.verdicts.size() &&
+                     i < translation.dependency_tables.size();
+       ++i) {
+    auto& deps = report.verdicts[i].dependencies;
+    deps.reserve(translation.dependency_tables[i].size());
+    for (const std::string& table : translation.dependency_tables[i]) {
+      deps.emplace_back(table, db_->TableVersion(table));
+    }
+  }
+
   report.eval_stats = engine_->stats();
   report.em_iterations = translation.em_iterations;
   report.total_candidates = translation.total_candidates;
   report.queries_evaluated = translation.queries_evaluated;
   report.governor_usage = governor.usage();
+  report.total_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+Result<CheckReport> AggChecker::ReCheck(const text::TextDocument& doc,
+                                        const CheckReport& prior) {
+  Timer timer;
+
+  // Re-detect and align against the prior report. Detection is pure text
+  // processing (no data reads), so a mismatch means the document itself
+  // changed — incremental accounting is meaningless then and the whole
+  // run falls back to a from-scratch Check.
+  claims::ClaimDetector detector(options_.detector);
+  std::vector<claims::Claim> detected = detector.Detect(doc);
+  bool aligned = detected.size() == prior.verdicts.size();
+  for (size_t i = 0; aligned && i < detected.size(); ++i) {
+    const claims::Claim& was = prior.verdicts[i].claim;
+    aligned = detected[i].id == was.id &&
+              detected[i].claimed_value() == was.claimed_value();
+  }
+  if (!aligned) return Check(doc);
+
+  const size_t n = detected.size();
+
+  // A claim needs re-checking iff some dependency table moved past the
+  // version stamped at check time. Claims with no dependencies read no
+  // table and splice forever.
+  std::vector<bool> changed(n, false);
+  size_t num_changed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& dep : prior.verdicts[i].dependencies) {
+      if (db_->TableVersion(dep.first) != dep.second) {
+        changed[i] = true;
+        break;
+      }
+    }
+    if (!changed[i]) {
+      // Chaos hook: a faulted splice degrades the claim to a full
+      // re-evaluation — correctness never depends on splicing working.
+      Status splice_status = Status::OK();
+      AGG_FAULT_POINT_STATUS("eval.recheck.splice", splice_status);
+      if (!splice_status.ok()) changed[i] = true;
+    }
+    num_changed += changed[i] ? 1 : 0;
+  }
+
+  if (num_changed == 0) {
+    // Nothing a changed table can reach: the entire prior report is still
+    // the answer. No evaluation, no governor, no translation.
+    CheckReport report;
+    report.verdicts = prior.verdicts;
+    report.em_iterations = prior.em_iterations;
+    report.total_candidates = prior.total_candidates;
+    report.queries_evaluated = prior.queries_evaluated;
+    report.governor_usage = prior.governor_usage;
+    report.eval_stats = engine_->stats();
+    report.claims_spliced = n;
+    report.total_seconds = timer.ElapsedSeconds();
+    return report;
+  }
+
+  if (options_.model.use_priors || !options_.governor.unlimited()) {
+    // Document-wide coupling is in play: learned priors tie every claim's
+    // distribution to every other claim's evaluations, and a shared budget
+    // means the evaluated set itself shapes which claims go partial. Claim
+    // splicing would be unsound, so re-run the full pipeline — the speedup
+    // comes from the version sweep keeping every cube over untouched
+    // tables warm (with its governor charges replayed for budget parity).
+    auto report = CheckDetected(doc, std::move(detected), options_.model);
+    if (report.ok()) report->claims_rechecked = n;
+    return report;
+  }
+
+  // Priors off and no budget: per-claim distributions are independent and
+  // per-query answers don't depend on batch composition (merged == naive),
+  // so only the changed claims need re-translation. Pin PickScope to the
+  // full document's claim count so the subset gets the same per-claim
+  // budget a from-scratch run would compute.
+  std::vector<claims::Claim> subset;
+  subset.reserve(num_changed);
+  for (size_t i = 0; i < n; ++i) {
+    if (changed[i]) subset.push_back(detected[i]);
+  }
+  model::ModelOptions subset_model = options_.model;
+  subset_model.scope_num_claims = n;
+  auto sub = CheckDetected(doc, std::move(subset), subset_model);
+  if (!sub.ok()) return sub.status();
+
+  CheckReport report;
+  report.verdicts = prior.verdicts;
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (changed[i]) report.verdicts[i] = std::move(sub->verdicts[next++]);
+  }
+  report.eval_stats = sub->eval_stats;
+  report.em_iterations = sub->em_iterations;
+  // Candidate spaces are data-independent given the catalog, so the
+  // from-scratch total is the prior's total.
+  report.total_candidates = prior.total_candidates;
+  report.queries_evaluated = sub->queries_evaluated;
+  report.governor_usage = sub->governor_usage;
+  report.run_attempts = sub->run_attempts;
+  report.claims_rechecked = num_changed;
+  report.claims_spliced = n - num_changed;
   report.total_seconds = timer.ElapsedSeconds();
   return report;
 }

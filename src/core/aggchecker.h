@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "claims/claim_detector.h"
@@ -91,6 +93,12 @@ struct ClaimVerdict {
   /// (quarantined claims are also partial). All-defaults when evaluation
   /// never faulted.
   model::ClaimRecovery recovery;
+  /// (lower-cased table, data version) of every base table this claim's
+  /// candidate space can read — join closure included — stamped at check
+  /// time. The invalidation key for incremental re-verification (DESIGN.md
+  /// §16): ReCheck re-evaluates the claim iff some entry here no longer
+  /// matches the database's current version.
+  std::vector<std::pair<std::string, uint64_t>> dependencies;
 
   const model::RankedCandidate* best() const {
     return top_queries.empty() ? nullptr : &top_queries[0];
@@ -112,6 +120,12 @@ struct CheckReport {
   /// Times the run-level fault domain executed the translation (1 = no
   /// run-level fault; >1 = a transient run-level fault was retried).
   uint32_t run_attempts = 1;
+  /// Incremental re-verification accounting (DESIGN.md §16). A from-scratch
+  /// Check leaves both zero. ReCheck counts every claim exactly once:
+  /// spliced (verdict copied from the prior report because no dependency
+  /// table changed) or rechecked (re-evaluated against the current data).
+  size_t claims_spliced = 0;
+  size_t claims_rechecked = 0;
 
   size_t NumFlagged() const {
     size_t n = 0;
@@ -168,7 +182,27 @@ class AggChecker {
   /// matching, EM translation, verdict assembly.
   Result<CheckReport> Check(const text::TextDocument& doc);
 
+  /// Incrementally re-verifies `doc` against the current database state
+  /// given a prior report from this instance (DESIGN.md §16). Claims whose
+  /// dependency-table versions are unchanged splice their prior verdicts;
+  /// only claims reading a bumped table are re-evaluated — against caches
+  /// the version sweep has already narrowed to the touched tables. The
+  /// returned report is bit-identical (FleetVerdictFingerprint) to a
+  /// from-scratch Check on the current data at any thread count and under
+  /// any governor budget. Falls back to a full Check when the detected
+  /// claims no longer line up with `prior` (the document changed).
+  Result<CheckReport> ReCheck(const text::TextDocument& doc,
+                              const CheckReport& prior);
+
   const fragments::FragmentCatalog& catalog() const { return *catalog_; }
+  /// The catalog as an adoptable handle: differential harnesses hand it to
+  /// a second checker via CheckOptions::prebuilt_catalog so both compare
+  /// reports over the identical fragment space (the catalog is built from
+  /// the data at Create time and deliberately does NOT track ingestion —
+  /// DESIGN.md §16 pins this down).
+  std::shared_ptr<const fragments::FragmentCatalog> shared_catalog() const {
+    return catalog_;
+  }
   const CheckOptions& options() const { return options_; }
   db::EvalEngine& engine() { return *engine_; }
   const db::Database& database() const { return *db_; }
@@ -176,6 +210,15 @@ class AggChecker {
  private:
   AggChecker(const db::Database* db, CheckOptions options)
       : db_(db), options_(std::move(options)) {}
+
+  /// Check minus detection: scoring, translation, and verdict assembly over
+  /// an already-detected claim list. Check and ReCheck both funnel here so
+  /// the two paths share one pipeline. `model` overrides options_.model
+  /// (ReCheck's subset path pins scope_num_claims); pass options_.model for
+  /// the default behavior.
+  Result<CheckReport> CheckDetected(const text::TextDocument& doc,
+                                    std::vector<claims::Claim> detected,
+                                    const model::ModelOptions& model);
 
   const db::Database* db_;
   CheckOptions options_;

@@ -17,6 +17,50 @@ CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
                      nullptr);
 }
 
+Status AppendSyntheticRows(db::Database* db, const std::string& table,
+                           size_t num_rows) {
+  const db::Table* target = db->FindTable(table);
+  if (target == nullptr) {
+    return Status::NotFound("AppendSyntheticRows: no table " + table);
+  }
+  const size_t old_rows = target->num_rows();
+  std::vector<std::vector<db::Value>> rows;
+  rows.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    std::vector<db::Value> row;
+    row.reserve(target->num_columns());
+    for (size_t c = 0; c < target->num_columns(); ++c) {
+      const db::Column& col = target->column(c);
+      if (old_rows == 0) {
+        switch (col.type()) {
+          case db::ValueType::kLong:
+            row.push_back(db::Value(static_cast<int64_t>(r)));
+            break;
+          case db::ValueType::kDouble:
+            row.push_back(db::Value(static_cast<double>(r)));
+            break;
+          default:
+            row.push_back(db::Value("row" + std::to_string(r)));
+            break;
+        }
+        continue;
+      }
+      const db::Value& src = col.values()[r % old_rows];
+      if (src.is_null()) {
+        row.push_back(db::Value::Null());
+      } else if (src.type() == db::ValueType::kLong) {
+        row.push_back(db::Value(src.AsLong() + 1));
+      } else if (src.type() == db::ValueType::kDouble) {
+        row.push_back(db::Value(src.AsDoubleExact() + 0.5));
+      } else {
+        row.push_back(src);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return db->AppendRows(table, std::move(rows));
+}
+
 std::string SnapshotPathForCase(const std::string& dir,
                                 const std::string& case_name) {
   std::string safe;

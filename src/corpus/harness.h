@@ -56,6 +56,14 @@ struct CorpusRunResult {
 CorpusRunResult RunOnCorpus(const std::vector<CorpusCase>& corpus,
                             core::CheckOptions options);
 
+/// \brief Deterministic ingestion driver for the incremental-recheck tests
+/// and bench (DESIGN.md §16): synthesizes `num_rows` new rows for `table`
+/// by cycling its existing cells — numeric cells nudged (+1 / +0.5) so
+/// aggregates actually move — and appends them via Database::AppendRows,
+/// bumping the table's data version. An empty table gets type-default rows.
+Status AppendSyntheticRows(db::Database* db, const std::string& table,
+                           size_t num_rows);
+
 /// \brief Snapshot persistence wiring for corpus runs — the library side of
 /// the bench binaries' `--snapshot=<dir>` flag (DESIGN.md §15).
 struct SnapshotRunOptions {

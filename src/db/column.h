@@ -114,6 +114,13 @@ class Column {
 
   void Append(Value v);
 
+  /// Replaces the value at `row` (no bounds check beyond the debug assert a
+  /// vector gives you — Table::UpdateCell validates). Shares Append's
+  /// mutation contract: a snapshot-backed column materializes and detaches
+  /// first, derived representations rebuild lazily, and no const accessor
+  /// may run concurrently.
+  void Update(size_t row, Value v);
+
   /// Distinct non-null values, in first-appearance order. Built lazily and
   /// cached; invalidated by Append.
   const std::vector<Value>& DistinctValues() const;

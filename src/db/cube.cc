@@ -77,6 +77,26 @@ constexpr uint64_t kModeledAggStateBytes = 64;
 
 }  // namespace
 
+Status ReplayCubeCharges(const CubeResult& cube,
+                         ResourceGovernor::Shard& shard) {
+  const size_t num_subsets = static_cast<size_t>(1) << cube.dims().size();
+  const uint64_t combo_bytes =
+      kModeledComboBytes + num_subsets * sizeof(uint32_t);
+  const uint64_t group_bytes =
+      kModeledGroupBaseBytes + cube.aggregates().size() * kModeledAggStateBytes;
+  const CubeCharges& c = cube.charges;
+  // Zero-amount charges are skipped, not passed through: they would still
+  // inspect limits, and a cold run performs no inspection for work it never
+  // did.
+  Status s = Status::OK();
+  if (c.rows > 0) s = shard.ChargeRows(c.rows);
+  if (s.ok() && c.combos > 0) s = shard.ChargeMemoryBytes(c.combos * combo_bytes);
+  if (s.ok() && c.groups > 0) s = shard.ChargeCubeGroups(c.groups);
+  if (s.ok() && c.groups > 0) s = shard.ChargeMemoryBytes(c.groups * group_bytes);
+  if (s.ok()) s = shard.Flush();
+  return s;
+}
+
 Status CubeExecution::Prepare(const Database& db, CubeResult* result,
                               ScanStats* stats,
                               const ResourceGovernor* governor,
@@ -184,6 +204,7 @@ Status CubeExecution::Finish() {
   }
   // The oracle writes its result cells inside RunScalarOracle.
   if (stats_ != nullptr) stats_->rows_scanned += relation_->num_rows();
+  result_->charges.rows = relation_->num_rows();
   return Status::OK();
 }
 
@@ -289,6 +310,8 @@ Status CubeExecution::RunScalarOracle() {
       if (v.has_value()) result.SetPacked(group_keys[g], a, *v);
     }
   }
+  result.charges.combos = combo_groups.size();
+  result.charges.groups = groups.size();
   return Status::OK();
 }
 
@@ -442,6 +465,8 @@ Status CubeExecution::FinishVectorized() {
     }
   }
   const size_t num_groups = group_keys.size();
+  result.charges.combos = num_combos;
+  result.charges.groups = num_groups;
 
   // ---- Pass 2 + 3: typed kernels, folded into groups -----------------
   // Combo tallies distribute into groups as exact integers.

@@ -41,6 +41,23 @@ struct CubeAggregate {
   }
 };
 
+/// \brief Replayable record of the governor work one completed cube
+/// execution performed (DESIGN.md §16).
+///
+/// A cached CubeResult that survives into a later governor run must charge
+/// that run the same totals a cold rebuild would, or warm and cold runs
+/// would diverge under a budget. The totals are fully derivable from these
+/// three counts plus the cube's shape (dimension count, aggregate count)
+/// and the modeled per-combo/per-group constants — see ReplayCubeCharges.
+struct CubeCharges {
+  uint64_t rows = 0;    ///< relation rows the scan charged
+  uint64_t combos = 0;  ///< distinct bucket combinations materialized
+  uint64_t groups = 0;  ///< cube groups materialized
+  /// ResourceGovernor::run_id of the run these charges were last accounted
+  /// to (at execution or by replay); 0 = never charged under a governor.
+  uint64_t charged_run = 0;
+};
+
 /// Bucket code for one cube dimension in a result key.
 /// >= 0 : index into the dimension's relevant-literal list
 ///  kDefaultBucket : a value outside the relevant set (InOrDefault default)
@@ -122,6 +139,12 @@ class CubeResult {
   void SetPacked(uint64_t key, size_t agg_idx, double value);
 
   size_t num_cells() const { return cells_.size(); }
+
+  /// Charge record of the execution that filled this result (written by
+  /// CubeExecution::Finish, stamped/replayed by the cache layer). Mutable
+  /// bookkeeping about *how* the result was computed, not part of the
+  /// result value — excluded from any equality/fingerprint notion.
+  CubeCharges charges;
 
  private:
   std::vector<ColumnRef> dims_;
@@ -271,6 +294,21 @@ Status ExecuteCubeInto(const Database& db, CubeResult& result,
                        ScanStats* stats = nullptr,
                        const ResourceGovernor* governor = nullptr,
                        const CubeExecOptions& options = {});
+
+/// \brief Re-charges a cached cube's recorded work (`cube.charges`) to
+/// `shard`'s governor.
+///
+/// Replays the exact totals a cold execution of this cube would charge —
+/// rows scanned, combo state bytes, cube groups, group accumulator bytes,
+/// recomputed from the recorded counts and the modeled constants — so a
+/// warm cache hit under a fresh governor run accounts identically to a
+/// cold rebuild. Returns the stop Status if a limit trips mid-replay; the
+/// caller must then discard the cached entry ("does not fit this budget")
+/// and fall back to cold execution, which aborts under the now-tripped
+/// governor exactly as an uncached run would. Does not stamp
+/// `charges.charged_run`; the caller stamps it on success.
+Status ReplayCubeCharges(const CubeResult& cube,
+                         ResourceGovernor::Shard& shard);
 
 }  // namespace db
 }  // namespace aggchecker

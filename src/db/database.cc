@@ -44,6 +44,37 @@ const Column* Database::FindColumn(const ColumnRef& ref) const {
   return table == nullptr ? nullptr : table->FindColumn(ref.column);
 }
 
+Status Database::AppendRows(const std::string& table,
+                            std::vector<std::vector<Value>> rows) {
+  int idx = TableIndex(table);
+  if (idx < 0) return Status::NotFound("unknown table: " + table);
+  return tables_[static_cast<size_t>(idx)]->AppendRows(std::move(rows));
+}
+
+Status Database::UpdateCell(const std::string& table, size_t row,
+                            const std::string& column, Value v) {
+  int idx = TableIndex(table);
+  if (idx < 0) return Status::NotFound("unknown table: " + table);
+  return tables_[static_cast<size_t>(idx)]->UpdateCell(row, column,
+                                                       std::move(v));
+}
+
+uint64_t Database::TableVersion(const std::string& table) const {
+  int idx = TableIndex(table);
+  return idx < 0 ? 0 : tables_[static_cast<size_t>(idx)]->version();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Database::VersionVector()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> versions;
+  versions.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    versions.emplace_back(strings::ToLower(t->name()), t->version());
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
 bool Database::WouldCreateCycle(const std::string& a,
                                 const std::string& b) const {
   // The join graph (tables as nodes, FKs as undirected edges) must stay a

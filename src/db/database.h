@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/table.h"
@@ -76,6 +78,26 @@ class Database {
 
   /// Resolves a column reference; null if the table or column is missing.
   const Column* FindColumn(const ColumnRef& ref) const;
+
+  /// \brief Post-build ingestion (DESIGN.md §16): appends rows to `table`
+  /// and bumps its data version. Validation and atomicity per
+  /// Table::AppendRows; version-keyed caches (relation cache, cube results)
+  /// invalidate lazily on their next acquire.
+  Status AppendRows(const std::string& table,
+                    std::vector<std::vector<Value>> rows);
+
+  /// In-place single-cell update on `table`; bumps its data version.
+  Status UpdateCell(const std::string& table, size_t row,
+                    const std::string& column, Value v);
+
+  /// Current data version of `table` (case-insensitive), or 0 if the table
+  /// does not exist — 0 never collides with a real version (they start
+  /// at 1), so "unknown table" always compares unequal.
+  uint64_t TableVersion(const std::string& table) const;
+
+  /// The full version vector: (lowercased table name, version), sorted by
+  /// name. The cache key domain for anything reading multiple tables.
+  std::vector<std::pair<std::string, uint64_t>> VersionVector() const;
 
   /// \brief Join plan covering `tables`: a root table plus equi-join steps.
   ///

@@ -94,10 +94,120 @@ std::vector<std::optional<double>> EvalEngine::DispatchIds(
   return {};
 }
 
+void EvalEngine::RefreshDataVersions() {
+  auto current = db_->VersionVector();
+  if (current == data_versions_) return;
+
+  // Tables whose version moved (or that appeared/disappeared) since the
+  // last sweep; both vectors are sorted by name.
+  std::set<std::string> changed;
+  size_t i = 0, j = 0;
+  while (i < data_versions_.size() || j < current.size()) {
+    if (i >= data_versions_.size()) {
+      changed.insert(current[j++].first);
+    } else if (j >= current.size()) {
+      changed.insert(data_versions_[i++].first);
+    } else if (data_versions_[i].first < current[j].first) {
+      changed.insert(data_versions_[i++].first);
+    } else if (current[j].first < data_versions_[i].first) {
+      changed.insert(current[j++].first);
+    } else {
+      if (data_versions_[i].second != current[j].second) {
+        changed.insert(current[j].first);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  data_versions_ = std::move(current);
+  if (changed.empty()) return;
+
+  // Whether a relation (by canonical "t1,t2," key) reads a changed table —
+  // through its join *closure*: the join plan may pull in intermediate
+  // tables the key does not list, and their rows shape the join too.
+  std::unordered_map<std::string, bool> stale_memo;
+  auto relation_stale = [&](const std::string& relation_key) {
+    auto mit = stale_memo.find(relation_key);
+    if (mit != stale_memo.end()) return mit->second;
+    std::vector<std::string> tables;
+    for (std::string& t : strings::Split(relation_key, ',')) {
+      if (!t.empty()) tables.push_back(std::move(t));
+    }
+    bool stale = false;
+    for (const std::string& t : tables) {
+      if (changed.count(t) > 0) stale = true;
+    }
+    if (!stale && tables.size() > 1) {
+      auto plan = db_->JoinPlan(tables);
+      if (plan.ok()) {
+        if (changed.count(strings::ToLower(plan->root)) > 0) stale = true;
+        for (const JoinStep& step : plan->steps) {
+          if (changed.count(strings::ToLower(step.table)) > 0) stale = true;
+        }
+      } else {
+        // Cannot prove independence from the changed tables; evict.
+        stale = true;
+      }
+    }
+    stale_memo[relation_key] = stale;
+    return stale;
+  };
+
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (relation_stale(it->second.relation_key)) {
+      it = cache_.erase(it);
+      ++stats_.cache_invalidations;
+    } else {
+      ++it;
+    }
+  }
+  // Fingerprint-path entries carry relation identity in their SliceKey (the
+  // entry's relation_key field is unused there); resolve it through the
+  // interner's canonical relation key.
+  bool fp_evicted = false;
+  for (auto it = fp_cache_.begin(); it != fp_cache_.end();) {
+    if (relation_stale(interner_.relation_key(it->first.relation))) {
+      it = fp_cache_.erase(it);
+      ++stats_.cache_invalidations;
+      fp_evicted = true;
+    } else {
+      ++it;
+    }
+  }
+  // Prune the rollup-scan order lists so evicted slices do not linger as
+  // stale keys forever under repeated ingestion.
+  if (fp_evicted) {
+    for (auto it = fp_cache_order_.begin(); it != fp_cache_order_.end();) {
+      std::vector<SliceKey>& order = it->second;
+      order.erase(std::remove_if(order.begin(), order.end(),
+                                 [&](const SliceKey& key) {
+                                   return fp_cache_.count(key) == 0;
+                                 }),
+                  order.end());
+      it = order.empty() ? fp_cache_order_.erase(it) : std::next(it);
+    }
+  }
+}
+
+bool EvalEngine::ReplayChargesForHit(const CacheEntry& entry) {
+  if (governor_ == nullptr) return true;
+  CubeCharges& charges = entry.cube->charges;
+  if (charges.charged_run == governor_->run_id()) return true;
+  // An already-tripped governor: a cold run would find no cached entry and
+  // its rebuild would abort before charging, so the warm hit must not be
+  // served (or charged) either.
+  if (!governor_->TripStatus().ok()) return false;
+  ResourceGovernor::Shard shard(governor_);
+  if (!ReplayCubeCharges(*entry.cube, shard).ok()) return false;
+  charges.charged_run = governor_->run_id();
+  return true;
+}
+
 std::vector<std::optional<double>> EvalEngine::EvaluateBatch(
     const std::vector<SimpleAggregateQuery>& queries) {
   Timer timer;
   batch_failed_.clear();
+  RefreshDataVersions();
   auto results = DispatchQueries(queries);
   RecoverBatch(
       [&](const std::vector<size_t>& subset) {
@@ -116,6 +226,7 @@ std::vector<std::optional<double>> EvalEngine::EvaluateInterned(
     const std::vector<QueryInterner::Id>& ids) {
   Timer timer;
   batch_failed_.clear();
+  RefreshDataVersions();
   auto results = DispatchIds(ids);
   RecoverBatch(
       [&](const std::vector<size_t>& subset) {
@@ -444,7 +555,7 @@ std::optional<double> EvalEngine::AnswerFromCube(
 const EvalEngine::CacheEntry* EvalEngine::FindCached(
     const CubeAggregate& agg, const std::vector<ColumnRef>& cols,
     const std::map<std::string, std::vector<Value>>& needed_literals,
-    const std::string& relation_key) const {
+    const std::string& relation_key, std::string* hit_key) const {
   auto covers = [&](const CacheEntry& entry) {
     if (entry.relation_key != relation_key) return false;
     const CubeResult& cube = *entry.cube;
@@ -472,14 +583,20 @@ const EvalEngine::CacheEntry* EvalEngine::FindCached(
   std::string exact_key =
       agg.Key() + "|" + relation_key + "|" + DimSetKey(cols);
   auto it = cache_.find(exact_key);
-  if (it != cache_.end() && covers(it->second)) return &it->second;
+  if (it != cache_.end() && covers(it->second)) {
+    if (hit_key != nullptr) *hit_key = exact_key;
+    return &it->second;
+  }
 
   // Otherwise any cached cube for the same aggregate whose dimensions are a
   // superset of the query's predicate columns (rollup reuse, §6.3).
   std::string agg_prefix = agg.Key() + "|";
   for (const auto& [key, entry] : cache_) {
     if (!strings::StartsWith(key, agg_prefix)) continue;
-    if (covers(entry)) return &entry;
+    if (covers(entry)) {
+      if (hit_key != nullptr) *hit_key = key;
+      return &entry;
+    }
   }
   return nullptr;
 }
@@ -613,8 +730,19 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     std::vector<CubeAggregate> to_execute;
     for (const CubeAggregate& agg : needed) {
       if (use_cache) {
+        std::string hit_key;
         const CacheEntry* hit = FindCached(agg, group.dims, needed_literals,
-                                           group.relation_key);
+                                           group.relation_key, &hit_key);
+        // A hit on an entry carried over from a previous governor run must
+        // replay its recorded charges first (this batch's own shells are
+        // exempt — their execution charges directly). A replay that trips
+        // withdraws the entry and degrades the lookup to a miss, so the
+        // rebuild aborts under the tripped governor exactly as a cold run.
+        if (hit != nullptr && job_of_cube.count(hit->cube.get()) == 0 &&
+            !ReplayChargesForHit(*hit)) {
+          cache_.erase(hit_key);
+          hit = nullptr;
+        }
         if (hit != nullptr) {
           ++stats_.cache_hits;
           Source src;
@@ -691,7 +819,14 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMerged(
     stats_.joins_built += job.scan.joins_built;
     stats_.join_cache_hits += job.scan.join_cache_hits;
     stats_.join_seconds += job.scan.join_seconds;
-    if (job.status.ok()) continue;
+    if (job.status.ok()) {
+      // The execution just charged this run; stamp it so a later run (not
+      // this one) replays the recorded charges on a warm hit.
+      if (governor_ != nullptr) {
+        job.shell->charges.charged_run = governor_->run_id();
+      }
+      continue;
+    }
     for (const std::string& key : job.cache_keys) cache_.erase(key);
     if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
   }
@@ -886,7 +1021,8 @@ const EvalEngine::GroupPlan& EvalEngine::EnsureGroupPlan(
 
 const EvalEngine::CacheEntry* EvalEngine::FindCachedIds(
     QueryInterner::Id agg, const GroupPlan& plan,
-    const std::vector<const std::vector<Value>*>& dim_literals) const {
+    const std::vector<const std::vector<Value>*>& dim_literals,
+    SliceKey* hit_key) const {
   // Same coverage test as the string path's FindCached: every group
   // dimension must be a dimension of the candidate cube, with every batch
   // literal separately bucketed (relation equality is implied by the keys).
@@ -912,7 +1048,10 @@ const EvalEngine::CacheEntry* EvalEngine::FindCachedIds(
 
   // Exact dimension-set hit first.
   auto it = fp_cache_.find(SliceKey{agg, plan.relation, plan.dimset});
-  if (it != fp_cache_.end() && covers(it->second)) return &it->second;
+  if (it != fp_cache_.end() && covers(it->second)) {
+    if (hit_key != nullptr) *hit_key = it->first;
+    return &it->second;
+  }
 
   // Otherwise any cached cube for the same aggregate over the same relation
   // whose dimensions are a superset of the group's (rollup reuse, §6.3).
@@ -922,7 +1061,10 @@ const EvalEngine::CacheEntry* EvalEngine::FindCachedIds(
   for (const SliceKey& key : oit->second) {
     auto eit = fp_cache_.find(key);
     if (eit == fp_cache_.end()) continue;  // withdrawn: stale order entry
-    if (covers(eit->second)) return &eit->second;
+    if (covers(eit->second)) {
+      if (hit_key != nullptr) *hit_key = key;
+      return &eit->second;
+    }
   }
   return nullptr;
 }
@@ -1074,7 +1216,15 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
     std::vector<QueryInterner::Id> to_execute;
     for (QueryInterner::Id agg : needed) {
       if (use_cache) {
-        const CacheEntry* hit = FindCachedIds(agg, plan, dim_literals);
+        SliceKey hit_key;
+        const CacheEntry* hit = FindCachedIds(agg, plan, dim_literals,
+                                              &hit_key);
+        // Cross-run charge replay, as on the string path.
+        if (hit != nullptr && job_of_cube.count(hit->cube.get()) == 0 &&
+            !ReplayChargesForHit(*hit)) {
+          fp_cache_.erase(hit_key);
+          hit = nullptr;
+        }
         if (hit != nullptr) {
           ++stats_.cache_hits;
           Source src;
@@ -1160,7 +1310,12 @@ std::vector<std::optional<double>> EvalEngine::EvaluateMergedIds(
     stats_.joins_built += job.scan.joins_built;
     stats_.join_cache_hits += job.scan.join_cache_hits;
     stats_.join_seconds += job.scan.join_seconds;
-    if (job.status.ok()) continue;
+    if (job.status.ok()) {
+      if (governor_ != nullptr) {
+        job.shell->charges.charged_run = governor_->run_id();
+      }
+      continue;
+    }
     for (const SliceKey& key : job.slice_keys) fp_cache_.erase(key);
     if (!job.status.IsResourceExhausted()) NoteHardError(job.status);
   }

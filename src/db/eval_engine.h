@@ -54,6 +54,10 @@ struct EvalStats {
   /// and EM iterations.
   size_t plans_built = 0;
   size_t plan_cache_hits = 0;
+  /// Cached cube slices evicted because a base table's data version moved
+  /// (DESIGN.md §16). Counts evictions of the version sweep only — entries
+  /// withdrawn for job failure or budget trips are not included.
+  size_t cache_invalidations = 0;
   double query_seconds = 0.0;
   double join_seconds = 0.0;  ///< wall time spent materializing joins
   /// Per-phase breakdown of EvaluateBatch: plan (grouping, cache lookups,
@@ -395,11 +399,15 @@ class EvalEngine {
   /// still-empty shell scheduled for this batch; coverage only inspects the
   /// cube's shape (dims + literal buckets), which is fixed at construction,
   /// so hit/miss decisions are identical whether the cube is filled yet.
+  /// `hit_key`, when non-null, receives the cache key the returned entry is
+  /// registered under (which differs from the exact key on rollup hits) so
+  /// the caller can withdraw the entry if its charge replay trips.
   const CacheEntry* FindCached(const CubeAggregate& agg,
                                const std::vector<ColumnRef>& cols,
                                const std::map<std::string, std::vector<Value>>&
                                    needed_literals,
-                               const std::string& relation_key) const;
+                               const std::string& relation_key,
+                               std::string* hit_key = nullptr) const;
 
   /// Fingerprint-path twin of FindCached: exact SliceKey hit first, then a
   /// rollup scan over the insertion-ordered slices of (agg, plan.relation).
@@ -408,11 +416,36 @@ class EvalEngine {
   /// chosen may differ — covering cubes answer identically, so this only
   /// shows up through job linkage under governor trips (see DESIGN.md §12).
   /// `dim_literals[d]` are the batch literals of plan.dims[d].
+  /// `hit_key` as in FindCached: the SliceKey the entry lives under.
   const CacheEntry* FindCachedIds(
       QueryInterner::Id agg, const GroupPlan& plan,
-      const std::vector<const std::vector<Value>*>& dim_literals) const;
+      const std::vector<const std::vector<Value>*>& dim_literals,
+      SliceKey* hit_key = nullptr) const;
 
   static std::string DimSetKey(const std::vector<ColumnRef>& dims);
+
+  /// \brief Data-version sweep (DESIGN.md §16), run once per public
+  /// evaluation entry point before any cache lookup.
+  ///
+  /// Diffs the database's current version vector against the last observed
+  /// one; when tables changed, evicts exactly the cached cube slices whose
+  /// relation's join closure reads a changed table (counted in
+  /// EvalStats::cache_invalidations) from cache_ / fp_cache_ /
+  /// fp_cache_order_. Plans (group_plans_), compilations (compiled_), and
+  /// the interner survive: they hold no result data, and their bound
+  /// Column pointers stay valid because ingestion mutates columns in place.
+  void RefreshDataVersions();
+
+  /// \brief Charge replay for a cross-run cache hit (DESIGN.md §16).
+  ///
+  /// If `entry`'s cube was last charged under a different governor run,
+  /// replays its recorded charges so warm totals match a cold rebuild.
+  /// Returns false — and the caller must withdraw the entry and treat the
+  /// lookup as a miss — when the governor is already tripped (a cold run
+  /// would find no entry and its rebuild would abort un-charged) or the
+  /// replay itself trips a limit. Entries linked to a job of the current
+  /// batch are skipped (their execution charges this run directly).
+  bool ReplayChargesForHit(const CacheEntry& entry);
 
   /// Records `status` as the run's hard error unless it is an expected
   /// query-shape failure (kInvalidArgument/kNotFound/kUnsupported). First
@@ -441,6 +474,10 @@ class EvalEngine {
   // Cache key: aggregate key + "|" + relation key + "|" + sorted dim-set
   // key. Written only from serial plan/fold phases.
   std::unordered_map<std::string, CacheEntry> cache_;
+  /// Last observed database version vector (see RefreshDataVersions);
+  /// starts empty, so the first sweep observes every table as "changed"
+  /// against empty caches — a no-op.
+  std::vector<std::pair<std::string, uint64_t>> data_versions_;
 
   // ---- Fingerprint path state (see DESIGN.md §12) ----------------------
   // All of it is written only from serial plan/fold phases; workers never

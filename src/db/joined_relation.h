@@ -32,6 +32,11 @@ class JoinedRelation {
 
   size_t num_rows() const { return num_rows_; }
 
+  /// Every base table this relation reads (lower-cased, join order) —
+  /// including intermediate tables the join plan pulled in to connect the
+  /// requested set. The dependency domain for data-version invalidation.
+  const std::vector<std::string>& tables() const { return table_order_; }
+
   /// \brief A column bound to this relation for fast repeated access.
   ///
   /// Plain pointers into the relation and its base table; valid as long as

@@ -37,53 +37,73 @@ Result<std::shared_ptr<const JoinedRelation>> RelationCache::Acquire(
   }
 
   const std::string key = KeyOf(tables);
-  std::shared_ptr<Entry> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& slot = entries_[key];
-    if (slot == nullptr) slot = std::make_shared<Entry>();
-    entry = slot;
-  }
-
-  std::lock_guard<std::mutex> entry_lock(entry->mu);
-  if (!entry->build_attempted) {
-    entry->build_attempted = true;
-    Timer timer;
-    auto built = JoinedRelation::Build(db, tables);
-    const double seconds = timer.ElapsedSeconds();
-    if (info != nullptr) info->build_seconds = seconds;
-    if (!built.ok()) {
-      entry->build_status = built.status();
-      Withdraw(key, entry);  // failures are never cached; retry later
-      return built.status();
+  // Loop: an entry found stale (a member table's data version moved since
+  // the build) is withdrawn and the lookup retried, which installs a fresh
+  // entry and rebuilds under it — charging exactly as a cold build would.
+  while (true) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& slot = entries_[key];
+      if (slot == nullptr) slot = std::make_shared<Entry>();
+      entry = slot;
     }
-    entry->relation =
-        std::make_shared<const JoinedRelation>(std::move(*built));
-    if (info != nullptr) info->built = true;
-  } else if (!entry->build_status.ok()) {
-    return entry->build_status;
-  } else {
-    if (info != nullptr) info->hit = true;
-  }
 
-  // Charge the join's modeled bytes once per governor run. The entry mutex
-  // is held across build *and* charge, so of two concurrent acquirers the
-  // second observes charged_run already stamped and charges nothing.
-  if (governor != nullptr && entry->charged_run != governor->run_id()) {
-    const uint64_t bytes = entry->relation->ApproxBytes();
-    if (bytes > 0) {
-      Status mem = shard.ChargeMemoryBytes(bytes);
-      if (!mem.ok()) {
-        // Withdrawal: the join does not fit this run's budget, so it must
-        // not linger as cached-but-unaccounted state. A later run with a
-        // larger budget rebuilds and re-charges it.
-        Withdraw(key, entry);
-        return mem;
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (!entry->build_attempted) {
+      entry->build_attempted = true;
+      Timer timer;
+      auto built = JoinedRelation::Build(db, tables);
+      const double seconds = timer.ElapsedSeconds();
+      if (info != nullptr) info->build_seconds = seconds;
+      if (!built.ok()) {
+        entry->build_status = built.status();
+        Withdraw(key, entry);  // failures are never cached; retry later
+        return built.status();
       }
+      entry->relation =
+          std::make_shared<const JoinedRelation>(std::move(*built));
+      for (const std::string& t : entry->relation->tables()) {
+        entry->table_versions.emplace_back(t, db.TableVersion(t));
+      }
+      if (info != nullptr) info->built = true;
+    } else if (!entry->build_status.ok()) {
+      return entry->build_status;
+    } else {
+      bool stale = false;
+      for (const auto& [table, version] : entry->table_versions) {
+        if (db.TableVersion(table) != version) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) {
+        Withdraw(key, entry);
+        continue;  // rebuild under a fresh entry
+      }
+      if (info != nullptr) info->hit = true;
     }
-    entry->charged_run = governor->run_id();
+
+    // Charge the join's modeled bytes once per governor run. The entry
+    // mutex is held across build *and* charge, so of two concurrent
+    // acquirers the second observes charged_run already stamped and
+    // charges nothing.
+    if (governor != nullptr && entry->charged_run != governor->run_id()) {
+      const uint64_t bytes = entry->relation->ApproxBytes();
+      if (bytes > 0) {
+        Status mem = shard.ChargeMemoryBytes(bytes);
+        if (!mem.ok()) {
+          // Withdrawal: the join does not fit this run's budget, so it
+          // must not linger as cached-but-unaccounted state. A later run
+          // with a larger budget rebuilds and re-charges it.
+          Withdraw(key, entry);
+          return mem;
+        }
+      }
+      entry->charged_run = governor->run_id();
+    }
+    return entry->relation;
   }
-  return entry->relation;
 }
 
 void RelationCache::Withdraw(const std::string& key,

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/joined_relation.h"
@@ -34,6 +36,13 @@ namespace db {
 ///    the stop Status; callers degrade to partial verdicts exactly as they
 ///    would for an uncached build.
 ///  - An already-tripped governor short-circuits Acquire without building.
+///
+/// Data-version contract (DESIGN.md §16): each entry records the data
+/// version of every base table its join read (intermediate join-path tables
+/// included) at build time. An Acquire that finds any member table at a
+/// newer version withdraws the stale entry and rebuilds — charging the
+/// rebuild exactly as a cold build would — so a table bump invalidates
+/// precisely the relations that read it and nothing else.
 ///
 /// Concurrency: the map mutex only guards entry lookup/insertion; each
 /// entry's own mutex serializes the one-time build and the per-run charge,
@@ -79,6 +88,10 @@ class RelationCache {
     /// run_id of the governor run this relation's bytes were last charged
     /// to; 0 = never charged.
     uint64_t charged_run = 0;
+    /// (lowercased table, data version) for every base table the join read,
+    /// recorded at build time; a mismatch with the database's current
+    /// versions marks the entry stale.
+    std::vector<std::pair<std::string, uint64_t>> table_versions;
   };
 
   /// Removes `entry` from the map if it is still the one registered under

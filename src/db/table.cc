@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace aggchecker {
@@ -57,6 +58,36 @@ Value CoerceTo(Value v, ValueType type) {
   return v;
 }
 
+/// Ingestion-time coercion: stricter than CoerceTo (which trusts FromCsv's
+/// inference) — a value that cannot represent itself in the column's declared
+/// type is an error, not a silent reinterpretation.
+Result<Value> CoerceForIngest(Value v, ValueType type) {
+  if (v.is_null()) return v;
+  switch (type) {
+    case ValueType::kLong:
+      if (v.type() != ValueType::kLong) {
+        return Status::InvalidArgument(
+            "cannot ingest non-long value into LONG column");
+      }
+      return v;
+    case ValueType::kDouble:
+      if (v.type() == ValueType::kLong) {
+        return Value(static_cast<double>(v.AsLong()));
+      }
+      if (v.type() != ValueType::kDouble) {
+        return Status::InvalidArgument(
+            "cannot ingest non-numeric value into DOUBLE column");
+      }
+      return v;
+    case ValueType::kString:
+      if (v.type() != ValueType::kString) return Value(v.ToString());
+      return v;
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return v;
+}
+
 }  // namespace
 
 Result<Table> Table::FromCsv(std::string name, const csv::CsvData& data) {
@@ -88,8 +119,9 @@ Result<Table> Table::FromCsv(std::string name, const csv::CsvData& data) {
 
 Result<Table> Table::FromSnapshotParts(
     std::string name, std::vector<std::unique_ptr<Column>> columns,
-    size_t num_rows) {
+    size_t num_rows, uint64_t data_version) {
   Table table(std::move(name));
+  table.data_version_ = data_version;
   for (auto& column : columns) {
     if (column == nullptr || column->size() != num_rows) {
       return Status::InvalidArgument(strings::Format(
@@ -141,6 +173,51 @@ Status Table::AddRow(std::vector<Value> row) {
     columns_[i]->Append(std::move(row[i]));
   }
   ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendRows(std::vector<std::vector<Value>> rows) {
+  // Fires before any mutation: a faulted ingest leaves the table at its old
+  // version with every version-keyed cache still valid.
+  AGG_FAULT_POINT("data.ingest.append");
+  // Validate the whole batch first so a bad row cannot leave the table
+  // half-appended at a bumped version.
+  for (auto& row : rows) {
+    if (row.size() != columns_.size()) {
+      return Status::InvalidArgument(strings::Format(
+          "row has %zu values, table has %zu columns", row.size(),
+          columns_.size()));
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      auto cell = CoerceForIngest(std::move(row[i]), columns_[i]->type());
+      if (!cell.ok()) return cell.status();
+      row[i] = *std::move(cell);
+    }
+  }
+  if (rows.empty()) return Status::OK();
+  for (auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      columns_[i]->Append(std::move(row[i]));
+    }
+    ++num_rows_;
+  }
+  ++data_version_;
+  return Status::OK();
+}
+
+Status Table::UpdateCell(size_t row, const std::string& column_name,
+                         Value v) {
+  if (row >= num_rows_) {
+    return Status::InvalidArgument(strings::Format(
+        "row %zu out of range (table has %zu rows)", row, num_rows_));
+  }
+  int idx = ColumnIndex(column_name);
+  if (idx < 0) return Status::NotFound("unknown column: " + column_name);
+  Column& column = *columns_[static_cast<size_t>(idx)];
+  auto cell = CoerceForIngest(std::move(v), column.type());
+  if (!cell.ok()) return cell.status();
+  column.Update(row, *std::move(cell));
+  ++data_version_;
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,13 +26,21 @@ class Table {
   /// Snapshot hook: assembles a table directly from restored columns (all
   /// already sized to `num_rows`), bypassing the AddColumn-before-AddRow
   /// staging rules. Fails if any column's size disagrees with `num_rows`.
+  /// `data_version` restores the version counter the snapshot recorded, so
+  /// caches keyed on it stay comparable across a save/load cycle.
   static Result<Table> FromSnapshotParts(
       std::string name, std::vector<std::unique_ptr<Column>> columns,
-      size_t num_rows);
+      size_t num_rows, uint64_t data_version = 1);
 
   const std::string& name() const { return name_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
+
+  /// Monotonically increasing data version (starts at 1). Bumped only by
+  /// the post-build ingestion API (AppendRows / UpdateCell), never by the
+  /// initial staging path (AddRow) — a table under construction has no
+  /// observers, so caches key on the version a finished table exposes.
+  uint64_t version() const { return data_version_; }
 
   const Column& column(size_t i) const { return *columns_[i]; }
   Column& column(size_t i) { return *columns_[i]; }
@@ -46,10 +55,26 @@ class Table {
   /// Appends a row of values (one per column, in column order).
   Status AddRow(std::vector<Value> row);
 
+  /// \brief Post-build ingestion: appends `rows` and bumps the data version.
+  ///
+  /// All rows are validated (arity and type: a LONG column accepts only
+  /// longs, a DOUBLE column coerces longs, a STRING column renders anything)
+  /// before anything mutates, so a rejected batch leaves the table — and its
+  /// version — exactly as it was. Snapshot-backed columns materialize and
+  /// detach on first touch (Column::Append). The `data.ingest.append` fault
+  /// point fires before any mutation; chaos runs verify a faulted append
+  /// leaves the version and every version-keyed cache untouched.
+  Status AppendRows(std::vector<std::vector<Value>> rows);
+
+  /// Replaces one cell in place and bumps the data version. Same type rules
+  /// as AppendRows.
+  Status UpdateCell(size_t row, const std::string& column_name, Value v);
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Column>> columns_;
   size_t num_rows_ = 0;
+  uint64_t data_version_ = 1;
 };
 
 }  // namespace db

@@ -1,6 +1,10 @@
 #include "model/candidate_space.h"
 
 #include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/strings.h"
 
 namespace aggchecker {
 namespace model {
@@ -8,6 +12,17 @@ namespace model {
 namespace {
 
 using fragments::FragmentType;
+
+/// True when `table` sits in the FK component of some keyword-supported
+/// table (or is one itself) — the scope star-column padding is allowed to
+/// reach. JoinPlan succeeds exactly for connected pairs.
+bool InSupportedComponent(const db::Database& db, const std::string& table,
+                          const std::set<std::string>& support) {
+  for (const std::string& s : support) {
+    if (s == table || db.JoinPlan({table, s}).ok()) return true;
+  }
+  return false;
+}
 
 /// Smoothes and normalizes raw retrieval scores over a considered set.
 void Normalize(std::vector<ScoredOption>* options, double smoothing) {
@@ -62,9 +77,34 @@ CandidateSpace CandidateSpace::Build(
     if (cols.size() > options.max_agg_columns) {
       cols.resize(options.max_agg_columns);
     }
+    // Star padding stays inside the FK components the claim's keywords
+    // actually reached (retrieved agg columns and predicates): a claim
+    // whose keywords never touch a disconnected domain gets no Count(*)
+    // over it, keeping its candidate space — and thus its dependency stamp
+    // for incremental re-verification (DESIGN.md §16) — confined to the
+    // tables it can plausibly read. Claims with no keyword support at all
+    // keep the full padding so count-only claims stay reachable. For
+    // single-component databases (every corpus case) this changes nothing.
+    std::set<std::string> support;
+    for (const ScoredOption& c : cols) {
+      const auto& frag = catalog.fragment(FragmentType::kAggColumn, c.frag);
+      if (!frag.column.table.empty()) {
+        support.insert(strings::ToLower(frag.column.table));
+      }
+    }
+    for (const auto& hit : relevance.predicates) {
+      const auto& frag =
+          catalog.fragment(FragmentType::kPredicate, hit.fragment_index);
+      if (!frag.column.table.empty()) {
+        support.insert(strings::ToLower(frag.column.table));
+      }
+    }
     const auto& all_cols = catalog.fragments(FragmentType::kAggColumn);
     for (size_t i = 0; i < all_cols.size(); ++i) {
-      if (all_cols[i].is_star_column() && !seen[i]) {
+      if (all_cols[i].is_star_column() && !seen[i] &&
+          (support.empty() ||
+           InSupportedComponent(db, strings::ToLower(all_cols[i].column.table),
+                                support))) {
         cols.push_back(ScoredOption{static_cast<int>(i), 0.0});
       }
     }

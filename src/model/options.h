@@ -75,6 +75,15 @@ struct ModelOptions {
   /// Results are bit-identical for any value (see DESIGN.md "Concurrency
   /// contract"), so this is purely a throughput knob.
   size_t num_threads = 0;
+
+  /// Pins PickScope's claim count to this value instead of the number of
+  /// claims actually translated (0 = off, the default). Incremental
+  /// re-verification (DESIGN.md §16) re-translates only the claims whose
+  /// dependency tables changed but must reproduce the per-claim budget the
+  /// full document was checked under — the adaptive scope divides its
+  /// row-scan target by the claim count, so a smaller subset would
+  /// otherwise get a larger budget and diverge from the from-scratch run.
+  size_t scope_num_claims = 0;
 };
 
 }  // namespace model

@@ -7,6 +7,7 @@
 #include "model/scope.h"
 #include "util/fault_injection.h"
 #include "util/rounding.h"
+#include "util/strings.h"
 
 namespace aggchecker {
 namespace model {
@@ -145,6 +146,63 @@ std::vector<ScoredTriple> SelectTop(const CandidateSpace& space,
   return triples;
 }
 
+/// Dependency table set of one claim (TranslationResult::dependency_tables):
+/// the union of tables referenced by the claim's candidate fragments (agg
+/// columns and predicate columns) plus `extra` (a pinned query's tables),
+/// closed under the join paths connecting them. Closure runs per connected
+/// component of the FK forest — candidates mixing disconnected tables must
+/// not make the whole set fall back to "no closure".
+std::vector<std::string> DependencyTables(
+    const db::Database& db, const CandidateSpace& space,
+    const fragments::FragmentCatalog& catalog,
+    const std::vector<std::string>& extra) {
+  using fragments::FragmentType;
+  std::set<std::string> tables;
+  for (const ScoredOption& c : space.columns()) {
+    const auto& frag = catalog.fragment(FragmentType::kAggColumn, c.frag);
+    if (!frag.column.table.empty()) {
+      tables.insert(strings::ToLower(frag.column.table));
+    }
+  }
+  for (const PredicateSubset& s : space.subsets()) {
+    for (int f : s.frags) {
+      const auto& frag = catalog.fragment(FragmentType::kPredicate, f);
+      if (!frag.column.table.empty()) {
+        tables.insert(strings::ToLower(frag.column.table));
+      }
+    }
+  }
+  for (const std::string& t : extra) tables.insert(strings::ToLower(t));
+
+  std::set<std::string> closure;
+  std::vector<std::string> pending(tables.begin(), tables.end());
+  while (!pending.empty()) {
+    // Greedily collect one connected component around the last table.
+    std::vector<std::string> component{pending.back()};
+    pending.pop_back();
+    for (size_t i = 0; i < pending.size();) {
+      if (db.JoinPlan({component[0], pending[i]}).ok()) {
+        component.push_back(pending[i]);
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    auto plan = db.JoinPlan(component);
+    if (plan.ok()) {
+      closure.insert(strings::ToLower(plan->root));
+      for (const auto& step : plan->steps) {
+        closure.insert(strings::ToLower(step.table));
+      }
+    } else {
+      // Cannot plan (e.g. an unknown table in a synthetic candidate): keep
+      // the raw members — an under-closure beats dropping them entirely.
+      for (const std::string& t : component) closure.insert(t);
+    }
+  }
+  return std::vector<std::string>(closure.begin(), closure.end());
+}
+
 }  // namespace
 
 db::QueryInterner::Id CandidateInterner::Encode(size_t f, size_t c, size_t s) {
@@ -274,6 +332,16 @@ TranslationResult Translator::Translate(
     result.total_candidates += spaces[i]->TotalCandidates();
   }
 
+  // Dependency table sets for incremental re-verification. Pinned claims
+  // add their confirmed query's tables (it may sit outside the space).
+  result.dependency_tables.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> extra;
+    if (is_pinned(i)) extra = (*pinned)[i]->ReferencedTables();
+    result.dependency_tables[i] =
+        DependencyTables(*db_, *spaces[i], *catalog_, extra);
+  }
+
   // Evaluation outcomes per claim, keyed by candidate triple.
   std::vector<std::unordered_map<uint64_t, EvalOutcome>> outcomes(n);
   std::vector<std::vector<ScoredTriple>> selections(n);
@@ -295,7 +363,11 @@ TranslationResult Translator::Translate(
 
   Priors priors = Priors::Uniform(*catalog_);
   if (options_.trace_priors) result.prior_trace.push_back(priors);
-  const ScopeBudget scope = PickScope(*db_, n, options_);
+  // scope_num_claims pins the budget to the full document's claim count
+  // when ReCheck re-translates a subset (see ModelOptions).
+  const size_t scope_claims =
+      options_.scope_num_claims > 0 ? options_.scope_num_claims : n;
+  const ScopeBudget scope = PickScope(*db_, scope_claims, options_);
   const int max_iters = options_.use_priors ? options_.max_em_iterations : 1;
 
   for (int iter = 0; iter < max_iters; ++iter) {

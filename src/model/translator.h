@@ -76,6 +76,15 @@ struct TranslationResult {
   /// ClaimRecovery. `status` above is reserved for run-level failures with
   /// no owning queries to quarantine.
   std::vector<ClaimRecovery> recovery;
+  /// One entry per claim: every base table (lower-cased, sorted, unique)
+  /// any of the claim's candidate queries can read, closed under the join
+  /// paths connecting them — intermediate join-path tables included. The
+  /// dependency domain for incremental re-verification (DESIGN.md §16): a
+  /// claim needs re-checking iff some table here changed its data version.
+  /// An over-approximation (the whole candidate space, not just the top
+  /// translation) — extra re-checks are sound, missed invalidations are
+  /// not. Empty for claims whose space references no table.
+  std::vector<std::vector<std::string>> dependency_tables;
 };
 
 /// \brief Per-claim encoder from candidate triples (f, c, s) to interned

@@ -23,7 +23,11 @@ inline constexpr char kMagic[8] = {'A', 'G', 'G', 'S', 'N', 'A', 'P', '1'};
 /// Bump on any incompatible layout change. Readers accept exactly this
 /// version: snapshots are a cache of rebuildable state, so forward/backward
 /// migration is never worth the risk of a subtly misread byte.
-inline constexpr uint32_t kFormatVersion = 1;
+/// History: 2 added the per-table data version to the kDatabase section so
+/// a loaded database resumes its ingestion version counters (DESIGN.md §16)
+/// instead of resetting them — a reset would silently revalidate cache
+/// entries stamped against the pre-snapshot versions.
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// Section kinds. A file carries each at most once; kDatabase is mandatory.
 enum class SectionKind : uint32_t {

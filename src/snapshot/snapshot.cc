@@ -238,6 +238,7 @@ Status WriteDatabase(ByteWriter* w, const db::Database& db) {
     w->Str(table.name());
     w->U32(static_cast<uint32_t>(table.num_columns()));
     w->U64(table.num_rows());
+    w->U64(table.version());
     for (size_t c = 0; c < table.num_columns(); ++c) {
       Status s = WriteColumn(w, table.column(c));
       if (!s.ok()) return s;
@@ -266,7 +267,8 @@ Result<db::Database> ReadDatabase(
     std::string table_name = r->Str();
     uint32_t num_columns = r->U32();
     uint64_t num_rows = r->U64();
-    if (!r->ok() || num_columns > r->remaining()) {
+    uint64_t data_version = r->U64();
+    if (!r->ok() || num_columns > r->remaining() || data_version == 0) {
       return Corrupt("malformed table header");
     }
     std::vector<std::unique_ptr<Column>> columns;
@@ -276,8 +278,8 @@ Result<db::Database> ReadDatabase(
       if (!column.ok()) return column.status();
       columns.push_back(std::move(*column));
     }
-    auto table = db::Table::FromSnapshotParts(std::move(table_name),
-                                              std::move(columns), num_rows);
+    auto table = db::Table::FromSnapshotParts(
+        std::move(table_name), std::move(columns), num_rows, data_version);
     if (!table.ok()) return table.status();
     Status s = database.AddTable(std::move(*table));
     if (!s.ok()) return s;

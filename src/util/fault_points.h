@@ -24,7 +24,9 @@ namespace fault_injection {
   X("csv.row")                      \
   X("cube.materialize")             \
   X("cube.scan.vectorized")         \
+  X("data.ingest.append")           \
   X("em.iterate")                   \
+  X("eval.recheck.splice")          \
   X("executor.execute")             \
   X("executor.scan")                \
   X("fleet.generator.emit")         \

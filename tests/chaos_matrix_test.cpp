@@ -124,7 +124,9 @@ corpus::FleetSpec TinyFleetSpec() {
 
 /// Drivers that together execute every manifest point: CSV ingestion, the
 /// merged (vectorized + fingerprints + relation cache) pipeline, the naive
-/// pipeline, a multi-table join build, a snapshot write/load round trip
+/// pipeline, a multi-table join build, post-build row ingestion
+/// (data.ingest.append), an unchanged-data incremental re-check
+/// (eval.recheck.splice), a snapshot write/load round trip
 /// (snapshot.load.map), and a tiny fleet generate+schedule cycle
 /// (fleet.generator.emit / fleet.schedule.pop).
 void RunAllDrivers() {
@@ -142,6 +144,17 @@ void RunAllDrivers() {
   auto orders = testing_fixtures::MakeOrdersDatabase();
   auto join = db::JoinedRelation::Build(orders, {"orders", "customers"});
   ASSERT_TRUE(join.ok());  // join.materialize
+  (void)corpus::AppendSyntheticRows(&orders, "orders", 1);  // data.ingest.append
+  {
+    // eval.recheck.splice: with no data change every claim takes the
+    // splice path of an incremental re-check.
+    auto checker =
+        core::AggChecker::Create(&article.database, FastRecoveryOptions());
+    ASSERT_TRUE(checker.ok());
+    auto prior = checker->Check(article.document);
+    ASSERT_TRUE(prior.ok());
+    (void)checker->ReCheck(article.document, *prior);
+  }
   {
     const std::string path = "chaos_matrix_driver.snap";
     ASSERT_TRUE(
@@ -486,6 +499,99 @@ TEST(ChaosMatrixTest, SnapshotMapFaultFallsBackToRebuild) {
 
   std::remove(
       corpus::SnapshotPathForCase(save.dir, one.front().name).c_str());
+}
+
+// A faulted ingestion is atomic: the batch is rejected before anything
+// mutates, so the table keeps its row count and data version and every
+// version-keyed cache entry stays warm — the next acquire is a hit on the
+// same relation object. Disarmed, the same append succeeds, bumps the
+// version, and invalidates exactly that relation.
+TEST(ChaosMatrixTest, IngestFaultLeavesVersionAndCachesUntouched) {
+  fi::DisarmAll();
+  auto database = testing_fixtures::MakeOrdersDatabase();
+  ResourceGovernor governor;
+  std::shared_ptr<const db::JoinedRelation> warm;
+  {
+    ResourceGovernor::Shard shard(&governor);
+    auto rel = database.relation_cache().Acquire(
+        database, {"orders", "customers"}, shard);
+    ASSERT_TRUE(rel.ok());
+    warm = *rel;
+  }
+  const uint64_t v0 = database.TableVersion("orders");
+  const size_t rows0 = database.FindTable("orders")->num_rows();
+
+  fi::Arm("data.ingest.append");
+  Status faulted = corpus::AppendSyntheticRows(&database, "orders", 2);
+  const uint64_t hits = fi::HitCount("data.ingest.append");
+  fi::DisarmAll();
+
+  ASSERT_GT(hits, 0u);
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_EQ(database.TableVersion("orders"), v0);
+  EXPECT_EQ(database.FindTable("orders")->num_rows(), rows0);
+  {
+    ResourceGovernor::Shard shard(&governor);
+    db::RelationCache::AcquireInfo info;
+    auto rel = database.relation_cache().Acquire(
+        database, {"orders", "customers"}, shard, &info);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_TRUE(info.hit);
+    EXPECT_FALSE(info.built);
+    EXPECT_EQ(rel->get(), warm.get())
+        << "a rejected append must not withdraw the cached relation";
+  }
+
+  ASSERT_TRUE(corpus::AppendSyntheticRows(&database, "orders", 2).ok());
+  EXPECT_EQ(database.TableVersion("orders"), v0 + 1);
+  {
+    ResourceGovernor::Shard shard(&governor);
+    db::RelationCache::AcquireInfo info;
+    auto rel = database.relation_cache().Acquire(
+        database, {"orders", "customers"}, shard, &info);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_TRUE(info.built)
+        << "a successful append must invalidate the relation it touched";
+  }
+}
+
+// A faulted splice degrades the claim to a full re-evaluation instead of
+// trusting the prior verdict: the re-check still succeeds, the report is
+// bit-identical to the fault-free splice, and the accounting shows every
+// claim re-checked rather than spliced.
+TEST(ChaosMatrixTest, SpliceFaultDegradesToReEvaluation) {
+  fi::DisarmAll();
+  auto articles = corpus::EmbeddedArticles();
+  ASSERT_FALSE(articles.empty());
+  const corpus::CorpusCase& article = articles.front();
+  article.database.relation_cache().Clear();
+  auto checker =
+      core::AggChecker::Create(&article.database, FastRecoveryOptions());
+  ASSERT_TRUE(checker.ok());
+  auto prior = checker->Check(article.document);
+  ASSERT_TRUE(prior.ok());
+  ASSERT_FALSE(prior->verdicts.empty());
+  const std::string reference_fp = VerdictFingerprint(*prior);
+
+  // Fault-free with no data change: the whole report splices.
+  auto spliced = checker->ReCheck(article.document, *prior);
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_EQ(spliced->claims_spliced, prior->verdicts.size());
+  EXPECT_EQ(spliced->claims_rechecked, 0u);
+  EXPECT_EQ(VerdictFingerprint(*spliced), reference_fp);
+
+  fi::Arm("eval.recheck.splice");
+  auto degraded = checker->ReCheck(article.document, *prior);
+  const uint64_t hits = fi::HitCount("eval.recheck.splice");
+  fi::DisarmAll();
+
+  ASSERT_GT(hits, 0u);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->claims_spliced, 0u);
+  EXPECT_EQ(degraded->claims_rechecked, prior->verdicts.size());
+  EXPECT_EQ(VerdictFingerprint(*degraded), reference_fp)
+      << "a degraded re-check must still match the prior verdicts on "
+         "unchanged data";
 }
 
 }  // namespace

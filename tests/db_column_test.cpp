@@ -142,6 +142,86 @@ TEST(ColumnConcurrencyTest, ConcurrentFlatAndDictionaryBuildsAreSafe) {
   }
 }
 
+// Ingestion on a snapshot-backed column (DESIGN.md §16): concurrent
+// first-touch Flat() readers on the zero-copy view are safe, and the first
+// Append materializes the boxed values and detaches from the image — the
+// rebuilt flat view owns its storage and includes the appended row. Run
+// under TSan via the `concurrency` label: before the ingestion API, nothing
+// ever appended to a FromSnapshot column.
+TEST(ColumnConcurrencyTest, SnapshotColumnFlatReadersThenAppendDetaches) {
+  constexpr size_t kRows = 4096;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<uint8_t> nulls(kRows, 0);
+    std::vector<uint8_t> tags(kRows, static_cast<uint8_t>(ValueType::kLong));
+    std::vector<int64_t> longs(kRows);
+    std::vector<double> doubles(kRows);
+    std::vector<int32_t> codes(kRows);
+    ColumnSnapshotData data;
+    for (size_t r = 0; r < kRows; ++r) {
+      longs[r] = static_cast<int64_t>(r % 101);
+      doubles[r] = static_cast<double>(r % 101);
+      codes[r] = static_cast<int32_t>(r % 101);
+    }
+    for (int64_t v = 0; v < 101; ++v) data.distinct.push_back(Value(v));
+    data.rows = kRows;
+    data.nulls = nulls.data();
+    data.tags = tags.data();
+    data.longs = longs.data();
+    data.doubles = doubles.data();
+    data.codes = codes.data();
+    auto col = Column::FromSnapshot("v", ValueType::kLong, std::move(data));
+
+    // Phase 1: concurrent readers before any mutation. The flat view is
+    // zero-copy — it aliases the snapshot arrays.
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> sums(8, 0);
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&col, &sums, t] {
+        uint64_t sum = 0;
+        if (t % 2 == 0) {
+          const Column::FlatView& flat = col->Flat();
+          for (size_t i = 0; i < flat.size; ++i) {
+            sum += static_cast<uint64_t>(flat.longs[i]);
+          }
+        } else {
+          // First values() call materializes the boxed cells lazily.
+          for (const Value& v : col->values()) {
+            sum += static_cast<uint64_t>(v.AsLong());
+          }
+        }
+        sums[static_cast<size_t>(t)] = sum;
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int t = 1; t < 8; ++t) EXPECT_EQ(sums[static_cast<size_t>(t)], sums[0]);
+    EXPECT_EQ(col->Flat().longs, longs.data()) << "flat view must be zero-copy";
+
+    // Phase 2: single-writer append (the class contract excludes concurrent
+    // readers during mutation). The column detaches from the image and every
+    // derived representation rebuilds over owned storage.
+    col->Append(Value(static_cast<int64_t>(7)));
+    ASSERT_EQ(col->size(), kRows + 1);
+    const Column::FlatView& flat = col->Flat();
+    EXPECT_NE(flat.longs, longs.data()) << "Append must detach from the image";
+    ASSERT_EQ(flat.size, kRows + 1);
+    EXPECT_EQ(flat.longs[kRows], 7);
+    EXPECT_EQ(flat.nulls[kRows], 0);
+    EXPECT_EQ(col->DistinctValues().size(), 101u);
+    EXPECT_EQ(col->Codes()[kRows], 7);
+
+    // Phase 3: concurrent readers of the detached column are safe again.
+    std::vector<std::thread> post;
+    std::vector<size_t> sizes(4, 0);
+    for (int t = 0; t < 4; ++t) {
+      post.emplace_back([&col, &sizes, t] {
+        sizes[static_cast<size_t>(t)] = col->Flat().size;
+      });
+    }
+    for (auto& thread : post) thread.join();
+    for (size_t s : sizes) EXPECT_EQ(s, kRows + 1);
+  }
+}
+
 }  // namespace
 }  // namespace db
 }  // namespace aggchecker

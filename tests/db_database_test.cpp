@@ -103,6 +103,68 @@ TEST(DatabaseTest, TotalRows) {
   EXPECT_EQ(database.TotalRows(), 3u + 5u);
 }
 
+// Version plumbing (DESIGN.md §16): TableVersion is case-insensitive and
+// returns the sentinel 0 for unknown tables (real versions start at 1, so
+// "unknown" always compares unequal); ingestion through the database bumps
+// exactly the touched table.
+TEST(DatabaseVersionTest, TableVersionAndIngestionRouting) {
+  auto database = testing_fixtures::MakeOrdersDatabase();
+  EXPECT_EQ(database.TableVersion("orders"), 1u);
+  EXPECT_EQ(database.TableVersion("ORDERS"), 1u);
+  EXPECT_EQ(database.TableVersion("nope"), 0u);
+
+  const db::Table* orders = database.FindTable("orders");
+  ASSERT_NE(orders, nullptr);
+  std::vector<Value> row;
+  for (size_t c = 0; c < orders->num_columns(); ++c) {
+    row.push_back(orders->column(c).at(0));
+  }
+  ASSERT_TRUE(database.AppendRows("Orders", {row}).ok());
+  EXPECT_EQ(database.TableVersion("orders"), 2u);
+  EXPECT_EQ(database.TableVersion("customers"), 1u)
+      << "ingestion must bump only the touched table";
+  EXPECT_FALSE(database.AppendRows("nope", {row}).ok());
+
+  const db::Table* customers = database.FindTable("customers");
+  ASSERT_NE(customers, nullptr);
+  ASSERT_TRUE(database
+                  .UpdateCell("customers", 0, customers->column(0).name(),
+                              customers->column(0).at(1))
+                  .ok());
+  EXPECT_EQ(database.TableVersion("customers"), 2u);
+}
+
+// The version vector is the cache-key domain: sorted lower-cased names,
+// one entry per table, tracking each table's current version.
+TEST(DatabaseVersionTest, VersionVectorSortedAndCurrent) {
+  auto database = testing_fixtures::MakeOrdersDatabase();
+  auto vec = database.VersionVector();
+  ASSERT_EQ(vec.size(), database.num_tables());
+  for (size_t i = 1; i < vec.size(); ++i) {
+    EXPECT_LT(vec[i - 1].first, vec[i].first) << "vector must be sorted";
+  }
+  for (const auto& [table, version] : vec) {
+    EXPECT_EQ(version, database.TableVersion(table));
+  }
+
+  const db::Table* orders = database.FindTable("orders");
+  std::vector<Value> row;
+  for (size_t c = 0; c < orders->num_columns(); ++c) {
+    row.push_back(orders->column(c).at(0));
+  }
+  ASSERT_TRUE(database.AppendRows("orders", {row}).ok());
+  auto bumped = database.VersionVector();
+  ASSERT_EQ(bumped.size(), vec.size());
+  for (size_t i = 0; i < vec.size(); ++i) {
+    EXPECT_EQ(bumped[i].first, vec[i].first);
+    if (bumped[i].first == "orders") {
+      EXPECT_EQ(bumped[i].second, vec[i].second + 1);
+    } else {
+      EXPECT_EQ(bumped[i].second, vec[i].second);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace db
 }  // namespace aggchecker

@@ -95,6 +95,85 @@ TEST(ColumnTest, DictionaryInvalidatedByAppend) {
   EXPECT_EQ(c.DistinctValues().size(), 2u);
 }
 
+// Version semantics (DESIGN.md §16): the counter starts at 1, the staging
+// path (AddRow) never bumps it, and each post-build mutation bumps it by
+// exactly one.
+TEST(TableVersionTest, IngestionBumpsVersionStagingDoesNot) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("x", ValueType::kLong).ok());
+  EXPECT_EQ(t.version(), 1u);
+  ASSERT_TRUE(t.AddRow({Value(int64_t{1})}).ok());
+  EXPECT_EQ(t.version(), 1u) << "staging rows must not bump the version";
+
+  ASSERT_TRUE(t.AppendRows({{Value(int64_t{2})}, {Value(int64_t{3})}}).ok());
+  EXPECT_EQ(t.version(), 2u);
+  EXPECT_EQ(t.num_rows(), 3u);
+
+  ASSERT_TRUE(t.UpdateCell(0, "x", Value(int64_t{9})).ok());
+  EXPECT_EQ(t.version(), 3u);
+  EXPECT_EQ(t.column(0).at(0).AsLong(), 9);
+}
+
+// A rejected batch is atomic: whole-batch validation runs before any
+// mutation, so a bad row anywhere leaves rows, values, and the version
+// exactly as they were.
+TEST(TableVersionTest, RejectedAppendLeavesTableUntouched) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("x", ValueType::kLong).ok());
+  ASSERT_TRUE(t.AddColumn("s", ValueType::kString).ok());
+  ASSERT_TRUE(t.AddRow({Value(int64_t{1}), Value(std::string("a"))}).ok());
+
+  // Second row has wrong arity; first is valid — neither must land.
+  Status s = t.AppendRows({{Value(int64_t{2}), Value(std::string("b"))},
+                           {Value(int64_t{3})}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.version(), 1u);
+
+  // Type violation: a string into a LONG column.
+  s = t.AppendRows({{Value(std::string("nope")), Value(std::string("b"))}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.version(), 1u);
+
+  // Out-of-range / unknown-column updates are also version-neutral.
+  EXPECT_FALSE(t.UpdateCell(5, "x", Value(int64_t{0})).ok());
+  EXPECT_FALSE(t.UpdateCell(0, "nope", Value(int64_t{0})).ok());
+  EXPECT_EQ(t.version(), 1u);
+}
+
+// A DOUBLE column coerces appended longs exactly like the build path, and
+// the appended rows are visible through the flat view and dictionary.
+TEST(TableVersionTest, AppendCoercesAndRebuildsDerivedViews) {
+  auto data = csv::Parse("score\n1.5\n2\n");
+  auto table = Table::FromCsv("t", *data);
+  ASSERT_TRUE(table.ok());
+  const Column* col = table->FindColumn("score");
+  ASSERT_EQ(col->type(), ValueType::kDouble);
+  (void)col->Flat();  // build the lazy views pre-append
+
+  ASSERT_TRUE(table->AppendRows({{Value(int64_t{4})}}).ok());
+  EXPECT_EQ(table->version(), 2u);
+  const Column::FlatView& flat = col->Flat();
+  ASSERT_EQ(flat.size, 3u);
+  EXPECT_DOUBLE_EQ(flat.doubles[2], 4.0);
+  EXPECT_EQ(col->DistinctValues().size(), 3u);
+}
+
+// FromSnapshotParts restores the recorded version so caches stamped against
+// the pre-snapshot counter stay comparable after a save/load cycle.
+TEST(TableVersionTest, FromSnapshotPartsRestoresVersion) {
+  std::vector<std::unique_ptr<Column>> columns;
+  auto col = std::make_unique<Column>("x", ValueType::kLong);
+  col->Append(Value(int64_t{1}));
+  columns.push_back(std::move(col));
+  auto t = Table::FromSnapshotParts("t", std::move(columns), 1, 7);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->version(), 7u);
+  ASSERT_TRUE(t->AppendRows({{Value(int64_t{2})}}).ok());
+  EXPECT_EQ(t->version(), 8u);
+}
+
 }  // namespace
 }  // namespace db
 }  // namespace aggchecker

@@ -20,8 +20,10 @@
 #include "corpus/embedded_articles.h"
 #include "corpus/harness.h"
 #include "db/query_interner.h"
+#include "db/relation_cache.h"
 #include "snapshot/format.h"
 #include "snapshot/snapshot.h"
+#include "test_fixtures.h"
 
 namespace aggchecker {
 namespace {
@@ -207,6 +209,65 @@ TEST(SnapshotTest, CorruptionFallsBackToRebuild) {
   EXPECT_EQ(stats.cases_loaded, 1u);
   ASSERT_EQ(run.reports.size(), 1u);
   EXPECT_EQ(core::FleetVerdictFingerprint(run.reports[0]), reference_fp);
+  std::remove(path.c_str());
+}
+
+// Incremental re-verification satellite (DESIGN.md §16): per-table data
+// versions ride in the kDatabase section. A bumped table round-trips its
+// counter, post-load ingestion continues the sequence and invalidates
+// version-keyed caches exactly as on a built database, and a pre-version
+// format header (v1) is rejected with a clean Unsupported so callers
+// rebuild instead of misreading bytes.
+TEST(SnapshotTest, DataVersionsRoundTripAndInvalidateAfterLoad) {
+  auto database = testing_fixtures::MakeOrdersDatabase();
+  ASSERT_TRUE(corpus::AppendSyntheticRows(&database, "orders", 1).ok());
+  ASSERT_EQ(database.TableVersion("orders"), 2u);
+  ASSERT_EQ(database.TableVersion("customers"), 1u);
+
+  ::mkdir(kDir, 0755);
+  const std::string path = std::string(kDir) + "/versions.snap";
+  ASSERT_TRUE(snapshot::WriteSnapshot(path, database, nullptr, nullptr).ok());
+
+  auto loaded = snapshot::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->database.TableVersion("orders"), 2u)
+      << "the version counter must survive the round trip";
+  EXPECT_EQ(loaded->database.TableVersion("customers"), 1u);
+
+  // Ingestion into the loaded database continues the version sequence and
+  // invalidates the relations that read the touched table.
+  ResourceGovernor governor;
+  {
+    ResourceGovernor::Shard shard(&governor);
+    ASSERT_TRUE(loaded->database.relation_cache()
+                    .Acquire(loaded->database, {"orders", "customers"}, shard)
+                    .ok());
+  }
+  ASSERT_TRUE(
+      corpus::AppendSyntheticRows(&loaded->database, "orders", 1).ok());
+  EXPECT_EQ(loaded->database.TableVersion("orders"), 3u);
+  {
+    ResourceGovernor::Shard shard(&governor);
+    db::RelationCache::AcquireInfo info;
+    ASSERT_TRUE(loaded->database.relation_cache()
+                    .Acquire(loaded->database, {"orders", "customers"},
+                             shard, &info)
+                    .ok());
+    EXPECT_TRUE(info.built)
+        << "a post-load append must invalidate the cached relation";
+  }
+
+  // A v1 header (the pre-version layout) must be rejected, not misread:
+  // the v1 kDatabase section has no per-table version field, so decoding
+  // it with this reader would shift every following byte.
+  std::string pristine = ReadFile(path);
+  const uint32_t old_version = 1;
+  std::memcpy(&pristine[8], &old_version, sizeof(old_version));
+  WriteFile(path, pristine);
+  auto rejected = snapshot::LoadSnapshot(path);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnsupported)
+      << rejected.status().ToString();
   std::remove(path.c_str());
 }
 
