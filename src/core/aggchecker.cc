@@ -125,7 +125,25 @@ Result<CheckReport> AggChecker::CheckDetected(
   // by the engine's recovery pass; what surfaces here are run-level faults
   // with no owning query, retried while transient. Engine caches persist
   // across attempts (failed scans are never cached, so re-runs are safe).
-  model::Translator translator(db_, catalog_.get(), model);
+  // Probe pruning runs everywhere on the fingerprint path (decided flags
+  // ship to the engine, so governor charges stay bit-identical). The
+  // string path — naive strategy, or query_fingerprints off — has no flag
+  // transport: a settled probe skips evaluation outright, which is
+  // work-proportional charging, so it engages only when no budget is in
+  // play (exhaustion points must never move under pruning).
+  model::ModelOptions effective_model = model;
+  const bool fingerprint_path =
+      options_.query_fingerprints &&
+      options_.strategy != db::EvalStrategy::kNaive;
+  effective_model.probe_pruning =
+      options_.probe_pruning &&
+      (fingerprint_path || options_.governor.unlimited());
+  effective_model.probe_verify = options_.probe_verify;
+  // Every reported candidate must show a real result: raise the backfill
+  // cover to the report depth.
+  effective_model.probe_backfill_top_k =
+      std::max(effective_model.probe_backfill_top_k, options_.report_top_k);
+  model::Translator translator(db_, catalog_.get(), effective_model);
   model::TranslationResult translation;
   RetryPolicy run_policy = options_.recovery.retry;
   if (!options_.recovery.enabled) run_policy.max_attempts = 1;
@@ -153,6 +171,7 @@ Result<CheckReport> AggChecker::CheckDetected(
   }
 
   report.eval_stats = engine_->stats();
+  report.probe_stats = translation.probe_stats;
   report.em_iterations = translation.em_iterations;
   report.total_candidates = translation.total_candidates;
   report.queries_evaluated = translation.queries_evaluated;
@@ -252,6 +271,7 @@ Result<CheckReport> AggChecker::ReCheck(const text::TextDocument& doc,
     if (changed[i]) report.verdicts[i] = std::move(sub->verdicts[next++]);
   }
   report.eval_stats = sub->eval_stats;
+  report.probe_stats = sub->probe_stats;
   report.em_iterations = sub->em_iterations;
   // Candidate spaces are data-independent given the catalog, so the
   // from-scratch total is the prior's total.

@@ -42,6 +42,16 @@ struct CheckOptions {
   /// re-plans every batch from rebuilt SQL strings — kept for differential
   /// tests and benches. Reports are bit-identical either way.
   bool query_fingerprints = true;
+  /// Verification-aware candidate pruning (DESIGN.md §17): probe candidates
+  /// against column statistics and dictionaries before evaluation and skip
+  /// the kernels of cube slices whose every reader is already decided.
+  /// Needs the fingerprint path and an optimized strategy; silently off
+  /// otherwise. Reports are bit-identical with pruning on or off.
+  bool probe_pruning = true;
+  /// Differential mode: probe everything but evaluate everything too,
+  /// counting probe/synthesis disagreements in CheckReport::probe_stats
+  /// (probe_conflicts must stay zero).
+  bool probe_verify = false;
   fragments::CatalogOptions catalog;
   /// Pre-built fragment catalog — the snapshot load path (DESIGN.md §15):
   /// when set, Create adopts it instead of building one from the database,
@@ -126,6 +136,10 @@ struct CheckReport {
   /// table changed) or rechecked (re-evaluated against the current data).
   size_t claims_spliced = 0;
   size_t claims_rechecked = 0;
+  /// Verification-aware probe counters (DESIGN.md §17): candidates probed /
+  /// pruned (by family), top-k results backfilled, and — in probe_verify
+  /// runs — conflicts between synthesized and real outcomes (must be 0).
+  model::ProbeStats probe_stats;
 
   size_t NumFlagged() const {
     size_t n = 0;

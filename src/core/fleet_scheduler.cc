@@ -5,6 +5,8 @@
 #include <mutex>
 #include <set>
 
+#include "db/column_stats.h"
+#include "db/table.h"
 #include "util/fault_injection.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -111,8 +113,6 @@ double EstimateDocumentCost(const FleetDocument& doc, bool relation_warm) {
   if (doc.database == nullptr) return 1.0;
   const double rows =
       static_cast<double>(std::max<size_t>(doc.database->TotalRows(), 1));
-  const double width =
-      static_cast<double>(std::max<size_t>(doc.database->TotalColumns(), 1));
   const double claims =
       static_cast<double>(std::max<size_t>(doc.num_claims_hint, 1));
   // Join materialization: one pass over the data, already paid when the
@@ -121,12 +121,25 @@ double EstimateDocumentCost(const FleetDocument& doc, bool relation_warm) {
   // Cube scans: claims share merged scans, but more claims mean more
   // distinct predicate-column sets and EM batches.
   const double scan_cost = claims * kScansPerClaim * rows;
-  // Cube groups: bounded by dimension cardinality times the dimension
-  // combinations the claims touch (one to two dims per candidate).
-  const double max_card =
-      static_cast<double>(std::max<size_t>(doc.database->MaxDistinctValues(),
-                                           1));
-  const double group_cost = kGroupCostWeight * claims * width * max_card;
+  // Cube groups: the same per-column statistics the probes run on
+  // (DESIGN.md §17) give an exact per-dimension cardinality, so the group
+  // estimate sums each column's real distinct count instead of the old
+  // width × max-cardinality upper bound, which over-charged wide tables
+  // with one high-cardinality key column. Deterministic: ColumnStats are a
+  // pure function of the data, and scheduling forces the same lazy build
+  // the checker's probes reuse. NULL buckets add one group per nullable
+  // column.
+  double total_groups = 0.0;
+  for (size_t t = 0; t < doc.database->num_tables(); ++t) {
+    const db::Table& table = doc.database->table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const db::ColumnStats& stats = table.column(c).Stats();
+      total_groups += static_cast<double>(stats.distinct) +
+                      (stats.non_null < stats.rows ? 1.0 : 0.0);
+    }
+  }
+  const double group_cost =
+      kGroupCostWeight * claims * std::max(total_groups, 1.0);
   return join_cost + scan_cost + group_cost;
 }
 

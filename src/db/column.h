@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "db/column_stats.h"
 #include "db/value.h"
 
 namespace aggchecker {
@@ -142,12 +143,24 @@ class Column {
   /// Number of null cells.
   size_t null_count() const { return null_count_; }
 
+  /// Summary statistics for verification-aware probes (DESIGN.md §17).
+  /// Built lazily (builds the dictionary and flat view first if needed) and
+  /// cached; invalidated by Append/Update like the other derived views.
+  const ColumnStats& Stats() const;
+
+  /// Snapshot hook: adopts precomputed statistics so a loaded column skips
+  /// the first Stats() scan. The snapshot writer persists exactly what
+  /// Stats() computed, so adopted stats are bit-identical to a rebuild.
+  void SeedStats(const ColumnStats& stats);
+
  private:
   void EnsureDictionary() const;
   void EnsureFlat() const;
+  void EnsureStats() const;
   void EnsureValues() const;
   void BuildDictionary() const;
   void BuildFlat() const;
+  void BuildStats() const;
   void MaterializeValues() const;
 
   std::string name_;
@@ -176,6 +189,9 @@ class Column {
   mutable std::vector<double> flat_doubles_;
   mutable std::vector<uint8_t> flat_nulls_;
   mutable FlatView flat_view_;
+
+  mutable std::atomic<bool> stats_built_{false};
+  mutable ColumnStats stats_;
 };
 
 }  // namespace db

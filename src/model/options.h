@@ -76,6 +76,28 @@ struct ModelOptions {
   /// contract"), so this is purely a throughput knob.
   size_t num_threads = 0;
 
+  /// Verification-aware candidate pruning (DESIGN.md §17): probe each
+  /// candidate against column statistics and dictionaries before it enters
+  /// the evaluation batch, and skip the aggregation kernels of cube slices
+  /// every reader of which the probe already decided. Reports are
+  /// bit-identical with pruning on or off (the probe-pruning differential
+  /// tests pin this down); the flag only trades probe work for kernel work.
+  /// Requires the fingerprint path (query_fingerprints); ignored otherwise.
+  bool probe_pruning = true;
+
+  /// Debug/differential mode: run every probe but evaluate all candidates
+  /// for real anyway, counting disagreements between synthesized and real
+  /// outcomes in ProbeStats::probe_conflicts (must be zero — an unsound
+  /// probe bound otherwise). Also cross-checks that fingerprint-equivalent
+  /// candidates never produce diverging results.
+  bool probe_verify = false;
+
+  /// Ranked candidates per claim whose probe-withheld results are
+  /// re-evaluated after translation so reports show real values (AggChecker
+  /// raises this to report_top_k). The backfill runs off-ledger: no
+  /// governor charges, no new cache entries.
+  size_t probe_backfill_top_k = 10;
+
   /// Pins PickScope's claim count to this value instead of the number of
   /// claims actually translated (0 = off, the default). Incremental
   /// re-verification (DESIGN.md §16) re-translates only the claims whose

@@ -10,6 +10,7 @@
 #include "model/candidate_space.h"
 #include "model/options.h"
 #include "model/priors.h"
+#include "model/probe.h"
 
 namespace aggchecker {
 namespace model {
@@ -23,6 +24,11 @@ struct RankedCandidate {
   bool matches = false;          ///< result rounds to the claimed value
   double keyword_score = 0.0;    ///< Pr(S_c | Q_c) factor
   double prior = 0.0;            ///< Pr(Q_c) factor under the final priors
+  /// The magnitude probe decided this candidate without evaluating it
+  /// (DESIGN.md §17): `matches` is provably false but `result` was never
+  /// computed. The top-k backfill re-evaluates flagged candidates that
+  /// reach the report, filling `result` with the real value.
+  bool probe_decided = false;
 };
 
 /// \brief Distribution over query candidates for one claim, ranked by
@@ -85,6 +91,9 @@ struct TranslationResult {
   /// translation) — extra re-checks are sound, missed invalidations are
   /// not. Empty for claims whose space references no table.
   std::vector<std::vector<std::string>> dependency_tables;
+  /// Verification-aware probe counters (DESIGN.md §17); all-zero when
+  /// ModelOptions::probe_pruning is off or the string path is in use.
+  ProbeStats probe_stats;
 };
 
 /// \brief Per-claim encoder from candidate triples (f, c, s) to interned

@@ -26,8 +26,11 @@ inline constexpr char kMagic[8] = {'A', 'G', 'G', 'S', 'N', 'A', 'P', '1'};
 /// History: 2 added the per-table data version to the kDatabase section so
 /// a loaded database resumes its ingestion version counters (DESIGN.md §16)
 /// instead of resetting them — a reset would silently revalidate cache
-/// entries stamped against the pre-snapshot versions.
-inline constexpr uint32_t kFormatVersion = 2;
+/// entries stamped against the pre-snapshot versions. 3 appended the
+/// per-column statistics blob (DESIGN.md §17) after each column's
+/// dictionary, so a loaded database probes candidates without a first-use
+/// stats scan; v2 files are rejected and rebuilt cleanly, never misparsed.
+inline constexpr uint32_t kFormatVersion = 3;
 
 /// Section kinds. A file carries each at most once; kDatabase is mandatory.
 enum class SectionKind : uint32_t {

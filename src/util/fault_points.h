@@ -34,7 +34,8 @@ namespace fault_injection {
   X("join.materialize")             \
   X("plan.fingerprint")             \
   X("relation.cache.acquire")       \
-  X("snapshot.load.map")
+  X("snapshot.load.map")            \
+  X("translator.probe")
 
 /// The manifest as a vector, for tests and tooling.
 inline std::vector<std::string> ManifestPoints() {

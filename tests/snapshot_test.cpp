@@ -271,5 +271,56 @@ TEST(SnapshotTest, DataVersionsRoundTripAndInvalidateAfterLoad) {
   std::remove(path.c_str());
 }
 
+// Format v3 (DESIGN.md §17): per-column statistics ride in the snapshot so
+// a loaded database probes without a first-touch scan. The seeded stats
+// must equal what a clean build computes, a v2 header (the pre-stats
+// layout) is rejected with Unsupported so callers rebuild instead of
+// misreading, and a corrupted stats record fails closed.
+TEST(SnapshotTest, ColumnStatsRideTheSnapshot) {
+  auto database = testing_fixtures::MakeOrdersDatabase();
+
+  ::mkdir(kDir, 0755);
+  const std::string path = std::string(kDir) + "/stats.snap";
+  ASSERT_TRUE(snapshot::WriteSnapshot(path, database, nullptr, nullptr).ok());
+
+  auto loaded = snapshot::LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t t = 0; t < database.num_tables(); ++t) {
+    const db::Table& built = database.table(t);
+    const db::Table& thawed = loaded->database.table(t);
+    ASSERT_EQ(built.num_columns(), thawed.num_columns());
+    for (size_t c = 0; c < built.num_columns(); ++c) {
+      const db::ColumnStats& a = built.column(c).Stats();
+      const db::ColumnStats& b = thawed.column(c).Stats();
+      EXPECT_EQ(a.rows, b.rows);
+      EXPECT_EQ(a.non_null, b.non_null);
+      EXPECT_EQ(a.distinct, b.distinct);
+      EXPECT_EQ(a.numeric, b.numeric);
+      EXPECT_EQ(a.finite_count, b.finite_count);
+      EXPECT_EQ(a.has_non_finite, b.has_non_finite);
+      EXPECT_EQ(a.integral, b.integral);
+      if (a.finite_count > 0) {
+        EXPECT_DOUBLE_EQ(a.min, b.min);
+        EXPECT_DOUBLE_EQ(a.max, b.max);
+        EXPECT_DOUBLE_EQ(a.sum_pos, b.sum_pos);
+        EXPECT_DOUBLE_EQ(a.sum_neg, b.sum_neg);
+        EXPECT_DOUBLE_EQ(a.max_abs, b.max_abs);
+      }
+    }
+  }
+
+  // A v2 header must be rejected outright: v2 columns carry no stats blob,
+  // so decoding them with this reader would misalign every later section.
+  std::string pristine = ReadFile(path);
+  const uint32_t v2 = 2;
+  std::memcpy(&pristine[8], &v2, sizeof(v2));
+  WriteFile(path, pristine);
+  auto rejected = snapshot::LoadSnapshot(path);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnsupported)
+      << rejected.status().ToString();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace aggchecker

@@ -115,5 +115,57 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RoundsToSelfTest,
                          ::testing::Values(0.001234, 0.5, 1.0, 13.6, 41.37,
                                            63.0, 123.456, 9876.54321, 1e5));
 
+// The probe-soundness property behind magnitude pruning (DESIGN.md §17):
+// MatchableInterval(claimed) must contain EVERY finite result that Matches
+// the claim, in every rounding mode — an excluded matching result would be
+// a wrong kill. Deterministic LCG sweep over results near and far from a
+// grid of claimed values.
+TEST(MatchableIntervalTest, ContainsEveryMatchingResult) {
+  const double claims[] = {0.0,   0.001234, 0.5,  1.0,    13.6,  41.37,
+                           63.0,  99.99,    100., 1300.0, -7.25, -0.005,
+                           1e6,   3.0e-4,   9876.54321};
+  const rounding::RoundingMode modes[] = {
+      rounding::RoundingMode::kSignificantDigits,
+      rounding::RoundingMode::kExact,
+      rounding::RoundingMode::kRelativeTolerance};
+  uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  auto next_unit = [&lcg] {  // deterministic uniform in [0, 1)
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(lcg >> 11) / 9007199254740992.0;
+  };
+  for (double claimed : claims) {
+    for (rounding::RoundingMode mode : modes) {
+      rounding::MatchInterval interval =
+          rounding::MatchableInterval(claimed, mode, 0.05);
+      for (int i = 0; i < 2000; ++i) {
+        // Mix of nearby results (claims only match close values) and a
+        // wide magnitude sweep to probe the interval edges.
+        double spread = i % 2 == 0 ? 0.2 : 4.0;
+        double r = claimed + (next_unit() * 2.0 - 1.0) *
+                                 spread * (std::fabs(claimed) + 1.0);
+        if (!std::isfinite(r)) continue;
+        if (rounding::Matches(r, claimed, mode, 0.05)) {
+          EXPECT_FALSE(interval.empty())
+              << "claimed=" << claimed << " r=" << r;
+          EXPECT_GE(r, interval.lo) << "claimed=" << claimed;
+          EXPECT_LE(r, interval.hi) << "claimed=" << claimed;
+        }
+      }
+    }
+  }
+}
+
+// Non-finite claims match nothing (Matches rejects them), so their
+// matchable interval is empty — the probe then prunes every candidate the
+// magnitude family can bound, which is sound precisely because no result
+// can ever match.
+TEST(MatchableIntervalTest, NonFiniteClaimYieldsEmptyInterval) {
+  for (double claimed : {std::nan(""), HUGE_VAL, -HUGE_VAL}) {
+    rounding::MatchInterval interval = rounding::MatchableInterval(
+        claimed, rounding::RoundingMode::kSignificantDigits, 0.05);
+    EXPECT_TRUE(interval.empty());
+  }
+}
+
 }  // namespace
 }  // namespace aggchecker
